@@ -1,0 +1,24 @@
+//! # rtr-apps — the paper's evaluation workloads
+//!
+//! The six application fragments of sections 3.2 and 4.2, each in four
+//! forms:
+//!
+//! 1. a **Rust reference** (ground truth for correctness),
+//! 2. a **software implementation** in PPC assembly, written in the
+//!    straightforward style a C compiler produces from the original code
+//!    (the paper's point (iii): bit manipulations that are "cumbersome to
+//!    express in the C programming language" stay cumbersome here),
+//! 3. a **hardware module**: a fast behavioural model implementing the dock
+//!    protocol, plus a placed gate-level netlist that is property-tested
+//!    for equivalence and provides honest area numbers,
+//! 4. a **driver** measuring the hw/sw versions on either system.
+//!
+//! Workloads: 8×8 bilevel [`patmatch`], Jenkins lookup2 [`jenkins`],
+//! [`sha1`], and the three grayscale [`imaging`] tasks (brightness,
+//! additive blending, fade).
+
+pub mod harness;
+pub mod imaging;
+pub mod jenkins;
+pub mod patmatch;
+pub mod sha1;

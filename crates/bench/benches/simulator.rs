@@ -1,0 +1,201 @@
+//! Criterion benchmarks — host-side performance of the reproduction's
+//! subsystems (how fast the simulator itself runs). The *paper's* numbers
+//! (simulated time) come from the `tables` binary; see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rtr_apps::{imaging, jenkins, patmatch, sha1};
+use rtr_core::measure::{dma_transfer_time, program_transfer_time, TransferKind};
+use rtr_core::{build_system, SystemKind};
+
+/// Table 2 / 7: program-controlled transfer experiment, both systems.
+fn bench_transfers_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfers_cpu");
+    g.sample_size(10);
+    for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+        g.bench_function(format!("{kind:?}_write_1k"), |b| {
+            b.iter(|| {
+                let mut m = build_system(kind);
+                black_box(program_transfer_time(&mut m, TransferKind::Write, 1024))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table 8: DMA transfer experiment.
+fn bench_transfers_dma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfers_dma");
+    g.sample_size(10);
+    for kind in [TransferKind::Write, TransferKind::WriteRead] {
+        g.bench_function(format!("{kind:?}_1k"), |b| {
+            b.iter(|| {
+                let mut m = build_system(SystemKind::Bit64);
+                black_box(dma_transfer_time(&mut m, kind, 1024))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Tables 3 / 9: pattern matching, sw and hw paths.
+fn bench_patmatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("patmatch");
+    g.sample_size(10);
+    let img = patmatch::BinaryImage::random(64, 16, 1);
+    let pat = [0xA5u8, 0x3C, 0x7E, 0x81, 0x42, 0x99, 0x18, 0xE7];
+    g.bench_function("sw_64x16_bit32", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit32);
+            black_box(patmatch::sw_run(&mut m, &img, &pat))
+        })
+    });
+    g.bench_function("hw_64x16_bit32", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit32);
+            black_box(patmatch::hw_run(&mut m, &img, &pat))
+        })
+    });
+    g.finish();
+}
+
+/// Tables 4 / 10 / 11: hashing workloads.
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.sample_size(10);
+    let key = vec![0xABu8; 4096];
+    g.bench_function("jenkins_sw_4k_bit32", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit32);
+            black_box(jenkins::sw_run(&mut m, &key, 0))
+        })
+    });
+    g.bench_function("jenkins_hw_4k_bit32", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit32);
+            black_box(jenkins::hw_run(&mut m, &key, 0))
+        })
+    });
+    g.bench_function("sha1_sw_2k_bit64", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit64);
+            black_box(sha1::sw_run(&mut m, &key[..2048]))
+        })
+    });
+    g.bench_function("sha1_hw_2k_bit64", |b| {
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit64);
+            black_box(sha1::hw_run(&mut m, &key[..2048]))
+        })
+    });
+    g.finish();
+}
+
+/// Tables 5 / 12: imaging workloads (CPU-controlled and DMA paths).
+fn bench_imaging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("imaging");
+    g.sample_size(10);
+    let a = vec![0x80u8; 4096];
+    let b2 = vec![0x40u8; 4096];
+    for task in [imaging::Task::Brightness, imaging::Task::Fade] {
+        g.bench_function(format!("{task:?}_cpu_bit32"), |b| {
+            b.iter(|| {
+                let mut m = build_system(SystemKind::Bit32);
+                black_box(imaging::hw_run(&mut m, task, &a, &b2, 25))
+            })
+        });
+        g.bench_function(format!("{task:?}_dma_bit64"), |b| {
+            b.iter(|| {
+                let mut m = build_system(SystemKind::Bit64);
+                black_box(imaging::dma_run(&mut m, task, &a, &b2, 25))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The configuration plane: BitLinker assembly and ICAP apply (the
+/// reconfiguration-time ablation's building blocks).
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconfiguration");
+    g.sample_size(10);
+    let kind = SystemKind::Bit32;
+    let region = kind.region();
+    let comp = patmatch::patmatch_component(region.width(), region.height());
+    let linker = rtr_core::system::bitlinker_for(kind);
+    g.bench_function("bitlinker_link_complete", |b| {
+        b.iter(|| black_box(linker.link(&comp, (0, 0)).unwrap()))
+    });
+    let (bs, _) = linker.link(&comp, (0, 0)).unwrap();
+    g.bench_function("apply_bitstream", |b| {
+        b.iter(|| {
+            let mut mem = rtr_core::system::static_base(kind);
+            black_box(
+                vp2_bitstream::apply_bitstream(&bs, &mut mem, vp2_bitstream::IDCODE_XC2VP7)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Gate-level simulation throughput (the equivalence-test workhorse).
+fn bench_gate_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gate_level");
+    g.sample_size(10);
+    let nl = patmatch::patmatch_netlist();
+    g.bench_function("patmatch_1k_strobes", |b| {
+        use dock::DynamicModule;
+        b.iter(|| {
+            let mut m = dock::GateLevelModule::new(&nl).unwrap();
+            for i in 0..1000u64 {
+                black_box(m.poke_at(0, i));
+            }
+        })
+    });
+    let sha = sha1::sha1_netlist();
+    g.bench_function("sha1_one_block", |b| {
+        use dock::DynamicModule;
+        b.iter(|| {
+            let mut m = dock::GateLevelModule::new(&sha).unwrap();
+            m.poke_at(4, 0);
+            for i in 0..16u64 {
+                black_box(m.poke_at(0, i));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// CPU interpreter throughput.
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.sample_size(10);
+    g.bench_function("interpreter_100k_instrs", |b| {
+        let prog = ppc405_sim::assemble(
+            "entry:\n  li r3, 0\n  lis r4, 2\nloop:\n  addi r3, r3, 1\n  cmpw r3, r4\n  blt loop\n  halt\n",
+            0x1000,
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut m = build_system(SystemKind::Bit64);
+            m.load_program(&prog);
+            black_box(m.call(prog.label("entry"), &[], 1_000_000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transfers_cpu,
+    bench_transfers_dma,
+    bench_patmatch,
+    bench_hashing,
+    bench_imaging,
+    bench_reconfiguration,
+    bench_gate_level,
+    bench_cpu
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! tables                 # all tables + figures, quick inputs
+//! tables --full          # paper-like input sweeps (slower)
+//! tables --table 3       # one table
+//! tables --figure 2      # one figure
+//! tables --json out.json # also dump machine-readable results
+//! tables --ablations     # the DESIGN.md ablation studies
+//! ```
+
+use rtr_bench::{ablation_reconfig, ablation_sw_quality, figure, table, Effort};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let mut json_path: Option<String> = None;
+    let mut only_table: Option<u32> = None;
+    let mut only_figure: Option<u32> = None;
+    let mut ablations = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => only_table = it.next().and_then(|v| v.parse().ok()),
+            "--figure" => only_figure = it.next().and_then(|v| v.parse().ok()),
+            "--json" => json_path = it.next().cloned(),
+            "--ablations" => ablations = true,
+            "--full" | _ => {}
+        }
+    }
+
+    if let Some(n) = only_figure {
+        println!("{}", figure(n));
+        return;
+    }
+    if let Some(n) = only_table {
+        let r = table(n, effort);
+        println!("{}", r.rendered);
+        return;
+    }
+
+    let mut results = Vec::new();
+    for n in 1..=12 {
+        eprintln!("[tables] regenerating table {n}...");
+        let r = table(n, effort);
+        println!("{}", r.rendered);
+        println!();
+        results.push(r);
+    }
+    for n in 1..=4 {
+        println!("{}", figure(n));
+        println!();
+    }
+    if ablations {
+        println!("{}", ablation_reconfig().render());
+        println!();
+        println!("{}", ablation_sw_quality().render());
+    }
+    if let Some(path) = json_path {
+        let f = std::fs::File::create(&path).expect("create json file");
+        let mut w = std::io::BufWriter::new(f);
+        serde_json::to_writer_pretty(&mut w, &results).expect("serialise");
+        w.flush().expect("flush");
+        eprintln!("[tables] wrote {path}");
+    }
+}

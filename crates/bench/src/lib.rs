@@ -1,0 +1,549 @@
+//! # rtr-bench — regenerating the paper's evaluation
+//!
+//! One function per table (and figure) of the paper. Each returns a
+//! rendered [`TextTable`] plus a machine-readable [`TableResult`] that the
+//! `tables` binary serialises for EXPERIMENTS.md and that the shape-claim
+//! integration tests assert against.
+//!
+//! Two kinds of benchmarks live in this crate:
+//!
+//! * the **paper harness** (this library + the `tables` binary) reports
+//!   *simulated* time — the paper's metric;
+//! * the **Criterion benches** under `benches/` measure the simulator's
+//!   own host-side throughput (how fast the reproduction runs), which is
+//!   the conventional meaning of `cargo bench`.
+
+use rtr_apps::harness::Comparison;
+use rtr_apps::{imaging, jenkins, patmatch, sha1};
+use rtr_core::measure::{self, TransferKind};
+use rtr_core::{build_system, SystemKind};
+use serde::Serialize;
+use vp2_sim::table::{fmt_sig, TextTable};
+use vp2_sim::SimTime;
+
+/// Scaling knob: `Quick` for tests/CI, `Full` for the printed tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small inputs (seconds).
+    Quick,
+    /// Paper-like input sweeps.
+    Full,
+}
+
+/// One measured row in machine-readable form.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasuredRow {
+    /// Row label (workload / transfer kind / size).
+    pub label: String,
+    /// Software time (µs), if applicable.
+    pub sw_us: Option<f64>,
+    /// Hardware time (µs), if applicable.
+    pub hw_us: Option<f64>,
+    /// Data-preparation time (µs), when reported separately.
+    pub prep_us: Option<f64>,
+    /// Speedup (sw / hw), if applicable.
+    pub speedup: Option<f64>,
+    /// Free-form metric value (per-transfer µs, slices, …).
+    pub value: Option<f64>,
+}
+
+/// A regenerated table.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableResult {
+    /// Paper table number (1..=12).
+    pub number: u32,
+    /// Table title.
+    pub title: String,
+    /// Rows.
+    pub rows: Vec<MeasuredRow>,
+    /// Rendered text form.
+    pub rendered: String,
+}
+
+fn us(t: SimTime) -> f64 {
+    t.as_us_f64()
+}
+
+fn cmp_row(label: impl Into<String>, c: &Comparison) -> MeasuredRow {
+    MeasuredRow {
+        label: label.into(),
+        sw_us: Some(us(c.sw)),
+        hw_us: Some(us(c.hw)),
+        prep_us: if c.prep.is_zero() {
+            None
+        } else {
+            Some(us(c.prep))
+        },
+        speedup: Some(c.speedup()),
+        value: None,
+    }
+}
+
+/// Tables 1 and 6: resource usage, including measured module areas.
+pub fn table_resources(kind: SystemKind) -> TableResult {
+    let number = match kind {
+        SystemKind::Bit32 => 1,
+        SystemKind::Bit64 => 6,
+    };
+    let mut t = rtr_core::resources::resource_table(kind);
+    // Append the measured areas of the actual dynamic modules.
+    let mut rows: Vec<MeasuredRow> = rtr_core::resources::inventory(kind)
+        .iter()
+        .map(|r| MeasuredRow {
+            label: r.module.to_string(),
+            sw_us: None,
+            hw_us: None,
+            prep_us: None,
+            speedup: None,
+            value: Some(f64::from(r.slices)),
+        })
+        .collect();
+    let region = kind.region();
+    let modules: Vec<(String, usize)> = {
+        let mut v = vec![(
+            "  (module) patmatch8x8".to_string(),
+            patmatch::patmatch_component(region.width(), region.height()).slices_used(),
+        )];
+        for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+            let nl = imaging::imaging_netlist(task);
+            v.push((format!("  (module) {}", nl.name), nl.slice_estimate()));
+        }
+        if kind == SystemKind::Bit64 {
+            let nl = sha1::sha1_netlist();
+            v.push(("  (module) sha1-unroll8".to_string(), nl.slice_estimate()));
+        }
+        v
+    };
+    for (name, slices) in modules {
+        t.row(&[
+            name.clone(),
+            slices.to_string(),
+            format!(
+                "{:.1}",
+                100.0 * slices as f64 / f64::from(kind.device().slice_count())
+            ),
+            "-".to_string(),
+        ]);
+        rows.push(MeasuredRow {
+            label: name,
+            sw_us: None,
+            hw_us: None,
+            prep_us: None,
+            speedup: None,
+            value: Some(slices as f64),
+        });
+    }
+    TableResult {
+        number,
+        title: t.title().to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Table 2 / 7: program-controlled transfer times.
+pub fn table_transfers_cpu(kind: SystemKind, effort: Effort) -> TableResult {
+    let number = match kind {
+        SystemKind::Bit32 => 2,
+        SystemKind::Bit64 => 7,
+    };
+    let n = match effort {
+        Effort::Quick => 1024,
+        Effort::Full => 16 * 1024,
+    };
+    let title = match kind {
+        SystemKind::Bit32 => {
+            "Table 2. Measured times for data transfers between dynamic region and external memory (32 bit)"
+        }
+        SystemKind::Bit64 => {
+            "Table 7. Measured times for 32-bit data transfers between dynamic region and external memory (CPU controlled)"
+        }
+    };
+    let mut t = TextTable::new(title, &["transfer type", "avg time per transfer (us)"]);
+    let mut rows = Vec::new();
+    for k in [TransferKind::Write, TransferKind::Read, TransferKind::WriteRead] {
+        let mut m = build_system(kind);
+        let per = measure::program_transfer_time(&mut m, k, n);
+        t.row(&[k.label().to_string(), fmt_sig(us(per))]);
+        rows.push(MeasuredRow {
+            label: k.label().to_string(),
+            sw_us: None,
+            hw_us: None,
+            prep_us: None,
+            speedup: None,
+            value: Some(us(per)),
+        });
+    }
+    TableResult {
+        number,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Table 8: DMA-controlled 64-bit transfers.
+pub fn table_transfers_dma(effort: Effort) -> TableResult {
+    let n = match effort {
+        Effort::Quick => 2048,
+        Effort::Full => 16 * 1024,
+    };
+    let title = "Table 8. Measured times for 64-bit data transfers between dynamic region and external memory (DMA-controlled)";
+    let mut t = TextTable::new(title, &["transfer type", "avg time per transfer (us)"]);
+    let mut rows = Vec::new();
+    for k in [TransferKind::Write, TransferKind::Read, TransferKind::WriteRead] {
+        let mut m = build_system(SystemKind::Bit64);
+        let per = measure::dma_transfer_time(&mut m, k, n);
+        let label = match k {
+            TransferKind::WriteRead => "block-interleaved write/read (2047-deep FIFO)".to_string(),
+            other => other.label().to_string(),
+        };
+        t.row(&[label.clone(), fmt_sig(us(per))]);
+        rows.push(MeasuredRow {
+            label,
+            sw_us: None,
+            hw_us: None,
+            prep_us: None,
+            speedup: None,
+            value: Some(us(per)),
+        });
+    }
+    TableResult {
+        number: 8,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Tables 3 / 9: pattern matching.
+pub fn table_patmatch(kind: SystemKind, effort: Effort) -> TableResult {
+    let number = match kind {
+        SystemKind::Bit32 => 3,
+        SystemKind::Bit64 => 9,
+    };
+    let sizes: &[usize] = match effort {
+        Effort::Quick => &[64],
+        Effort::Full => &[64, 128, 256],
+    };
+    let title = match kind {
+        SystemKind::Bit32 => "Table 3. Results for pattern matching in binary images (32 bit)",
+        SystemKind::Bit64 => "Table 9. Results for pattern matching in binary images (64 bit)",
+    };
+    let mut t = TextTable::new(title, &["image", "sw (us)", "hw/sw (us)", "speedup"]);
+    let mut rows = Vec::new();
+    let pattern = [0xA5u8, 0x3C, 0x7E, 0x81, 0x42, 0x99, 0x18, 0xE7];
+    for &s in sizes {
+        let img = patmatch::BinaryImage::random(s, s, s as u64);
+        let c = patmatch::compare(kind, &img, &pattern);
+        let label = format!("{s}x{s}");
+        t.row(&[
+            label.clone(),
+            fmt_sig(us(c.sw)),
+            fmt_sig(us(c.hw)),
+            fmt_sig(c.speedup()),
+        ]);
+        rows.push(cmp_row(label, &c));
+    }
+    TableResult {
+        number,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Tables 4 / 10: Jenkins hash.
+pub fn table_jenkins(kind: SystemKind, effort: Effort) -> TableResult {
+    let number = match kind {
+        SystemKind::Bit32 => 4,
+        SystemKind::Bit64 => 10,
+    };
+    let sizes: &[usize] = match effort {
+        Effort::Quick => &[4096],
+        Effort::Full => &[256, 4096, 65536],
+    };
+    let title = match kind {
+        SystemKind::Bit32 => "Table 4. Results for hash function (32 bit)",
+        SystemKind::Bit64 => "Table 10. Results for a hash function implementation (64 bit)",
+    };
+    let mut t = TextTable::new(title, &["key size", "sw (us)", "hw/sw (us)", "speedup"]);
+    let mut rows = Vec::new();
+    for &s in sizes {
+        let c = jenkins::compare(kind, s, s as u64);
+        let label = format!("{s} B");
+        t.row(&[
+            label.clone(),
+            fmt_sig(us(c.sw)),
+            fmt_sig(us(c.hw)),
+            fmt_sig(c.speedup()),
+        ]);
+        rows.push(cmp_row(label, &c));
+    }
+    TableResult {
+        number,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Table 11: SHA-1 (64-bit system only).
+pub fn table_sha1(effort: Effort) -> TableResult {
+    let sizes: &[usize] = match effort {
+        Effort::Quick => &[64, 2048],
+        Effort::Full => &[64, 1024, 16384, 262_144],
+    };
+    let title = "Table 11. Results for SHA-1 implementation";
+    let mut t = TextTable::new(title, &["message size", "sw (us)", "hw/sw (us)", "speedup"]);
+    let mut rows = Vec::new();
+    for &s in sizes {
+        let c = sha1::compare(SystemKind::Bit64, s, s as u64);
+        let label = format!("{s} B");
+        t.row(&[
+            label.clone(),
+            fmt_sig(us(c.sw)),
+            fmt_sig(us(c.hw)),
+            fmt_sig(c.speedup()),
+        ]);
+        rows.push(cmp_row(label, &c));
+    }
+    TableResult {
+        number: 11,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Table 5: image-processing speedups, 32-bit system (CPU-controlled).
+pub fn table_imaging32(effort: Effort) -> TableResult {
+    let n = match effort {
+        Effort::Quick => 4096,
+        Effort::Full => 65536,
+    };
+    let title = "Table 5. Speedups for simple image processing tasks (32 bit)";
+    let mut t = TextTable::new(title, &["task", "sw (us)", "hw/sw (us)", "speedup"]);
+    let mut rows = Vec::new();
+    for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+        let c = imaging::compare(SystemKind::Bit32, task, n, n as u64);
+        t.row(&[
+            task.label().to_string(),
+            fmt_sig(us(c.sw)),
+            fmt_sig(us(c.hw)),
+            fmt_sig(c.speedup()),
+        ]);
+        rows.push(cmp_row(task.label(), &c));
+    }
+    TableResult {
+        number: 5,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Table 12: image-processing on the 64-bit DMA path, with the data
+/// preparation column.
+pub fn table_imaging64(effort: Effort) -> TableResult {
+    let n = match effort {
+        Effort::Quick => 4096,
+        Effort::Full => 65536,
+    };
+    let title = "Table 12. Results for simple image processing tasks (64 bit)";
+    let mut t = TextTable::new(
+        title,
+        &["task", "sw (us)", "hw total (us)", "data preparation (us)", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+        let c = imaging::compare_dma(task, n, n as u64);
+        t.row(&[
+            task.label().to_string(),
+            fmt_sig(us(c.sw)),
+            fmt_sig(us(c.hw)),
+            if c.prep.is_zero() {
+                "-".to_string()
+            } else {
+                fmt_sig(us(c.prep))
+            },
+            fmt_sig(c.speedup()),
+        ]);
+        rows.push(cmp_row(task.label(), &c));
+    }
+    TableResult {
+        number: 12,
+        title: title.to_string(),
+        rows,
+        rendered: t.render(),
+    }
+}
+
+/// Regenerates one table by number.
+pub fn table(number: u32, effort: Effort) -> TableResult {
+    match number {
+        1 => table_resources(SystemKind::Bit32),
+        2 => table_transfers_cpu(SystemKind::Bit32, effort),
+        3 => table_patmatch(SystemKind::Bit32, effort),
+        4 => table_jenkins(SystemKind::Bit32, effort),
+        5 => table_imaging32(effort),
+        6 => table_resources(SystemKind::Bit64),
+        7 => table_transfers_cpu(SystemKind::Bit64, effort),
+        8 => table_transfers_dma(effort),
+        9 => table_patmatch(SystemKind::Bit64, effort),
+        10 => table_jenkins(SystemKind::Bit64, effort),
+        11 => table_sha1(effort),
+        12 => table_imaging64(effort),
+        other => panic!("the paper has tables 1..=12, not {other}"),
+    }
+}
+
+/// Regenerates one figure by number (as text).
+pub fn figure(number: u32) -> String {
+    match number {
+        1 => rtr_core::system::generic_architecture(),
+        2 => rtr_core::system::busmacro_figure(SystemKind::Bit32),
+        3 => rtr_core::system::floorplan_string(SystemKind::Bit32),
+        4 => rtr_core::system::floorplan_string(SystemKind::Bit64),
+        other => panic!("the paper has figures 1..=4, not {other}"),
+    }
+}
+
+/// Ablation: reconfiguration time, complete (BitLinker) vs differential
+/// partial bitstreams — the trade-off section 2.2 discusses.
+pub fn ablation_reconfig() -> TextTable {
+    use rtr_core::manager::{LoadOutcome, ModuleManager};
+    let kind = SystemKind::Bit32;
+    let mut t = TextTable::new(
+        "Ablation: reconfiguration time (32-bit system, pattern matcher)",
+        &["configuration style", "words", "time (ms)"],
+    );
+    let region = kind.region();
+    let comp = patmatch::patmatch_component(region.width(), region.height());
+
+    // Complete configuration through the module manager.
+    let mut machine = build_system(kind);
+    let mut mgr = ModuleManager::new(kind);
+    mgr.register(comp.clone(), (0, 0), Box::new(|| Box::new(patmatch::PatMatchModule::new())))
+        .expect("registers");
+    let out = mgr.load(&mut machine, "patmatch8x8").expect("loads");
+    if let LoadOutcome::Loaded {
+        reconfig_time,
+        words,
+        ..
+    } = out
+    {
+        t.row(&[
+            "complete (BitLinker)".to_string(),
+            words.to_string(),
+            fmt_sig(reconfig_time.as_ms_f64()),
+        ]);
+    }
+
+    // Differential against the blank-region state.
+    let linker = rtr_core::system::bitlinker_for(kind);
+    let blank_state = linker
+        .expected_state(&[])
+        .expect("blank state");
+    let (diff_bs, _) = linker
+        .link_differential(&comp, (0, 0), &blank_state)
+        .expect("links");
+    // Feed time: same per-word path as the manager uses.
+    let mut machine = build_system(kind);
+    use ppc405_sim::mem::MemoryPort;
+    let start = machine.cpu.now();
+    let mut tm = start;
+    for &w in &diff_bs.words {
+        tm += machine.platform.write(
+            tm,
+            coreconnect_sim::map::HWICAP_BASE + coreconnect_sim::map::HWICAP_DATA,
+            4,
+            w,
+        );
+    }
+    tm += machine.platform.write(
+        tm,
+        coreconnect_sim::map::HWICAP_BASE + coreconnect_sim::map::HWICAP_CTL,
+        4,
+        1,
+    );
+    let done = tm.max(machine.platform.icap.busy_until());
+    t.row(&[
+        "differential (assumes blank region)".to_string(),
+        diff_bs.word_count().to_string(),
+        fmt_sig((done - start).as_ms_f64()),
+    ]);
+    t
+}
+
+/// Ablation: software-baseline quality. The headline pattern-matching
+/// speedup is measured against the paper-style straightforward C
+/// translation; this quantifies what a hand-optimised (table-driven)
+/// software version does to it.
+pub fn ablation_sw_quality() -> TextTable {
+    let kind = SystemKind::Bit32;
+    let img = patmatch::BinaryImage::random(96, 24, 17);
+    let pattern = [0xA5u8, 0x3C, 0x7E, 0x81, 0x42, 0x99, 0x18, 0xE7];
+    let reference = patmatch::match_counts_reference(&img, &pattern);
+
+    let mut m = build_system(kind);
+    let (t_naive, c1) = patmatch::sw_run(&mut m, &img, &pattern);
+    assert_eq!(c1, reference);
+    let mut m = build_system(kind);
+    let (t_opt, c2) = patmatch::sw_run_optimized(&mut m, &img, &pattern);
+    assert_eq!(c2, reference);
+    let mut m = build_system(kind);
+    let (t_hw, c3) = patmatch::hw_run(&mut m, &img, &pattern);
+    assert_eq!(c3, reference);
+
+    let mut t = TextTable::new(
+        "Ablation: software-baseline quality (pattern matching, 32-bit system, 96x24)",
+        &["implementation", "time (us)", "hw speedup vs it"],
+    );
+    for (label, time) in [
+        ("sw, straightforward C translation", t_naive),
+        ("sw, popcount-table optimised", t_opt),
+        ("hw (dynamic region)", t_hw),
+    ] {
+        t.row(&[
+            label.to_string(),
+            fmt_sig(us(time)),
+            fmt_sig(time.as_ps() as f64 / t_hw.as_ps() as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sw_quality_ablation_orders_correctly() {
+        let t = ablation_sw_quality();
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn every_table_regenerates_quick() {
+        for n in 1..=12 {
+            let r = table(n, Effort::Quick);
+            assert_eq!(r.number, n);
+            assert!(!r.rows.is_empty(), "table {n} has rows");
+            assert!(r.rendered.contains("Table"), "table {n} renders");
+        }
+    }
+
+    #[test]
+    fn every_figure_renders() {
+        for n in 1..=4 {
+            assert!(!figure(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn reconfig_ablation_shows_differential_smaller() {
+        let t = ablation_reconfig();
+        assert_eq!(t.row_count(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # vp2-bitstream — configuration bitstreams and the BitLinker
+//!
+//! Implements the configuration-data plane of the reproduction:
+//!
+//! * a Xilinx-style packetised bitstream format (sync word, type-1/type-2
+//!   packets, FAR/FDRI/CMD/IDCODE registers, CRC check) in [`packet`];
+//! * generation of **full**, **partial** and **differential** configurations
+//!   from `vp2-fabric` configuration memories in [`builder`];
+//! * the **BitLinker** configuration-assembly tool in [`bitlinker`] — the
+//!   paper's answer to the two core reconfiguration hazards:
+//!   1. partial configurations are *differential* (they assume an initial
+//!      state), but the dynamic area is reused in an order unknown at
+//!      generation time, so BitLinker emits *complete* configurations;
+//!   2. frames span the full device height, so BitLinker guarantees the rows
+//!      above and below the dynamic region are carried over unchanged;
+//!   plus component **relocation** and **assembly** with bus-macro
+//!   footprint checking, enabling component reuse without rerunning the
+//!   high-level design flow.
+
+pub mod bitlinker;
+pub mod builder;
+pub mod crc;
+pub mod packet;
+
+pub use bitlinker::{AssembleError, BitLinker, Component};
+pub use builder::{
+    apply_bitstream, differential_bitstream, full_bitstream, partial_bitstream, ApplyError,
+    ApplyReport,
+};
+pub use packet::{Bitstream, ConfigRegister, Packet, SYNC_WORD};
+
+/// IDCODE of the XC2VP7 (matches the real part's JTAG IDCODE).
+pub const IDCODE_XC2VP7: u32 = 0x0124_A093;
+/// IDCODE of the XC2VP30.
+pub const IDCODE_XC2VP30: u32 = 0x0127_E093;
+
+/// IDCODE for a device kind.
+pub fn idcode_for(kind: vp2_fabric::DeviceKind) -> u32 {
+    match kind {
+        vp2_fabric::DeviceKind::Xc2vp7 => IDCODE_XC2VP7,
+        vp2_fabric::DeviceKind::Xc2vp30 => IDCODE_XC2VP30,
+    }
+}

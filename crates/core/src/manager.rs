@@ -1,0 +1,403 @@
+//! Run-time module management.
+//!
+//! The module manager owns the BitLinker, a registry of relocatable
+//! components (each paired with a factory for its behavioural model) and
+//! the load state of the dynamic region. Loading a module:
+//!
+//! 1. links a **complete** partial configuration (cached per module);
+//! 2. feeds every bitstream word to the OPB HWICAP over the bus (charging
+//!    the real per-word transfer cost) and commits, which applies the
+//!    stream to the live configuration memory with IDCODE + CRC checks;
+//! 3. verifies by readback that the dynamic region now holds exactly the
+//!    expected bits;
+//! 4. binds the module's behavioural model to the dock.
+//!
+//! Step 3 is what makes the behavioural binding honest: the fast model is
+//! only attached when the gate-level configuration state is provably the
+//! module's own.
+
+use crate::machine::{Docks, Machine};
+use crate::system::{bitlinker_for, SystemKind};
+use coreconnect_sim::map;
+use dock::DynamicModule;
+use ppc405_sim::mem::MemoryPort;
+use std::collections::HashMap;
+use vp2_bitstream::{AssembleError, BitLinker, Bitstream, Component};
+use vp2_fabric::ConfigMemory;
+use vp2_sim::SimTime;
+
+/// Factory producing a fresh behavioural model for a module.
+pub type ModuleFactory = Box<dyn Fn() -> Box<dyn DynamicModule> + Send>;
+
+/// A registered dynamic module.
+pub struct RegisteredModule {
+    /// The placed, validated component.
+    pub component: Component,
+    /// Region-relative origin.
+    pub origin: (u16, u16),
+    /// Behavioural-model factory.
+    pub factory: ModuleFactory,
+}
+
+/// Load result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The module was already resident; nothing was transferred.
+    AlreadyLoaded,
+    /// A reconfiguration ran.
+    Loaded {
+        /// Total time from first HWICAP word to end of ICAP shift.
+        reconfig_time: SimTime,
+        /// Bitstream length in words.
+        words: usize,
+        /// Frames carried.
+        frames: usize,
+    },
+}
+
+/// Load errors.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Module name not registered.
+    Unknown(String),
+    /// BitLinker rejected the component.
+    Assemble(AssembleError),
+    /// The ICAP rejected the stream (CRC/IDCODE/format).
+    Icap(String),
+    /// Post-load readback did not match the expected state.
+    VerifyFailed { differing_frames: usize },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Unknown(n) => write!(f, "unknown module '{n}'"),
+            LoadError::Assemble(e) => write!(f, "assembly failed: {e}"),
+            LoadError::Icap(e) => write!(f, "ICAP error: {e}"),
+            LoadError::VerifyFailed { differing_frames } => {
+                write!(f, "readback verification failed: {differing_frames} frames differ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// The run-time reconfiguration manager.
+pub struct ModuleManager {
+    linker: BitLinker,
+    modules: HashMap<String, RegisteredModule>,
+    /// Linked configuration cache: name → (bitstream, expected state).
+    cache: HashMap<String, (Bitstream, ConfigMemory)>,
+    loaded: Option<String>,
+    /// Cumulative time spent reconfiguring.
+    pub total_reconfig_time: SimTime,
+    /// Number of reconfigurations performed.
+    pub reconfigurations: u64,
+}
+
+impl std::fmt::Debug for ModuleManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleManager")
+            .field("modules", &self.modules.keys().collect::<Vec<_>>())
+            .field("loaded", &self.loaded)
+            .finish()
+    }
+}
+
+impl ModuleManager {
+    /// Manager for one of the two systems.
+    pub fn new(kind: SystemKind) -> Self {
+        ModuleManager {
+            linker: bitlinker_for(kind),
+            modules: HashMap::new(),
+            cache: HashMap::new(),
+            loaded: None,
+            total_reconfig_time: SimTime::ZERO,
+            reconfigurations: 0,
+        }
+    }
+
+    /// Registers a module, eagerly linking its configuration (so placement
+    /// and macro errors surface at registration time, like BitLinker runs
+    /// at design time).
+    pub fn register(
+        &mut self,
+        component: Component,
+        origin: (u16, u16),
+        factory: ModuleFactory,
+    ) -> Result<(), AssembleError> {
+        let name = component.name.clone();
+        let (bs, _report) = self.linker.link(&component, origin)?;
+        let expected = self.linker.expected_state(&[(&component, origin)])?;
+        self.cache.insert(name.clone(), (bs, expected));
+        self.modules.insert(
+            name,
+            RegisteredModule {
+                component,
+                origin,
+                factory,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered module names (sorted).
+    pub fn module_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.modules.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Currently loaded module.
+    pub fn loaded(&self) -> Option<&str> {
+        self.loaded.as_deref()
+    }
+
+    /// Slices a registered module occupies (reports).
+    pub fn module_slices(&self, name: &str) -> Option<usize> {
+        self.modules.get(name).map(|m| m.component.slices_used())
+    }
+
+    /// Loads `name` into the dynamic region (no-op if already resident).
+    pub fn load(&mut self, m: &mut Machine, name: &str) -> Result<LoadOutcome, LoadError> {
+        if self.loaded.as_deref() == Some(name) {
+            return Ok(LoadOutcome::AlreadyLoaded);
+        }
+        let reg = self
+            .modules
+            .get(name)
+            .ok_or_else(|| LoadError::Unknown(name.to_string()))?;
+        let (bs, expected) = self
+            .cache
+            .get(name)
+            .expect("registration always fills the cache");
+
+        // Feed every word to the HWICAP data register over the bus, then
+        // hit the control register. This is the paper's configuration path:
+        // CPU → OPB → HWICAP → ICAP.
+        let start = m.cpu.now();
+        let mut t = start;
+        for &w in &bs.words {
+            t += m
+                .platform
+                .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
+        }
+        t += m.platform.write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
+        if m.platform.icap.error() {
+            return Err(LoadError::Icap("commit failed".to_string()));
+        }
+        // The CPU waits for the ICAP to finish shifting.
+        let done = t.max(m.platform.icap.busy_until());
+        m.cpu.advance_time_to(done);
+
+        // Readback verification over the region's frames.
+        let differing = self
+            .linker
+            .region_frames()
+            .iter()
+            .filter(|&&a| m.platform.config.frame(a) != expected.frame(a))
+            .count();
+        if differing > 0 {
+            return Err(LoadError::VerifyFailed {
+                differing_frames: differing,
+            });
+        }
+
+        // Bind the behavioural model.
+        let model = (reg.factory)();
+        match &mut m.platform.dock {
+            Docks::Opb(d) => {
+                d.bind_module(model);
+            }
+            Docks::Plb(d) => {
+                d.bind_module(model);
+            }
+        }
+        self.loaded = Some(name.to_string());
+        let reconfig_time = done - start;
+        self.total_reconfig_time += reconfig_time;
+        self.reconfigurations += 1;
+        Ok(LoadOutcome::Loaded {
+            reconfig_time,
+            words: bs.word_count(),
+            frames: self.linker.region_frames().len(),
+        })
+    }
+
+    /// Unloads the current module (loads the blank configuration).
+    pub fn unload(&mut self, m: &mut Machine) -> SimTime {
+        let (bs, _) = self.linker.blank_configuration();
+        let start = m.cpu.now();
+        let mut t = start;
+        for &w in &bs.words {
+            t += m
+                .platform
+                .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
+        }
+        t += m.platform.write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
+        let done = t.max(m.platform.icap.busy_until());
+        m.cpu.advance_time_to(done);
+        match &mut m.platform.dock {
+            Docks::Opb(d) => d.unbind(),
+            Docks::Plb(d) => d.unbind(),
+        }
+        self.loaded = None;
+        done - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::build_system;
+    use dock::{ModuleOutput, NullModule};
+    use vp2_netlist::busmacro::DockMacros;
+    use vp2_netlist::components;
+    use vp2_netlist::place::AutoPlacer;
+    use vp2_netlist::Netlist;
+
+    /// Behavioural stand-in used in tests.
+    struct Inverter(u64);
+    impl DynamicModule for Inverter {
+        fn name(&self) -> &str {
+            "inv"
+        }
+        fn poke(&mut self, data: u64) -> ModuleOutput {
+            self.0 = !data & 0xFFFF_FFFF;
+            ModuleOutput {
+                data: self.0,
+                valid: true,
+            }
+        }
+        fn peek(&self) -> u64 {
+            self.0
+        }
+        fn reset(&mut self) {
+            self.0 = 0;
+        }
+    }
+
+    fn inverter_component(kind: SystemKind, tag: u16) -> Component {
+        let dm = DockMacros::for_width(kind.dock_width());
+        let mut nl = Netlist::new(format!("inv{tag}"));
+        let mut placer = AutoPlacer::new();
+        let din = dm.write.instantiate_input(&mut nl, &mut placer, "din");
+        let wr = dm.strobe.instantiate_input(&mut nl, &mut placer, "wr");
+        let inv = components::bus_not(&mut nl, &din);
+        let tagbit = nl.constant(tag % 2 == 1);
+        let mixed: Vec<_> = inv
+            .iter()
+            .map(|&b| components::xor2(&mut nl, b, tagbit))
+            .collect();
+        let q = components::register(&mut nl, &mixed, Some(wr[0]));
+        dm.read.instantiate_output(&mut nl, &mut placer, "dout", &q);
+        let placement = placer
+            .place(&nl, kind.region().width(), kind.region().height())
+            .unwrap();
+        Component::new(
+            format!("inv{tag}"),
+            nl,
+            placement,
+            vec![dm.write, dm.read, dm.strobe],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_load_swap_verify() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        mgr.register(
+            inverter_component(kind, 2),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        assert_eq!(mgr.module_names(), vec!["inv1", "inv2"]);
+
+        let out = mgr.load(&mut machine, "inv1").unwrap();
+        let LoadOutcome::Loaded {
+            reconfig_time,
+            words,
+            frames,
+        } = out
+        else {
+            panic!("expected a real load");
+        };
+        assert!(reconfig_time > SimTime::from_us(100), "tens of thousands of words take real time: {reconfig_time}");
+        assert!(words > 10_000);
+        assert_eq!(frames, 28 * 22 + 3 * 68);
+        assert_eq!(mgr.loaded(), Some("inv1"));
+
+        // Idempotent fast path.
+        assert_eq!(
+            mgr.load(&mut machine, "inv1").unwrap(),
+            LoadOutcome::AlreadyLoaded
+        );
+
+        // Swap to inv2: full reconfiguration again.
+        let out2 = mgr.load(&mut machine, "inv2").unwrap();
+        assert!(matches!(out2, LoadOutcome::Loaded { .. }));
+        assert_eq!(mgr.loaded(), Some("inv2"));
+        assert_eq!(mgr.reconfigurations, 2);
+    }
+
+    #[test]
+    fn loaded_module_visible_through_dock() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        mgr.load(&mut machine, "inv1").unwrap();
+        // Drive the dock through MMIO: write, read back the inverse.
+        let t = machine.cpu.now();
+        let t2 = t + machine.platform.write(t, map::DOCK_BASE, 4, 0x0000_00FF);
+        let (v, _) = machine.platform.read(t2, map::DOCK_BASE, 4);
+        assert_eq!(v, 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        assert!(matches!(
+            mgr.load(&mut machine, "ghost"),
+            Err(LoadError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn unload_clears_region() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        mgr.load(&mut machine, "inv1").unwrap();
+        let t = mgr.unload(&mut machine);
+        assert!(t > SimTime::ZERO);
+        assert_eq!(mgr.loaded(), None);
+        let Docks::Opb(d) = &machine.platform.dock else {
+            panic!()
+        };
+        assert_eq!(d.module_name(), NullModule.name());
+    }
+}

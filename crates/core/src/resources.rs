@@ -1,0 +1,165 @@
+//! Resource-usage inventories (paper tables 1 and 6).
+//!
+//! The numeric table cells of the paper are not present in the text
+//! extraction we reproduce from, so the per-module slice/BRAM counts here
+//! are *modelled estimates*: EDK-typical sizes for the IP the paper names,
+//! chosen to be mutually consistent and to respect the two hard numbers the
+//! prose does give — the dynamic region sizes (1232 slices + 6 BRAMs on the
+//! XC2VP7; 3072 slices + 22 BRAMs on the XC2VP30) and the devices' totals.
+//! EXPERIMENTS.md records this provenance per table.
+
+use crate::system::SystemKind;
+use serde::Serialize;
+use vp2_sim::table::TextTable;
+
+/// One row of a resource table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResourceRow {
+    /// Module name as it would appear in the EDK design.
+    pub module: &'static str,
+    /// Occupied slices.
+    pub slices: u32,
+    /// Occupied 18-kbit BRAMs.
+    pub brams: u32,
+}
+
+/// The static + dynamic resource inventory of a system.
+pub fn inventory(kind: SystemKind) -> Vec<ResourceRow> {
+    match kind {
+        // Paper (section 3.1): memory controllers, PLB-OPB bridge, serial
+        // port, GPIO, reset block, JTAGPPC, OPB HWICAP, OPB Dock.
+        SystemKind::Bit32 => vec![
+            ResourceRow { module: "PLB bus infrastructure", slices: 310, brams: 0 },
+            ResourceRow { module: "OPB bus infrastructure", slices: 130, brams: 0 },
+            ResourceRow { module: "PLB-OPB bridge", slices: 250, brams: 0 },
+            ResourceRow { module: "On-chip memory controller (PLB)", slices: 220, brams: 16 },
+            ResourceRow { module: "External SRAM controller (OPB)", slices: 180, brams: 0 },
+            ResourceRow { module: "OPB HWICAP", slices: 150, brams: 1 },
+            ResourceRow { module: "UART (OPB)", slices: 100, brams: 0 },
+            ResourceRow { module: "GPIO (OPB)", slices: 50, brams: 0 },
+            ResourceRow { module: "Reset block + JTAGPPC", slices: 60, brams: 0 },
+            ResourceRow { module: "OPB Dock (wrapper)", slices: 210, brams: 0 },
+            ResourceRow { module: "Dynamic region (reserved)", slices: 1232, brams: 6 },
+        ],
+        // Paper (section 4.1): external memory controller on the PLB, PLB
+        // dock with DMA + FIFO + interrupt generator, interrupt controller
+        // on the OPB, no GPIO.
+        SystemKind::Bit64 => vec![
+            ResourceRow { module: "PLB bus infrastructure", slices: 420, brams: 0 },
+            ResourceRow { module: "OPB bus infrastructure", slices: 130, brams: 0 },
+            ResourceRow { module: "PLB-OPB bridge", slices: 250, brams: 0 },
+            ResourceRow { module: "On-chip memory controller (PLB)", slices: 220, brams: 16 },
+            ResourceRow { module: "DDR controller (PLB)", slices: 900, brams: 0 },
+            ResourceRow { module: "OPB HWICAP", slices: 150, brams: 1 },
+            ResourceRow { module: "UART (OPB)", slices: 100, brams: 0 },
+            ResourceRow { module: "Interrupt controller (OPB)", slices: 90, brams: 0 },
+            ResourceRow { module: "Reset block + JTAGPPC", slices: 60, brams: 0 },
+            ResourceRow { module: "PLB Dock (DMA + FIFO + IRQ)", slices: 780, brams: 8 },
+            ResourceRow { module: "Dynamic region (reserved)", slices: 3072, brams: 22 },
+        ],
+    }
+}
+
+/// Renders the inventory as the paper's resource-usage table.
+pub fn resource_table(kind: SystemKind) -> TextTable {
+    let device = kind.device();
+    let title = match kind {
+        SystemKind::Bit32 => "Table 1. Resource usage (32-bit system)",
+        SystemKind::Bit64 => "Table 6. Resource usage (64-bit system)",
+    };
+    let mut t = TextTable::new(title, &["module", "slices", "% of device", "BRAMs"]);
+    let rows = inventory(kind);
+    let mut total_slices = 0u32;
+    let mut total_brams = 0u32;
+    for r in &rows {
+        total_slices += r.slices;
+        total_brams += r.brams;
+        t.row(&[
+            r.module.to_string(),
+            r.slices.to_string(),
+            format!("{:.1}", 100.0 * f64::from(r.slices) / f64::from(device.slice_count())),
+            r.brams.to_string(),
+        ]);
+    }
+    t.row(&[
+        "TOTAL".to_string(),
+        total_slices.to_string(),
+        format!(
+            "{:.1}",
+            100.0 * f64::from(total_slices) / f64::from(device.slice_count())
+        ),
+        total_brams.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_fit_their_devices() {
+        for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+            let device = kind.device();
+            let rows = inventory(kind);
+            let slices: u32 = rows.iter().map(|r| r.slices).sum();
+            let brams: u32 = rows.iter().map(|r| r.brams).sum();
+            assert!(
+                slices <= device.slice_count(),
+                "{kind:?}: {slices} > {}",
+                device.slice_count()
+            );
+            assert!(brams <= device.bram_count());
+        }
+    }
+
+    #[test]
+    fn dynamic_region_rows_match_paper() {
+        let r32 = inventory(SystemKind::Bit32);
+        let dyn32 = r32.iter().find(|r| r.module.contains("Dynamic")).unwrap();
+        assert_eq!(dyn32.slices, 1232);
+        assert_eq!(dyn32.brams, 6);
+        let r64 = inventory(SystemKind::Bit64);
+        let dyn64 = r64.iter().find(|r| r.module.contains("Dynamic")).unwrap();
+        assert_eq!(dyn64.slices, 3072);
+        assert_eq!(dyn64.brams, 22);
+    }
+
+    #[test]
+    fn sixty_four_bit_static_side_is_larger() {
+        // Paper: "the permanent circuits implemented on the reconfigurable
+        // fabric are larger and more complex for the second design."
+        let static32: u32 = inventory(SystemKind::Bit32)
+            .iter()
+            .filter(|r| !r.module.contains("Dynamic"))
+            .map(|r| r.slices)
+            .sum();
+        let static64: u32 = inventory(SystemKind::Bit64)
+            .iter()
+            .filter(|r| !r.module.contains("Dynamic"))
+            .map(|r| r.slices)
+            .sum();
+        assert!(static64 > static32);
+    }
+
+    #[test]
+    fn tables_render_with_totals() {
+        for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+            let t = resource_table(kind);
+            let s = t.render();
+            assert!(s.contains("TOTAL"));
+            assert!(s.contains("Dock"));
+        }
+    }
+
+    #[test]
+    fn system_specific_modules() {
+        let r32 = inventory(SystemKind::Bit32);
+        assert!(r32.iter().any(|r| r.module.contains("GPIO")));
+        assert!(!r32.iter().any(|r| r.module.contains("Interrupt controller")));
+        let r64 = inventory(SystemKind::Bit64);
+        assert!(!r64.iter().any(|r| r.module.contains("GPIO")));
+        assert!(r64.iter().any(|r| r.module.contains("Interrupt controller")));
+        assert!(r64.iter().any(|r| r.module.contains("DDR")));
+    }
+}

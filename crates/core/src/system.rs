@@ -1,0 +1,263 @@
+//! System construction: the 32-bit and 64-bit platforms, their static
+//! baseline configurations, BitLinker instances and floorplan/architecture
+//! renderings (the paper's figures 1–4).
+
+use crate::machine::{Machine, Platform};
+use crate::timing::SystemTiming;
+use ppc405_sim::CpuConfig;
+use vp2_bitstream::BitLinker;
+use vp2_fabric::coords::ClbCoord;
+use vp2_fabric::floorplan::Floorplan;
+use vp2_fabric::region::{region_32bit, region_64bit};
+use vp2_fabric::{ConfigMemory, Device, DeviceKind, DynamicRegion};
+use vp2_netlist::busmacro::DockMacros;
+
+/// Which of the paper's systems to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Section 3: XC2VP7, OPB dock, 32-bit channel.
+    Bit32,
+    /// Section 4: XC2VP30, PLB dock, 64-bit channel, DMA + FIFO + IRQ.
+    Bit64,
+}
+
+impl SystemKind {
+    /// The device this system uses.
+    pub fn device(self) -> Device {
+        match self {
+            SystemKind::Bit32 => Device::new(DeviceKind::Xc2vp7),
+            SystemKind::Bit64 => Device::new(DeviceKind::Xc2vp30),
+        }
+    }
+
+    /// The system's dynamic region (paper dimensions).
+    pub fn region(self) -> DynamicRegion {
+        match self {
+            SystemKind::Bit32 => region_32bit(&self.device()),
+            SystemKind::Bit64 => region_64bit(&self.device()),
+        }
+    }
+
+    /// The system's clock/wait calibration.
+    pub fn timing(self) -> SystemTiming {
+        match self {
+            SystemKind::Bit32 => SystemTiming::system32(),
+            SystemKind::Bit64 => SystemTiming::system64(),
+        }
+    }
+
+    /// Dock channel width in bits.
+    pub fn dock_width(self) -> u16 {
+        match self {
+            SystemKind::Bit32 => 32,
+            SystemKind::Bit64 => 64,
+        }
+    }
+
+    /// The agreed bus-macro footprints for this system's dynamic region.
+    pub fn dock_macros(self) -> DockMacros {
+        DockMacros::for_width(self.dock_width())
+    }
+}
+
+/// Builds the baseline configuration with the static design "loaded":
+/// deterministic non-zero configuration bits in the static rows of the
+/// device (derived from the resource inventory), so that the
+/// don't-disturb-above/below guarantees are tested against real content.
+pub fn static_base(kind: SystemKind) -> ConfigMemory {
+    let device = kind.device();
+    let region = kind.region();
+    let mut mem = ConfigMemory::new(&device);
+    for (i, row) in crate::resources::inventory(kind).iter().enumerate() {
+        // Stamp each static module's identity into routing words of the
+        // static rows (outside the dynamic region).
+        let col = (i as u16 * 3) % device.clb_cols;
+        for r in 0..device.rows {
+            let c = ClbCoord::new(col, r);
+            if region.contains(c) {
+                continue;
+            }
+            if device.is_usable_clb(c) {
+                let digest = row
+                    .module
+                    .bytes()
+                    .fold(0x811C_9DC5u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x0100_0193));
+                mem.set_routing_word(c, (i as u16) % 4, digest ^ u64::from(r));
+            }
+        }
+    }
+    mem
+}
+
+/// Builds a ready-to-run machine for the given system.
+pub fn build_system(kind: SystemKind) -> Machine {
+    let timing = kind.timing();
+    let device = kind.device();
+    let region = kind.region();
+    let config = static_base(kind);
+    let platform = Platform::new(kind, timing, device, region, config);
+    Machine::new(CpuConfig::ppc405(timing.cpu), platform)
+}
+
+/// A BitLinker bound to this system's device, region, static baseline and
+/// dock macro contract.
+pub fn bitlinker_for(kind: SystemKind) -> BitLinker {
+    let dm = kind.dock_macros();
+    BitLinker::new(
+        kind.device(),
+        kind.region(),
+        static_base(kind),
+        vec![dm.write, dm.read, dm.strobe],
+    )
+}
+
+/// Figure 1 equivalent: the generic system architecture.
+pub fn generic_architecture() -> String {
+    r#"Generic system architecture (paper figure 1)
+
+  +-----------+     +----------------------------+
+  |  CPU      |<--->|  on-chip bus system        |
+  +-----------+     |  (PLB + OPB + bridge)      |
+                    +--+------+--------+------+--+
+                       |      |        |      |
+        +--------------+   +--+-----+  |   +--+-----------------+
+        | memory         | | config |  |   | external           |
+        | interface unit | | control|  |   | communication unit |
+        | (OCM + ext mem)| | (ICAP) |  |   | (UART / JTAG)      |
+        +----------------+ +--------+  |   +--------------------+
+                                       |
+                       +---------------+-------------+
+                       | dynamic area communication  |
+                       | unit (dock, DMA, FIFO, IRQ) |
+                       +---------------+-------------+
+                                       |
+                       +---------------+-------------+
+                       |        DYNAMIC AREA         |
+                       |  (run-time reconfigurable)  |
+                       +-----------------------------+
+"#
+    .to_string()
+}
+
+/// Figure 2 equivalent: the LUT-based bus macro, rendered from the actual
+/// macro site assignments.
+pub fn busmacro_figure(kind: SystemKind) -> String {
+    let dm = kind.dock_macros();
+    let mut s = String::new();
+    s.push_str("LUT-based bus macro (paper figure 2)\n\n");
+    s.push_str("component A (static side)   |   component B (dynamic side)\n");
+    s.push_str("   signal ---> [LUT @ fixed site] ---> signal\n\n");
+    s.push_str(&format!(
+        "write channel '{}': {} signals\n",
+        dm.write.name,
+        dm.write.width()
+    ));
+    for (bit, (slice, lut)) in dm.write.sites.iter().take(8).enumerate() {
+        s.push_str(&format!(
+            "  In({bit})  -> LUT {} of {}\n",
+            if lut.0 == 0 { "F" } else { "G" },
+            slice
+        ));
+    }
+    if dm.write.width() > 8 {
+        s.push_str(&format!("  ... ({} more)\n", dm.write.width() - 8));
+    }
+    s.push_str(&format!(
+        "\nread channel '{}': {} signals, strobe '{}': 1 signal\n",
+        dm.read.name,
+        dm.read.width(),
+        dm.strobe.name
+    ));
+    s.push_str("Both components are designed independently; only the fixed\n");
+    s.push_str("relative positions of these LUTs are shared between them.\n");
+    s
+}
+
+/// Figures 3/4 equivalent: the system floorplan rendered from the model.
+pub fn floorplan_string(kind: SystemKind) -> String {
+    let device = kind.device();
+    let region = kind.region();
+    let mut fp = Floorplan::new(&device).with_region(&region);
+    match kind {
+        SystemKind::Bit32 => {
+            fp.add_block('M', "OPB external memory controller", 0..4, 0..8);
+            fp.add_block('B', "PLB-OPB bridge", 4..7, 0..6);
+            fp.add_block('O', "on-chip memory controller (PLB)", 7..11, 0..6);
+            fp.add_block('I', "OPB HWICAP", 11..14, 0..5);
+            fp.add_block('U', "UART + GPIO + reset block", 14..17, 0..5);
+            fp.add_block('D', "OPB Dock (wrapper)", 0..28, 27..30);
+        }
+        SystemKind::Bit64 => {
+            fp.add_block('M', "PLB DDR controller", 0..6, 0..8);
+            fp.add_block('B', "PLB-OPB bridge", 6..9, 0..6);
+            fp.add_block('O', "on-chip memory controller (PLB)", 20..24, 0..6);
+            fp.add_block('I', "OPB HWICAP", 36..40, 0..5);
+            fp.add_block('U', "UART + interrupt controller", 40..44, 0..5);
+            fp.add_block('D', "PLB Dock (DMA + FIFO + IRQ)", 0..32, 44..48);
+        }
+    }
+    let scale = match kind {
+        SystemKind::Bit32 => 1,
+        SystemKind::Bit64 => 2,
+    };
+    let title = match kind {
+        SystemKind::Bit32 => "The 32-bit system floorplan (paper figure 3)\n\n",
+        SystemKind::Bit64 => "The 64-bit system floorplan (paper figure 4)\n\n",
+    };
+    format!("{title}{}", fp.render(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_both_systems() {
+        let m32 = build_system(SystemKind::Bit32);
+        assert_eq!(m32.platform.device.kind, DeviceKind::Xc2vp7);
+        assert_eq!(m32.cpu.clock().mhz(), 200);
+        let m64 = build_system(SystemKind::Bit64);
+        assert_eq!(m64.platform.device.kind, DeviceKind::Xc2vp30);
+        assert_eq!(m64.cpu.clock().mhz(), 300);
+    }
+
+    #[test]
+    fn static_base_is_nonblank_outside_region_only() {
+        for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+            let base = static_base(kind);
+            let region = kind.region();
+            let blank = ConfigMemory::new(&kind.device());
+            assert!(!base.diff(&blank).is_empty(), "static design present");
+            // The region band itself is blank in the base.
+            for col in region.cols.clone() {
+                for row in region.rows.clone() {
+                    let c = ClbCoord::new(col, row);
+                    for ch in 0..4 {
+                        assert_eq!(base.routing_word(c, ch), 0, "{kind:?} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figures_render() {
+        assert!(generic_architecture().contains("DYNAMIC AREA"));
+        let f2 = busmacro_figure(SystemKind::Bit32);
+        assert!(f2.contains("write channel"));
+        assert!(f2.contains("LUT F"));
+        for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+            let fp = floorplan_string(kind);
+            assert!(fp.contains('#'), "dynamic region visible");
+            assert!(fp.contains("Dock"));
+        }
+    }
+
+    #[test]
+    fn bitlinker_matches_system_contract() {
+        let lk = bitlinker_for(SystemKind::Bit32);
+        assert_eq!(lk.region().clb_count(), 308);
+        let lk64 = bitlinker_for(SystemKind::Bit64);
+        assert_eq!(lk64.region().clb_count(), 768);
+    }
+}

@@ -1,0 +1,96 @@
+//! Calibrated timing parameters for both systems.
+//!
+//! Every latency in the model is derived from the named constants here.
+//! Clock frequencies come straight from the paper; protocol and wait-state
+//! parameters are CoreConnect-typical values documented per constant.
+//! EXPERIMENTS.md discusses the calibration and its uncertainty: absolute
+//! times are ours, the paper's qualitative relations (4–6× CPU-controlled
+//! improvement, DMA ≫ CPU-controlled, bridge cost, ...) must and do emerge.
+
+use vp2_sim::ClockDomain;
+
+/// All clocks and fixed protocol costs of one system.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemTiming {
+    /// CPU core clock.
+    pub cpu: ClockDomain,
+    /// Processor local bus clock.
+    pub plb: ClockDomain,
+    /// On-chip peripheral bus clock.
+    pub opb: ClockDomain,
+    /// ICAP shift clock (driven from the OPB clock in both systems).
+    pub icap: ClockDomain,
+    /// External-memory wait states per single beat.
+    pub extmem_wait: u64,
+    /// Extra wait states on the first beat of an external burst (DDR row
+    /// activation; zero for SRAM).
+    pub extmem_first_beat_wait: u64,
+    /// Dock slave wait states.
+    pub dock_wait: u64,
+}
+
+impl SystemTiming {
+    /// The 32-bit system: CPU 200 MHz, PLB/OPB 50 MHz ("we were not able to
+    /// obtain better operating frequencies while still satisfying the layout
+    /// constraints required to obtain a dynamic area of useful size").
+    pub fn system32() -> Self {
+        SystemTiming {
+            cpu: ClockDomain::from_mhz("cpu", 200),
+            plb: ClockDomain::from_mhz("plb", 50),
+            opb: ClockDomain::from_mhz("opb", 50),
+            icap: ClockDomain::from_mhz("icap", 50),
+            // Asynchronous SRAM behind the small OPB controller.
+            extmem_wait: 3,
+            extmem_first_beat_wait: 0,
+            // The OPB dock answers like a registered slave with no extra
+            // wait states (it just latches into the holding register).
+            dock_wait: 0,
+        }
+    }
+
+    /// The 64-bit system: CPU 300 MHz, PLB/OPB 100 MHz (faster -7 device,
+    /// less severe layout constraints).
+    pub fn system64() -> Self {
+        SystemTiming {
+            cpu: ClockDomain::from_mhz("cpu", 300),
+            plb: ClockDomain::from_mhz("plb", 100),
+            opb: ClockDomain::from_mhz("opb", 100),
+            icap: ClockDomain::from_mhz("icap", 100),
+            // DDR: streaming beats once the row is open…
+            extmem_wait: 0,
+            // …but 5 cycles of activation + CAS on the first beat.
+            extmem_first_beat_wait: 5,
+            // PLB dock answers like a registered PLB slave.
+            dock_wait: 0,
+        }
+    }
+}
+
+/// Beats per 32-byte cache-line fill on a 64-bit bus.
+pub const LINE_BEATS_64: u64 = 4;
+/// Beats per 32-byte cache-line fill carried over a 32-bit bus (the
+/// bridge+OPB path of the 32-bit system's external memory).
+pub const LINE_BEATS_32: u64 = 8;
+/// Maximum beats per DMA burst (PLB burst length).
+pub const DMA_BURST_BEATS: u64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_ratios() {
+        let a = SystemTiming::system32();
+        let b = SystemTiming::system64();
+        // Paper: bus speed improves by 2x, CPU frequency by 1.5x.
+        assert_eq!(b.opb.mhz() / a.opb.mhz(), 2);
+        assert_eq!(b.plb.mhz() / a.plb.mhz(), 2);
+        assert!((b.cpu.mhz() as f64 / a.cpu.mhz() as f64 - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn line_beats() {
+        assert_eq!(LINE_BEATS_64 * 8, 32);
+        assert_eq!(LINE_BEATS_32 * 4, 32);
+    }
+}

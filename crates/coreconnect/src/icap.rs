@@ -1,0 +1,182 @@
+//! OPB HWICAP — the internal configuration access port controller.
+//!
+//! The configuration memory controller of both systems: the CPU writes
+//! bitstream words into the HWICAP's FIFO over the OPB, and the ICAP block
+//! shifts them into the configuration logic at one word per ICAP clock
+//! cycle. Reconfiguration time is therefore proportional to bitstream
+//! length — which is exactly why BitLinker's *complete* configurations (vs.
+//! differential ones) "have the side effect of increasing the configuration
+//! time", a trade-off one of the benches quantifies.
+
+use vp2_bitstream::{apply_bitstream, ApplyError, ApplyReport, Bitstream};
+use vp2_fabric::ConfigMemory;
+use vp2_sim::{ClockDomain, SimTime};
+
+/// HWICAP device state.
+#[derive(Debug, Clone)]
+pub struct HwIcap {
+    /// ICAP clock (the configuration logic's shift clock).
+    pub icap_clock: ClockDomain,
+    /// Words buffered since the last commit.
+    buffer: Vec<u32>,
+    /// Device IDCODE the configuration logic checks against.
+    idcode: u32,
+    /// Busy until this instant (while shifting a committed stream).
+    busy_until: SimTime,
+    /// Sticky error flag from the last commit.
+    error: bool,
+    /// Total words shifted (statistics).
+    pub words_shifted: u64,
+    /// Completed reconfigurations.
+    pub reconfigurations: u64,
+}
+
+impl HwIcap {
+    /// New HWICAP for a device with the given IDCODE.
+    pub fn new(icap_clock: ClockDomain, idcode: u32) -> Self {
+        HwIcap {
+            icap_clock,
+            buffer: Vec::new(),
+            idcode,
+            busy_until: SimTime::ZERO,
+            error: false,
+            words_shifted: 0,
+            reconfigurations: 0,
+        }
+    }
+
+    /// MMIO write to the data FIFO.
+    pub fn write_data(&mut self, word: u32) {
+        self.buffer.push(word);
+    }
+
+    /// Number of buffered words.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Is the port still shifting at `now`?
+    pub fn busy(&self, now: SimTime) -> bool {
+        now < self.busy_until
+    }
+
+    /// Did the last commit fail?
+    pub fn error(&self) -> bool {
+        self.error
+    }
+
+    /// Instant the current shift completes.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// MMIO write to the control register with the start bit: commits the
+    /// buffered words as a bitstream, applying it to `mem`. Returns the
+    /// apply report; the port stays busy for `words × 1 ICAP cycle`.
+    pub fn commit(
+        &mut self,
+        now: SimTime,
+        mem: &mut ConfigMemory,
+    ) -> Result<ApplyReport, ApplyError> {
+        let words = std::mem::take(&mut self.buffer);
+        let nwords = words.len();
+        let bs = Bitstream { words };
+        let start = self.icap_clock.next_edge(now.max(self.busy_until));
+        self.busy_until = start + self.icap_clock.cycles(nwords as u64);
+        self.words_shifted += nwords as u64;
+        match apply_bitstream(&bs, mem, self.idcode) {
+            Ok(report) => {
+                self.error = false;
+                self.reconfigurations += 1;
+                Ok(report)
+            }
+            Err(e) => {
+                self.error = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Convenience for the module manager: feeds and commits an entire
+    /// bitstream, returning `(completion_time, report)`. The feed time
+    /// (CPU/OPB side) is charged by the machine per word; this accounts only
+    /// for the ICAP shift side.
+    pub fn load_bitstream(
+        &mut self,
+        now: SimTime,
+        bs: &Bitstream,
+        mem: &mut ConfigMemory,
+    ) -> Result<(SimTime, ApplyReport), ApplyError> {
+        for &w in &bs.words {
+            self.write_data(w);
+        }
+        let report = self.commit(now, mem)?;
+        Ok((self.busy_until, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp2_bitstream::{full_bitstream, IDCODE_XC2VP7};
+    use vp2_fabric::coords::{ClbCoord, LutIndex, SliceIndex};
+    use vp2_fabric::{Device, DeviceKind};
+
+    fn icap() -> HwIcap {
+        HwIcap::new(ClockDomain::from_mhz("icap", 50), IDCODE_XC2VP7)
+    }
+
+    #[test]
+    fn load_applies_and_times() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut src = ConfigMemory::new(&dev);
+        src.set_lut(ClbCoord::new(1, 2), SliceIndex::new(3), LutIndex::G, 0xABCD);
+        let bs = full_bitstream(&src, IDCODE_XC2VP7);
+        let mut dst = ConfigMemory::new(&dev);
+        let mut port = icap();
+        let (done, report) = port.load_bitstream(SimTime::ZERO, &bs, &mut dst).unwrap();
+        assert_eq!(dst, src);
+        assert_eq!(report.words_total, bs.word_count());
+        // One word per 20ns ICAP cycle.
+        assert_eq!(done, SimTime::from_ns(20) * bs.word_count() as u64);
+        assert!(port.busy(done - SimTime::from_ns(1)));
+        assert!(!port.busy(done));
+        assert_eq!(port.reconfigurations, 1);
+    }
+
+    #[test]
+    fn commit_clears_buffer() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut mem = ConfigMemory::new(&dev);
+        let bs = full_bitstream(&mem.clone(), IDCODE_XC2VP7);
+        let mut port = icap();
+        for &w in &bs.words {
+            port.write_data(w);
+        }
+        assert_eq!(port.buffered(), bs.word_count());
+        port.commit(SimTime::ZERO, &mut mem).unwrap();
+        assert_eq!(port.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_stream_sets_error() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut mem = ConfigMemory::new(&dev);
+        let mut port = icap();
+        port.write_data(0x1234_5678); // garbage, no sync
+        let err = port.commit(SimTime::ZERO, &mut mem);
+        assert!(err.is_err());
+        assert!(port.error());
+    }
+
+    #[test]
+    fn back_to_back_loads_queue() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut mem = ConfigMemory::new(&dev);
+        let bs = full_bitstream(&mem.clone(), IDCODE_XC2VP7);
+        let mut port = icap();
+        let (done1, _) = port.load_bitstream(SimTime::ZERO, &bs, &mut mem).unwrap();
+        let (done2, _) = port.load_bitstream(SimTime::ZERO, &bs, &mut mem).unwrap();
+        assert!(done2 >= done1 + SimTime::from_ns(20) * (bs.word_count() as u64));
+    }
+}

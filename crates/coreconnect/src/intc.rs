@@ -1,0 +1,119 @@
+//! Interrupt controller (OPB INTC style).
+//!
+//! Added to the 64-bit system so the CPU need not poll the PLB dock for DMA
+//! completion: sources raise lines, the controller ORs enabled pending lines
+//! into the CPU's external-interrupt input, the handler reads the pending
+//! set and acknowledges.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple 32-line interrupt controller.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InterruptController {
+    /// Pending (latched) interrupts.
+    isr: u32,
+    /// Enabled interrupts.
+    ier: u32,
+}
+
+impl InterruptController {
+    /// New controller with everything masked.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A source raises line `n` (edge-latched).
+    pub fn raise(&mut self, n: u32) {
+        assert!(n < 32, "line out of range");
+        self.isr |= 1 << n;
+    }
+
+    /// Enables line `n`.
+    pub fn enable(&mut self, n: u32) {
+        assert!(n < 32, "line out of range");
+        self.ier |= 1 << n;
+    }
+
+    /// Disables line `n`.
+    pub fn disable(&mut self, n: u32) {
+        assert!(n < 32, "line out of range");
+        self.ier &= !(1 << n);
+    }
+
+    /// Acknowledges (clears) line `n`.
+    pub fn acknowledge(&mut self, n: u32) {
+        assert!(n < 32, "line out of range");
+        self.isr &= !(1 << n);
+    }
+
+    /// Pending-and-enabled set (the handler reads this).
+    pub fn active(&self) -> u32 {
+        self.isr & self.ier
+    }
+
+    /// Raw pending set.
+    pub fn pending(&self) -> u32 {
+        self.isr
+    }
+
+    /// Level of the CPU interrupt output.
+    pub fn cpu_line(&self) -> bool {
+        self.active() != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_lines_do_not_interrupt() {
+        let mut intc = InterruptController::new();
+        intc.raise(3);
+        assert!(!intc.cpu_line(), "masked");
+        assert_eq!(intc.pending(), 1 << 3);
+        intc.enable(3);
+        assert!(intc.cpu_line());
+    }
+
+    #[test]
+    fn acknowledge_clears() {
+        let mut intc = InterruptController::new();
+        intc.enable(0);
+        intc.raise(0);
+        assert!(intc.cpu_line());
+        intc.acknowledge(0);
+        assert!(!intc.cpu_line());
+        assert_eq!(intc.pending(), 0);
+    }
+
+    #[test]
+    fn multiple_lines_or_together() {
+        let mut intc = InterruptController::new();
+        intc.enable(1);
+        intc.enable(2);
+        intc.raise(1);
+        intc.raise(2);
+        assert_eq!(intc.active(), 0b110);
+        intc.acknowledge(1);
+        assert!(intc.cpu_line(), "line 2 still pending");
+        intc.acknowledge(2);
+        assert!(!intc.cpu_line());
+    }
+
+    #[test]
+    fn disable_masks_pending() {
+        let mut intc = InterruptController::new();
+        intc.enable(5);
+        intc.raise(5);
+        intc.disable(5);
+        assert!(!intc.cpu_line());
+        assert_eq!(intc.pending(), 1 << 5, "still latched");
+    }
+
+    #[test]
+    #[should_panic(expected = "line out of range")]
+    fn out_of_range_rejected() {
+        InterruptController::new().raise(32);
+    }
+}

@@ -1,0 +1,100 @@
+//! System address map (shared by both systems).
+//!
+//! Mirrors the EDK-style layout: on-chip memory low, external memory in the
+//! 0x2xxx_xxxx window, peripherals and the dock high (all peripheral ranges
+//! are uncacheable).
+
+/// On-chip (BRAM) memory base — program, stack, interrupt vectors.
+pub const OCM_BASE: u32 = 0x0000_0000;
+/// On-chip memory size (128 KiB).
+pub const OCM_SIZE: u32 = 128 * 1024;
+
+/// External memory base (32 MB SRAM on the 32-bit system, 512 MB DDR on the
+/// 64-bit system).
+pub const EXTMEM_BASE: u32 = 0x2000_0000;
+
+/// Dock data window: writes enter the dynamic region's write channel, reads
+/// observe its read channel.
+pub const DOCK_BASE: u32 = 0x8000_0000;
+/// Dock data window size.
+pub const DOCK_SIZE: u32 = 0x1_0000;
+
+/// Dock control/status registers (PLB dock only: DMA, FIFO, IRQ).
+pub const DOCK_CSR_BASE: u32 = 0x8001_0000;
+/// DMA source address register offset.
+pub const DOCK_CSR_DMA_SRC: u32 = 0x00;
+/// DMA destination address register offset.
+pub const DOCK_CSR_DMA_DST: u32 = 0x04;
+/// DMA length register offset (bytes).
+pub const DOCK_CSR_DMA_LEN: u32 = 0x08;
+/// DMA control register offset (bit 0 start, bit 1 direction: 0 = memory →
+/// dock, 1 = dock FIFO → memory; bit 2 = interleaved mode).
+pub const DOCK_CSR_DMA_CTL: u32 = 0x0C;
+/// DMA/dock status register offset (bit 0 busy, bit 1 done, bit 2 FIFO
+/// full, bit 3 FIFO empty).
+pub const DOCK_CSR_STATUS: u32 = 0x10;
+/// FIFO occupancy register offset.
+pub const DOCK_CSR_FIFO_LEVEL: u32 = 0x14;
+/// Interrupt acknowledge register offset.
+pub const DOCK_CSR_IRQ_ACK: u32 = 0x18;
+
+/// OPB HWICAP base.
+pub const HWICAP_BASE: u32 = 0x8002_0000;
+/// HWICAP data FIFO register offset (write bitstream words here).
+pub const HWICAP_DATA: u32 = 0x00;
+/// HWICAP control register offset (bit 0: start/commit).
+pub const HWICAP_CTL: u32 = 0x04;
+/// HWICAP status register offset (bit 0 busy, bit 1 error).
+pub const HWICAP_STATUS: u32 = 0x08;
+
+/// Interrupt controller base.
+pub const INTC_BASE: u32 = 0x8003_0000;
+/// UART base.
+pub const UART_BASE: u32 = 0x8004_0000;
+/// GPIO base.
+pub const GPIO_BASE: u32 = 0x8005_0000;
+
+/// Interrupt line assignment: PLB dock DMA-done.
+pub const IRQ_DOCK_DMA: u32 = 0;
+/// Interrupt line assignment: UART.
+pub const IRQ_UART: u32 = 1;
+
+/// Is `addr` in a cacheable range? Only real memory is cacheable; the dock,
+/// ICAP and peripherals must be accessed uncached.
+pub fn is_cacheable(addr: u32) -> bool {
+    addr < 0x8000_0000
+}
+
+/// Is `addr` in the external-memory window?
+pub fn is_extmem(addr: u32) -> bool {
+    (EXTMEM_BASE..0x6000_0000).contains(&addr)
+}
+
+/// Is `addr` in on-chip memory?
+pub fn is_ocm(addr: u32) -> bool {
+    addr < OCM_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cacheability() {
+        assert!(is_cacheable(OCM_BASE));
+        assert!(is_cacheable(EXTMEM_BASE));
+        assert!(!is_cacheable(DOCK_BASE));
+        assert!(!is_cacheable(HWICAP_BASE));
+        assert!(!is_cacheable(INTC_BASE));
+    }
+
+    #[test]
+    fn window_membership() {
+        assert!(is_ocm(0));
+        assert!(is_ocm(OCM_SIZE - 1));
+        assert!(!is_ocm(OCM_SIZE));
+        assert!(is_extmem(EXTMEM_BASE));
+        assert!(!is_extmem(OCM_BASE));
+        assert!(!is_extmem(DOCK_BASE));
+    }
+}

@@ -1,0 +1,145 @@
+//! Stub peripherals: UART (the external communication unit) and GPIO (LEDs
+//! and push buttons, 32-bit system only), plus the JTAGPPC debug hook.
+//!
+//! These exist for system completeness (they appear in the paper's resource
+//! tables and floorplans) and for the examples' console output; they play no
+//! role in the measurements.
+
+use vp2_sim::{ClockDomain, SimTime};
+
+/// Serial port model: a transmit register with baud-rate pacing and a
+/// capture buffer readable by tests/examples.
+#[derive(Debug, Clone)]
+pub struct Uart {
+    /// Bits per second.
+    pub baud: u64,
+    tx_busy_until: SimTime,
+    /// Everything ever transmitted.
+    pub transcript: Vec<u8>,
+}
+
+impl Uart {
+    /// UART at the conventional 115200 baud.
+    pub fn new() -> Self {
+        Uart {
+            baud: 115_200,
+            tx_busy_until: SimTime::ZERO,
+            transcript: Vec::new(),
+        }
+    }
+
+    /// Time for one character (8N1: 10 bit times).
+    pub fn char_time(&self) -> SimTime {
+        SimTime::from_ps(10 * 1_000_000_000_000 / self.baud)
+    }
+
+    /// Writes the TX register; returns when the shift completes.
+    pub fn tx(&mut self, now: SimTime, byte: u8) -> SimTime {
+        let start = now.max(self.tx_busy_until);
+        self.tx_busy_until = start + self.char_time();
+        self.transcript.push(byte);
+        self.tx_busy_until
+    }
+
+    /// Is the transmitter busy at `now`?
+    pub fn tx_busy(&self, now: SimTime) -> bool {
+        now < self.tx_busy_until
+    }
+
+    /// Transcript as a string (lossy).
+    pub fn transcript_string(&self) -> String {
+        String::from_utf8_lossy(&self.transcript).into_owned()
+    }
+}
+
+impl Default for Uart {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// GPIO block: LED outputs and push-button inputs.
+#[derive(Debug, Clone, Default)]
+pub struct Gpio {
+    /// LED register.
+    pub leds: u32,
+    /// Button state (set by the test bench / examples).
+    pub buttons: u32,
+}
+
+impl Gpio {
+    /// New GPIO, everything low.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// JTAGPPC stub: the dedicated block connecting the JTAG port to the
+/// PowerPC for download/debug. Modelled as a byte pipe with JTAG-rate
+/// timing; used by the examples to "download" programs.
+#[derive(Debug, Clone)]
+pub struct JtagPpc {
+    /// TCK frequency.
+    pub tck: ClockDomain,
+    /// Bytes downloaded.
+    pub downloaded: u64,
+}
+
+impl JtagPpc {
+    /// JTAG at a typical 10 MHz TCK.
+    pub fn new() -> Self {
+        JtagPpc {
+            tck: ClockDomain::from_mhz("tck", 10),
+            downloaded: 0,
+        }
+    }
+
+    /// Time to shift `bytes` through the JTAG chain (8 TCKs per byte plus
+    /// ~5% protocol overhead).
+    pub fn download_time(&mut self, bytes: u64) -> SimTime {
+        self.downloaded += bytes;
+        self.tck.cycles(bytes * 8 + bytes / 20)
+    }
+}
+
+impl Default for JtagPpc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_paces_characters() {
+        let mut u = Uart::new();
+        let t1 = u.tx(SimTime::ZERO, b'h');
+        let t2 = u.tx(SimTime::ZERO, b'i');
+        assert_eq!(t2, t1 * 2, "second char waits for the first");
+        assert!(u.tx_busy(t1));
+        assert!(!u.tx_busy(t2));
+        assert_eq!(u.transcript_string(), "hi");
+        // 10 bits at 115200 ≈ 86.8 µs.
+        assert!((86.0..88.0).contains(&t1.as_us_f64()));
+    }
+
+    #[test]
+    fn gpio_registers() {
+        let mut g = Gpio::new();
+        g.leds = 0b1010;
+        g.buttons = 0b01;
+        assert_eq!(g.leds, 0b1010);
+        assert_eq!(g.buttons, 0b01);
+    }
+
+    #[test]
+    fn jtag_download_time_scales() {
+        let mut j = JtagPpc::new();
+        let t1 = j.download_time(1000);
+        let t2 = j.download_time(2000);
+        assert!(t2 > t1);
+        assert_eq!(j.downloaded, 3000);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dock — the dynamic-region wrapper modules
+//!
+//! The paper's two wrapper designs:
+//!
+//! * **OPB Dock** (32-bit system, section 3.1): an OPB slave occupying a
+//!   fixed address range; performs address decoding and I/O, and *stores
+//!   incoming data so it is kept available between write operations*. Data
+//!   crosses into the dynamic region over two unidirectional 32-bit
+//!   channels plus a write-strobe that modules can use as a clock enable.
+//!
+//! * **PLB Dock** (64-bit system, section 4.1): a PLB master/slave with the
+//!   same channel interface widened to 64 bits plus three additions — a
+//!   scatter-gather **DMA controller**, a 2047-entry 64-bit **output FIFO**
+//!   for results awaiting DMA to memory, and an **interrupt generator** so
+//!   the CPU need not poll.
+//!
+//! Modules plugged into the region implement [`DynamicModule`]. Two
+//! implementations exist: fast behavioural models (`rtr-apps`) and
+//! [`GateLevelModule`], which drives a placed netlist in the gate-level
+//! simulator — the two are property-tested for cycle equivalence.
+
+pub mod gate;
+pub mod module;
+pub mod opb_dock;
+pub mod plb_dock;
+
+pub use gate::GateLevelModule;
+pub use module::{DynamicModule, ModuleOutput, NullModule};
+pub use opb_dock::OpbDock;
+pub use plb_dock::{PlbDock, FIFO_CAPACITY};

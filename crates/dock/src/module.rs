@@ -1,0 +1,98 @@
+//! The dynamic-module interface.
+//!
+//! The connection interface between a dock and the dynamic region consists
+//! of two unidirectional data channels (write and read) and a write-strobe
+//! signal: "the connection interface generates an additional signal that
+//! indicates the occurrence of a write operation … this signal can be used
+//! as a clock enable signal for any flip-flop in the dynamic region."
+//!
+//! [`DynamicModule`] is the behavioural contract for whatever currently
+//! occupies the region: each dock write *pokes* the module (one strobed
+//! clock), each dock read *peeks* the read channel.
+
+/// Result of one strobed clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleOutput {
+    /// Read-channel value after the clock edge.
+    pub data: u64,
+    /// Did the module flag this output as valid? (Drives FIFO capture in
+    /// the PLB dock.)
+    pub valid: bool,
+}
+
+/// A module loaded into the dynamic region.
+pub trait DynamicModule: Send {
+    /// Module name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Presents `data` on the write channel and pulses the write strobe for
+    /// one module clock; returns the read channel afterwards.
+    fn poke(&mut self, data: u64) -> ModuleOutput;
+
+    /// Addressed write: the docks decode the low address bits of their data
+    /// window and present them to the region alongside the data, which
+    /// modules use for commands (load pattern, set constant, init, ...).
+    /// Defaults to ignoring the offset.
+    fn poke_at(&mut self, _offset: u32, data: u64) -> ModuleOutput {
+        self.poke(data)
+    }
+
+    /// Addressed read with read-strobe. Defaults to ignoring the offset.
+    fn read_at(&mut self, _offset: u32) -> u64 {
+        self.read_pop()
+    }
+
+    /// Current read-channel value (no strobe).
+    fn peek(&self) -> u64;
+
+    /// A dock read: returns the read channel and gives the module a chance
+    /// to advance (modules with an output queue pop the head here, using
+    /// the dock's read-strobe the same way writes use the write-strobe).
+    /// Defaults to a plain [`DynamicModule::peek`].
+    fn read_pop(&mut self) -> u64 {
+        self.peek()
+    }
+
+    /// Returns the module to its post-configuration state.
+    fn reset(&mut self);
+}
+
+/// The empty region: reads as zero, swallows writes. What the dock sees
+/// after a blank configuration is loaded.
+#[derive(Debug, Default, Clone)]
+pub struct NullModule;
+
+impl DynamicModule for NullModule {
+    fn name(&self) -> &str {
+        "(empty)"
+    }
+
+    fn poke(&mut self, _data: u64) -> ModuleOutput {
+        ModuleOutput {
+            data: 0,
+            valid: false,
+        }
+    }
+
+    fn peek(&self) -> u64 {
+        0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_module_is_inert() {
+        let mut m = NullModule;
+        assert_eq!(m.peek(), 0);
+        let out = m.poke(0xFFFF_FFFF_FFFF_FFFF);
+        assert_eq!(out.data, 0);
+        assert!(!out.valid);
+        m.reset();
+        assert_eq!(m.name(), "(empty)");
+    }
+}

@@ -1,0 +1,164 @@
+//! The OPB Dock (32-bit system).
+//!
+//! "A wrapper module that connects the dynamic region to the rest of the
+//! system. It connects to the OPB bus in order to provide a 32-bit data
+//! channel to the dynamic region. The wrapper is assigned a fixed range of
+//! the OPB address space, and acts like an OPB slave peripheral, performing
+//! address decoding and I/O operations. The wrapper stores incoming data,
+//! so that it is kept available for processing by the components in the
+//! dynamic region between write operations."
+
+use crate::module::{DynamicModule, ModuleOutput, NullModule};
+
+/// The OPB dock.
+pub struct OpbDock {
+    module: Box<dyn DynamicModule>,
+    /// Holding register: last datum written (kept available between writes).
+    holding: u32,
+    /// Slave wait states the dock adds to an OPB transaction.
+    pub wait_states: u64,
+    /// Writes performed.
+    pub writes: u64,
+    /// Reads performed.
+    pub reads: u64,
+}
+
+impl std::fmt::Debug for OpbDock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpbDock")
+            .field("module", &self.module.name())
+            .field("holding", &self.holding)
+            .field("writes", &self.writes)
+            .field("reads", &self.reads)
+            .finish()
+    }
+}
+
+impl Default for OpbDock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpbDock {
+    /// New dock with an empty dynamic region.
+    pub fn new() -> Self {
+        OpbDock {
+            module: Box::new(NullModule),
+            holding: 0,
+            wait_states: 1,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Binds the behavioural model of the freshly configured module (the
+    /// module manager calls this after a successful reconfiguration).
+    pub fn bind_module(&mut self, module: Box<dyn DynamicModule>) {
+        self.module = module;
+    }
+
+    /// Unbinds, leaving the region empty.
+    pub fn unbind(&mut self) {
+        self.module = Box::new(NullModule);
+    }
+
+    /// Name of the bound module.
+    pub fn module_name(&self) -> &str {
+        self.module.name()
+    }
+
+    /// MMIO write: stores to the holding register and pulses the write
+    /// strobe into the region, presenting the decoded offset. Returns the
+    /// module output (visible on a subsequent read).
+    pub fn mmio_write(&mut self, offset: u32, data: u32) -> ModuleOutput {
+        self.holding = data;
+        self.writes += 1;
+        self.module.poke_at(offset, u64::from(data))
+    }
+
+    /// MMIO read: the region's 32-bit read channel (with read-strobe, so
+    /// queue-producing modules advance).
+    pub fn mmio_read(&mut self, offset: u32) -> u32 {
+        self.reads += 1;
+        self.module.read_at(offset) as u32
+    }
+
+    /// Holding-register value (what the region sees between writes).
+    pub fn holding(&self) -> u32 {
+        self.holding
+    }
+
+    /// Resets the bound module and statistics.
+    pub fn reset(&mut self) {
+        self.module.reset();
+        self.holding = 0;
+        self.writes = 0;
+        self.reads = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubler module: read channel = 2 × last write.
+    struct Doubler(u64);
+    impl DynamicModule for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn poke(&mut self, data: u64) -> ModuleOutput {
+            self.0 = data * 2;
+            ModuleOutput {
+                data: self.0,
+                valid: true,
+            }
+        }
+        fn peek(&self) -> u64 {
+            self.0
+        }
+        fn reset(&mut self) {
+            self.0 = 0;
+        }
+    }
+
+    #[test]
+    fn empty_region_reads_zero() {
+        let mut dock = OpbDock::new();
+        dock.mmio_write(0, 123);
+        assert_eq!(dock.mmio_read(0), 0);
+        assert_eq!(dock.module_name(), "(empty)");
+    }
+
+    #[test]
+    fn bound_module_processes_writes() {
+        let mut dock = OpbDock::new();
+        dock.bind_module(Box::new(Doubler(0)));
+        dock.mmio_write(0, 21);
+        assert_eq!(dock.mmio_read(0), 42);
+        assert_eq!(dock.holding(), 21, "data kept available between writes");
+        assert_eq!(dock.writes, 1);
+        assert_eq!(dock.reads, 1);
+    }
+
+    #[test]
+    fn unbind_restores_empty() {
+        let mut dock = OpbDock::new();
+        dock.bind_module(Box::new(Doubler(0)));
+        dock.mmio_write(0, 5);
+        dock.unbind();
+        assert_eq!(dock.mmio_read(0), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut dock = OpbDock::new();
+        dock.bind_module(Box::new(Doubler(0)));
+        dock.mmio_write(0, 5);
+        dock.reset();
+        assert_eq!(dock.mmio_read(0), 0);
+        assert_eq!(dock.holding(), 0);
+        assert_eq!(dock.writes, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Coordinate types for fabric resources.
+//!
+//! Columns and rows are zero-based; column 0 is the leftmost CLB column,
+//! row 0 is the *top* row (matching the floorplan renderings). Slices within
+//! a CLB and LUTs/FFs within a slice are indexed 0..4 and 0..2 respectively,
+//! per the Virtex-II Pro CLB organisation the paper quotes ("4 slices, each
+//! with two 4-input lookup tables and two flip-flops").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of slices in one CLB.
+pub const SLICES_PER_CLB: usize = 4;
+/// Number of 4-input LUTs in one slice.
+pub const LUTS_PER_SLICE: usize = 2;
+/// Number of flip-flops in one slice.
+pub const FFS_PER_SLICE: usize = 2;
+
+/// Location of a CLB on the fabric grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClbCoord {
+    /// CLB column (0 = leftmost).
+    pub col: u16,
+    /// CLB row (0 = top).
+    pub row: u16,
+}
+
+impl ClbCoord {
+    /// Convenience constructor.
+    pub const fn new(col: u16, row: u16) -> Self {
+        ClbCoord { col, row }
+    }
+
+    /// Returns the coordinate translated by the given column/row offsets.
+    ///
+    /// Used by BitLinker relocation: a component placed at origin is moved to
+    /// its final position inside the dynamic region.
+    pub fn translated(self, dcol: i32, drow: i32) -> Option<ClbCoord> {
+        let col = i32::from(self.col) + dcol;
+        let row = i32::from(self.row) + drow;
+        if (0..=i32::from(u16::MAX)).contains(&col) && (0..=i32::from(u16::MAX)).contains(&row) {
+            Some(ClbCoord::new(col as u16, row as u16))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ClbCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLB[c{},r{}]", self.col, self.row)
+    }
+}
+
+/// Slice index within a CLB (0..4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SliceIndex(pub u8);
+
+impl SliceIndex {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i >= 4`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < SLICES_PER_CLB, "slice index out of range");
+        SliceIndex(i)
+    }
+
+    /// All slice indices in order.
+    pub fn all() -> impl Iterator<Item = SliceIndex> {
+        (0..SLICES_PER_CLB as u8).map(SliceIndex)
+    }
+}
+
+/// LUT index within a slice: 0 = F, 1 = G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LutIndex(pub u8);
+
+impl LutIndex {
+    /// The F LUT.
+    pub const F: LutIndex = LutIndex(0);
+    /// The G LUT.
+    pub const G: LutIndex = LutIndex(1);
+
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i >= 2`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < LUTS_PER_SLICE, "LUT index out of range");
+        LutIndex(i)
+    }
+}
+
+/// Flip-flop index within a slice: 0 = X, 1 = Y.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FfIndex(pub u8);
+
+impl FfIndex {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i >= 2`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < FFS_PER_SLICE, "FF index out of range");
+        FfIndex(i)
+    }
+}
+
+/// Fully-qualified slice location: CLB coordinate plus slice index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SliceCoord {
+    /// Hosting CLB.
+    pub clb: ClbCoord,
+    /// Slice within the CLB.
+    pub slice: SliceIndex,
+}
+
+impl SliceCoord {
+    /// Convenience constructor.
+    pub fn new(col: u16, row: u16, slice: u8) -> Self {
+        SliceCoord {
+            clb: ClbCoord::new(col, row),
+            slice: SliceIndex::new(slice),
+        }
+    }
+}
+
+impl fmt::Display for SliceCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SLICE[c{},r{},s{}]",
+            self.clb.col, self.clb.row, self.slice.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation() {
+        let c = ClbCoord::new(5, 10);
+        assert_eq!(c.translated(3, -4), Some(ClbCoord::new(8, 6)));
+        assert_eq!(c.translated(-6, 0), None, "negative column rejected");
+        assert_eq!(c.translated(0, -11), None, "negative row rejected");
+    }
+
+    #[test]
+    fn slice_index_validation() {
+        assert_eq!(SliceIndex::all().count(), 4);
+        SliceIndex::new(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice index out of range")]
+    fn slice_index_rejects_4() {
+        SliceIndex::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT index out of range")]
+    fn lut_index_rejects_2() {
+        LutIndex::new(2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ClbCoord::new(2, 3).to_string(), "CLB[c2,r3]");
+        assert_eq!(SliceCoord::new(2, 3, 1).to_string(), "SLICE[c2,r3,s1]");
+    }
+
+    #[test]
+    fn ordering_is_column_major() {
+        let a = ClbCoord::new(1, 9);
+        let b = ClbCoord::new(2, 0);
+        assert!(a < b);
+    }
+}

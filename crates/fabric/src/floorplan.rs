@@ -1,0 +1,204 @@
+//! ASCII floorplan rendering.
+//!
+//! Regenerates the paper's architecture figures (1, 3 and 4) from the actual
+//! model state: the device grid, the embedded CPU blocks, the dynamic region
+//! and the static system modules placed around it. The renderings "correspond
+//! roughly to the actual floorplan of the system", just like the figures.
+
+use crate::device::Device;
+use crate::region::DynamicRegion;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A labelled rectangle on the floorplan (a placed static module).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacedBlock {
+    /// Single-character map key.
+    pub key: char,
+    /// Human-readable module name shown in the legend.
+    pub label: String,
+    /// CLB columns covered.
+    pub cols: Range<u16>,
+    /// CLB rows covered.
+    pub rows: Range<u16>,
+}
+
+/// A device floorplan: grid + dynamic region + placed static modules.
+#[derive(Debug, Clone)]
+pub struct Floorplan<'a> {
+    dev: &'a Device,
+    region: Option<&'a DynamicRegion>,
+    blocks: Vec<PlacedBlock>,
+}
+
+impl<'a> Floorplan<'a> {
+    /// Starts an empty floorplan for a device.
+    pub fn new(dev: &'a Device) -> Self {
+        Floorplan {
+            dev,
+            region: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Marks the dynamic region.
+    pub fn with_region(mut self, region: &'a DynamicRegion) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Adds a placed static module.
+    pub fn add_block(
+        &mut self,
+        key: char,
+        label: impl Into<String>,
+        cols: Range<u16>,
+        rows: Range<u16>,
+    ) -> &mut Self {
+        self.blocks.push(PlacedBlock {
+            key,
+            label: label.into(),
+            cols,
+            rows,
+        });
+        self
+    }
+
+    /// Character for one CLB cell, with precedence:
+    /// CPU hole > dynamic region > placed block > empty fabric.
+    fn cell(&self, col: u16, row: u16) -> char {
+        let c = crate::coords::ClbCoord::new(col, row);
+        if self.dev.ppc_holes.iter().any(|h| h.contains(c)) {
+            return 'P';
+        }
+        if let Some(r) = self.region {
+            if r.contains(c) {
+                return '#';
+            }
+        }
+        for b in &self.blocks {
+            if b.cols.contains(&col) && b.rows.contains(&row) {
+                return b.key;
+            }
+        }
+        '.'
+    }
+
+    /// Renders the floorplan, downsampling by `scale` CLBs per character in
+    /// each axis (scale 1 = one char per CLB).
+    ///
+    /// # Panics
+    /// Panics if `scale` is zero.
+    pub fn render(&self, scale: u16) -> String {
+        assert!(scale > 0, "scale must be positive");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} — {} rows x {} CLB cols, {} BRAM cols, {} slices\n",
+            self.dev.name,
+            self.dev.rows,
+            self.dev.clb_cols,
+            self.dev.bram_cols,
+            self.dev.slice_count()
+        ));
+        let w = self.dev.clb_cols.div_ceil(scale);
+        out.push('+');
+        out.push_str(&"-".repeat(w as usize));
+        out.push_str("+\n");
+        let mut row = 0;
+        while row < self.dev.rows {
+            out.push('|');
+            let mut col = 0;
+            while col < self.dev.clb_cols {
+                // Majority vote inside the scale x scale tile; dominance
+                // order mirrors `cell` precedence.
+                let mut best = '.';
+                'tile: for dc in 0..scale {
+                    for dr in 0..scale {
+                        let (cc, rr) = (col + dc, row + dr);
+                        if cc >= self.dev.clb_cols || rr >= self.dev.rows {
+                            continue;
+                        }
+                        let ch = self.cell(cc, rr);
+                        if ch != '.' {
+                            best = ch;
+                            break 'tile;
+                        }
+                    }
+                }
+                out.push(best);
+                col += scale;
+            }
+            out.push_str("|\n");
+            row += scale;
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(w as usize));
+        out.push_str("+\n");
+        // Legend.
+        if self.region.is_some() {
+            out.push_str("  # dynamic region\n");
+        }
+        if !self.dev.ppc_holes.is_empty() {
+            out.push_str("  P PowerPC 405 block\n");
+        }
+        for b in &self.blocks {
+            out.push_str(&format!("  {} {}\n", b.key, b.label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+    use crate::region::{region_32bit, region_64bit};
+
+    #[test]
+    fn renders_region_and_legend() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let region = region_32bit(&dev);
+        let mut fp = Floorplan::new(&dev).with_region(&region);
+        fp.add_block('M', "OPB external memory controller", 0..4, 0..6);
+        let s = fp.render(1);
+        assert!(s.contains('#'), "dynamic region rendered");
+        assert!(s.contains('M'), "placed block rendered");
+        assert!(s.contains("OPB external memory controller"));
+        assert!(s.contains("XC2VP7"));
+    }
+
+    #[test]
+    fn ppc_holes_visible_on_vp30() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let region = region_64bit(&dev);
+        let fp = Floorplan::new(&dev).with_region(&region);
+        let s = fp.render(2);
+        assert!(s.contains('P'), "CPU blocks rendered");
+        assert!(s.contains("PowerPC 405"));
+    }
+
+    #[test]
+    fn grid_dimensions_scale() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let fp = Floorplan::new(&dev);
+        let s1 = fp.render(1);
+        // 44 rows + 2 border rows + header + (no legend entries)
+        let body_rows = s1.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(body_rows, 44);
+        let s2 = fp.render(2);
+        let body_rows2 = s2.lines().filter(|l| l.starts_with('|')).count();
+        assert_eq!(body_rows2, 22);
+    }
+
+    #[test]
+    fn precedence_cpu_over_region() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        // Region adjacent to (not overlapping) the hole; cells inside holes
+        // must still render 'P'.
+        let region = region_64bit(&dev);
+        let fp = Floorplan::new(&dev).with_region(&region);
+        assert_eq!(fp.cell(10, 8), 'P');
+        assert_eq!(fp.cell(0, 48), '#');
+        assert_eq!(fp.cell(45, 0), '.');
+    }
+}

@@ -1,0 +1,291 @@
+//! Dynamic-region geometry.
+//!
+//! The paper's central layout constraint: a dynamic region that covered the
+//! full device height would cut the static design in two (signals could not
+//! cross from one side to the other), and board-level pin constraints make
+//! full-height regions unusable anyway. Regions are therefore partial-height
+//! bands, and every partial configuration must preserve the configuration of
+//! the rows above and below the band — which this type makes checkable.
+
+use crate::config::{FrameAddress, FrameBlock, MINORS_PER_BRAM_CONTENT, MINORS_PER_BRAM_INTERCONNECT, MINORS_PER_CLB_COL};
+use crate::coords::{ClbCoord, SLICES_PER_CLB};
+use crate::device::Device;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Errors from dynamic-region construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegionError {
+    /// Column range exceeds the device grid.
+    ColumnsOutOfRange,
+    /// Row range exceeds the device grid.
+    RowsOutOfRange,
+    /// Region would cover the full device height, isolating the two sides
+    /// of the static design from each other.
+    FullHeight,
+    /// Region overlaps an embedded CPU block.
+    OverlapsPpc,
+    /// Empty ranges are meaningless.
+    Empty,
+    /// A listed BRAM block does not exist on the device.
+    BramOutOfRange,
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            RegionError::ColumnsOutOfRange => "column range exceeds device grid",
+            RegionError::RowsOutOfRange => "row range exceeds device grid",
+            RegionError::FullHeight => {
+                "region covers full device height (would isolate left from right)"
+            }
+            RegionError::OverlapsPpc => "region overlaps an embedded CPU block",
+            RegionError::Empty => "region is empty",
+            RegionError::BramOutOfRange => "BRAM block outside device",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+/// A rectangular dynamic (run-time reconfigurable) region plus the BRAM
+/// blocks allocated to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicRegion {
+    /// CLB columns covered.
+    pub cols: Range<u16>,
+    /// CLB rows covered (never the full device height).
+    pub rows: Range<u16>,
+    /// BRAM blocks allocated to the region as `(bram_col, block_index)`.
+    pub brams: Vec<(u16, u16)>,
+}
+
+impl DynamicRegion {
+    /// Builds and validates a region for `dev`.
+    pub fn new(
+        dev: &Device,
+        cols: Range<u16>,
+        rows: Range<u16>,
+        brams: Vec<(u16, u16)>,
+    ) -> Result<Self, RegionError> {
+        if cols.is_empty() || rows.is_empty() {
+            return Err(RegionError::Empty);
+        }
+        if cols.end > dev.clb_cols {
+            return Err(RegionError::ColumnsOutOfRange);
+        }
+        if rows.end > dev.rows {
+            return Err(RegionError::RowsOutOfRange);
+        }
+        if rows.start == 0 && rows.end == dev.rows {
+            return Err(RegionError::FullHeight);
+        }
+        for hole in &dev.ppc_holes {
+            let col_overlap = hole.col < cols.end && cols.start < hole.col + hole.width;
+            let row_overlap = hole.row < rows.end && rows.start < hole.row + hole.height;
+            if col_overlap && row_overlap {
+                return Err(RegionError::OverlapsPpc);
+            }
+        }
+        for &(c, b) in &brams {
+            if c >= dev.bram_cols || b >= dev.brams_per_col {
+                return Err(RegionError::BramOutOfRange);
+            }
+        }
+        Ok(DynamicRegion { cols, rows, brams })
+    }
+
+    /// Number of CLBs inside the region.
+    pub fn clb_count(&self) -> u32 {
+        u32::from(self.cols.end - self.cols.start) * u32::from(self.rows.end - self.rows.start)
+    }
+
+    /// Number of slices inside the region.
+    pub fn slice_count(&self) -> u32 {
+        self.clb_count() * SLICES_PER_CLB as u32
+    }
+
+    /// Number of BRAM blocks allocated to the region.
+    pub fn bram_count(&self) -> u32 {
+        self.brams.len() as u32
+    }
+
+    /// Fraction of the device's slices the region holds.
+    pub fn slice_fraction(&self, dev: &Device) -> f64 {
+        f64::from(self.slice_count()) / f64::from(dev.slice_count())
+    }
+
+    /// Does the region contain the CLB?
+    pub fn contains(&self, c: ClbCoord) -> bool {
+        self.cols.contains(&c.col) && self.rows.contains(&c.row)
+    }
+
+    /// Every frame a reconfiguration of this region may legitimately write:
+    /// all minors of each CLB column the region intersects, plus the frames
+    /// of each BRAM column that hosts one of the region's BRAM blocks.
+    ///
+    /// Note the key property the paper highlights: these frames also carry
+    /// the configuration of rows *outside* the region, so writing them
+    /// requires either differential data or merged content (BitLinker).
+    pub fn writable_frames(&self) -> Vec<FrameAddress> {
+        let mut out = Vec::new();
+        for col in self.cols.clone() {
+            for minor in 0..MINORS_PER_CLB_COL {
+                out.push(FrameAddress {
+                    block: FrameBlock::Clb { col },
+                    minor,
+                });
+            }
+        }
+        let mut bram_cols: Vec<u16> = self.brams.iter().map(|&(c, _)| c).collect();
+        bram_cols.sort_unstable();
+        bram_cols.dedup();
+        for col in bram_cols {
+            for minor in 0..MINORS_PER_BRAM_INTERCONNECT {
+                out.push(FrameAddress {
+                    block: FrameBlock::BramInterconnect { col },
+                    minor,
+                });
+            }
+            for minor in 0..MINORS_PER_BRAM_CONTENT {
+                out.push(FrameAddress {
+                    block: FrameBlock::BramContent { col },
+                    minor,
+                });
+            }
+        }
+        out
+    }
+
+    /// Width in CLB columns.
+    pub fn width(&self) -> u16 {
+        self.cols.end - self.cols.start
+    }
+
+    /// Height in CLB rows.
+    pub fn height(&self) -> u16 {
+        self.rows.end - self.rows.start
+    }
+}
+
+/// The 32-bit system's dynamic region: 28 × 11 = 308 CLBs (25 % of the
+/// XC2VP7's slices) and 6 BRAMs, exactly as reported in the paper.
+pub fn region_32bit(dev: &Device) -> DynamicRegion {
+    DynamicRegion::new(
+        dev,
+        0..28,
+        30..41,
+        vec![(0, 8), (0, 9), (1, 8), (1, 9), (2, 8), (2, 9)],
+    )
+    .expect("paper region must validate")
+}
+
+/// The 64-bit system's dynamic region: 32 × 24 = 768 CLBs (3072 slices,
+/// 22.4 % of the XC2VP30) and 22 BRAMs, exactly as reported in the paper.
+pub fn region_64bit(dev: &Device) -> DynamicRegion {
+    let mut brams = Vec::new();
+    // 22 blocks spread over four BRAM columns under the region.
+    for col in 0..4u16 {
+        for blk in 10..16u16 {
+            if brams.len() < 22 {
+                brams.push((col, blk));
+            }
+        }
+    }
+    DynamicRegion::new(dev, 0..32, 48..72, brams).expect("paper region must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceKind;
+
+    #[test]
+    fn paper_region_32bit_counts() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let r = region_32bit(&dev);
+        assert_eq!(r.clb_count(), 308, "paper: 28x11 = 308 CLBs");
+        assert_eq!(r.slice_count(), 1232);
+        assert_eq!(r.bram_count(), 6, "paper: 6 RAM blocks");
+        let frac = r.slice_fraction(&dev);
+        assert!((0.24..0.26).contains(&frac), "paper: 25% of slices, got {frac}");
+    }
+
+    #[test]
+    fn paper_region_64bit_counts() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let r = region_64bit(&dev);
+        assert_eq!(r.clb_count(), 768, "paper: 32x24 = 768 CLBs");
+        assert_eq!(r.slice_count(), 3072, "paper: 3072 slices");
+        assert_eq!(r.bram_count(), 22, "paper: 22 BRAMs");
+        let frac = r.slice_fraction(&dev);
+        assert!((0.22..0.23).contains(&frac), "paper: 22.4%, got {frac}");
+    }
+
+    #[test]
+    fn full_height_rejected() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let err = DynamicRegion::new(&dev, 0..10, 0..44, vec![]).unwrap_err();
+        assert_eq!(err, RegionError::FullHeight);
+    }
+
+    #[test]
+    fn ppc_overlap_rejected() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let err = DynamicRegion::new(&dev, 8..20, 10..20, vec![]).unwrap_err();
+        assert_eq!(err, RegionError::OverlapsPpc);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        assert_eq!(
+            DynamicRegion::new(&dev, 0..29, 1..2, vec![]).unwrap_err(),
+            RegionError::ColumnsOutOfRange
+        );
+        assert_eq!(
+            DynamicRegion::new(&dev, 0..1, 40..45, vec![]).unwrap_err(),
+            RegionError::RowsOutOfRange
+        );
+        assert_eq!(
+            DynamicRegion::new(&dev, 0..1, 0..0, vec![]).unwrap_err(),
+            RegionError::Empty
+        );
+        assert_eq!(
+            DynamicRegion::new(&dev, 0..1, 1..2, vec![(4, 0)]).unwrap_err(),
+            RegionError::BramOutOfRange
+        );
+    }
+
+    #[test]
+    fn containment() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let r = region_32bit(&dev);
+        assert!(r.contains(ClbCoord::new(0, 30)));
+        assert!(r.contains(ClbCoord::new(27, 40)));
+        assert!(!r.contains(ClbCoord::new(0, 29)));
+        assert!(!r.contains(ClbCoord::new(0, 41)));
+    }
+
+    #[test]
+    fn writable_frames_cover_region_columns() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let r = region_32bit(&dev);
+        let frames = r.writable_frames();
+        // 28 CLB columns * 22 minors + 3 BRAM columns * 68 frames
+        assert_eq!(frames.len(), 28 * 22 + 3 * 68);
+        assert!(frames.iter().any(|f| matches!(
+            f.block,
+            FrameBlock::Clb { col: 27 }
+        )));
+    }
+
+    #[test]
+    fn width_height() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let r = region_64bit(&dev);
+        assert_eq!(r.width(), 32);
+        assert_eq!(r.height(), 24);
+    }
+}

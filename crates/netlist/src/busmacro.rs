@@ -1,0 +1,278 @@
+//! Bus macros (paper fig. 2).
+//!
+//! A component destined for the dynamic region must present its I/O signals
+//! at **fixed fabric locations**, so that an assembled configuration can be
+//! produced by concatenating independently designed components. The paper's
+//! (and our default) mechanism is the *LUT-based bus macro*: each signal
+//! passes through a pass-through LUT pinned to an agreed site. Signals leave
+//! component A through specific LUTs and enter component B through the
+//! corresponding LUTs; neither design knows anything else about the other.
+//!
+//! Tristate-line macros (Xilinx app note 290) are also modelled for the area
+//! ablation: they consume no LUTs but occupy the scarce long tristate lines
+//! (4 per CLB row in Virtex-II) and are slower; the paper's circuits use
+//! LUT-based macros "since they consume less area".
+
+use crate::components::truth4;
+use crate::graph::{Bus, CellId, Netlist};
+use crate::place::{AutoPlacer, LutSite};
+use serde::{Deserialize, Serialize};
+use vp2_fabric::coords::{LutIndex, SliceCoord, LUTS_PER_SLICE, SLICES_PER_CLB};
+
+/// Bus-macro flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacroKind {
+    /// Pass-through LUTs at fixed sites (1 LUT per signal per side).
+    LutBased,
+    /// Tristate long lines (no LUTs, but scarce routing; slower).
+    Tristate,
+}
+
+/// A bus-macro specification: the agreed, fixed signal sites.
+///
+/// Two components can be assembled next to each other iff they instantiate
+/// byte-identical macros ([`BusMacro::same_footprint`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusMacro {
+    /// Macro name (part of the compatibility contract).
+    pub name: String,
+    /// Flavour.
+    pub kind: MacroKind,
+    /// One site per signal, in bit order.
+    pub sites: Vec<LutSite>,
+}
+
+impl BusMacro {
+    /// Standard LUT-based macro: `width` signals stacked vertically starting
+    /// at CLB column `col`, row `start_row`, 8 signals per CLB (4 slices × 2
+    /// LUTs).
+    pub fn lut_based(name: impl Into<String>, width: u16, col: u16, start_row: u16) -> Self {
+        let per_clb = (SLICES_PER_CLB * LUTS_PER_SLICE) as u16;
+        let sites = (0..width)
+            .map(|i| {
+                let row = start_row + i / per_clb;
+                let within = i % per_clb;
+                let slice = (within / LUTS_PER_SLICE as u16) as u8;
+                let lut = (within % LUTS_PER_SLICE as u16) as u8;
+                (SliceCoord::new(col, row, slice), LutIndex::new(lut))
+            })
+            .collect();
+        BusMacro {
+            name: name.into(),
+            kind: MacroKind::LutBased,
+            sites,
+        }
+    }
+
+    /// Tristate macro: same site bookkeeping (for placement exclusion), but
+    /// no LUTs are consumed when instantiated.
+    pub fn tristate(name: impl Into<String>, width: u16, col: u16, start_row: u16) -> Self {
+        let mut m = Self::lut_based(name, width, col, start_row);
+        m.kind = MacroKind::Tristate;
+        m
+    }
+
+    /// Number of signals.
+    pub fn width(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// LUTs consumed on one side of the macro.
+    pub fn lut_cost(&self) -> usize {
+        match self.kind {
+            MacroKind::LutBased => self.sites.len(),
+            MacroKind::Tristate => 0,
+        }
+    }
+
+    /// Do two macros pin the same signals to the same sites (the assembly
+    /// compatibility condition)?
+    pub fn same_footprint(&self, other: &BusMacro) -> bool {
+        self.name == other.name && self.kind == other.kind && self.sites == other.sites
+    }
+
+    /// Instantiates the macro as a component **input**: declares an input
+    /// port named `port`, routes every bit through a pinned pass-through LUT
+    /// (for the LUT-based kind) and returns the component-side bus.
+    ///
+    /// The returned cells must be pinned via the supplied placer.
+    pub fn instantiate_input(&self, nl: &mut Netlist, placer: &mut AutoPlacer, port: &str) -> Bus {
+        let id = truth4(|a, _, _, _| a);
+        (0..self.width())
+            .map(|bit| {
+                let pin_net = nl.input(port, bit as u16);
+                match self.kind {
+                    MacroKind::LutBased => {
+                        let out = nl.net();
+                        let cell = nl.lut_into(id, [Some(pin_net), None, None, None], out);
+                        placer.pin_lut(cell, self.sites[bit]);
+                        out
+                    }
+                    MacroKind::Tristate => pin_net,
+                }
+            })
+            .collect()
+    }
+
+    /// Instantiates the macro as a component **output**: routes every bit of
+    /// `bus` through a pinned pass-through LUT and declares an output port
+    /// named `port` observing the macro side.
+    ///
+    /// # Panics
+    /// Panics if `bus` width differs from the macro width.
+    pub fn instantiate_output(
+        &self,
+        nl: &mut Netlist,
+        placer: &mut AutoPlacer,
+        port: &str,
+        bus: &[crate::graph::NetId],
+    ) -> Vec<CellId> {
+        assert_eq!(bus.len(), self.width(), "bus/macro width mismatch");
+        let id = truth4(|a, _, _, _| a);
+        let mut cells = Vec::new();
+        for (bit, &net) in bus.iter().enumerate() {
+            match self.kind {
+                MacroKind::LutBased => {
+                    let out = nl.net();
+                    let cell = nl.lut_into(id, [Some(net), None, None, None], out);
+                    placer.pin_lut(cell, self.sites[bit]);
+                    cells.push(cell);
+                    nl.output(port, bit as u16, out);
+                }
+                MacroKind::Tristate => {
+                    nl.output(port, bit as u16, net);
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// The standard macro set used by every dynamic-region component in this
+/// reproduction: a write channel entering at the region's left edge and a
+/// read channel leaving at the same edge, plus the write-strobe signal the
+/// paper describes ("an additional signal that indicates the occurrence of a
+/// write operation … can be used as a clock enable").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DockMacros {
+    /// CPU→region data (32 or 64 bits).
+    pub write: BusMacro,
+    /// Region→CPU data (32 or 64 bits).
+    pub read: BusMacro,
+    /// Write-strobe (1 bit).
+    pub strobe: BusMacro,
+}
+
+impl DockMacros {
+    /// Macro set for a given channel width (32 for the OPB dock, 64 for the
+    /// PLB dock). Sites are stacked at the region's left edge (column 0).
+    pub fn for_width(width: u16) -> Self {
+        let per_clb = (SLICES_PER_CLB * LUTS_PER_SLICE) as u16;
+        let write = BusMacro::lut_based(format!("dock_write{width}"), width, 0, 0);
+        let write_clbs = width.div_ceil(per_clb);
+        let read = BusMacro::lut_based(format!("dock_read{width}"), width, 0, write_clbs);
+        let strobe = BusMacro::lut_based("dock_strobe", 1, 0, 2 * write_clbs);
+        DockMacros {
+            write,
+            read,
+            strobe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::Simulator;
+
+    #[test]
+    fn lut_macro_site_layout() {
+        let m = BusMacro::lut_based("w32", 32, 0, 0);
+        assert_eq!(m.width(), 32);
+        assert_eq!(m.lut_cost(), 32);
+        // 8 signals per CLB → rows 0..4.
+        assert_eq!(m.sites[0], (SliceCoord::new(0, 0, 0), LutIndex::F));
+        assert_eq!(m.sites[7], (SliceCoord::new(0, 0, 3), LutIndex::G));
+        assert_eq!(m.sites[8].0.clb.row, 1);
+        assert_eq!(m.sites[31].0.clb.row, 3);
+    }
+
+    #[test]
+    fn tristate_costs_no_luts() {
+        let m = BusMacro::tristate("t8", 8, 0, 0);
+        assert_eq!(m.lut_cost(), 0);
+        assert_eq!(m.width(), 8);
+    }
+
+    #[test]
+    fn footprint_compatibility() {
+        let a = BusMacro::lut_based("w32", 32, 0, 0);
+        let b = BusMacro::lut_based("w32", 32, 0, 0);
+        let c = BusMacro::lut_based("w32", 32, 1, 0);
+        let d = BusMacro::lut_based("other", 32, 0, 0);
+        assert!(a.same_footprint(&b));
+        assert!(!a.same_footprint(&c), "different column");
+        assert!(!a.same_footprint(&d), "different name");
+    }
+
+    #[test]
+    fn instantiated_macro_passes_data_through() {
+        let m_in = BusMacro::lut_based("in8", 8, 0, 0);
+        let m_out = BusMacro::lut_based("out8", 8, 0, 1);
+        let mut nl = Netlist::new("wire8");
+        let mut placer = AutoPlacer::new();
+        let din = m_in.instantiate_input(&mut nl, &mut placer, "din");
+        // Component body: bitwise NOT.
+        let inverted = crate::components::bus_not(&mut nl, &din);
+        m_out.instantiate_output(&mut nl, &mut placer, "dout", &inverted);
+        nl.validate().unwrap();
+        // Macro LUTs are pinned and the whole thing places in 1x2 CLBs + body.
+        let p = placer.place(&nl, 2, 2).unwrap();
+        assert_eq!(p.luts.len(), nl.lut_cell_count());
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("din", 0b1010_0110);
+        assert_eq!(sim.output("dout"), 0b0101_1001);
+    }
+
+    #[test]
+    fn macro_luts_occupy_their_pinned_sites() {
+        let m = BusMacro::lut_based("in8", 8, 0, 0);
+        let mut nl = Netlist::new("probe");
+        let mut placer = AutoPlacer::new();
+        let bus = m.instantiate_input(&mut nl, &mut placer, "din");
+        nl.output_bus("o", &bus);
+        let p = placer.place(&nl, 1, 1).unwrap();
+        // Every macro site hosts exactly one cell.
+        for site in &m.sites {
+            let cnt = p.luts.values().filter(|&&s| s == *site).count();
+            assert_eq!(cnt, 1, "site {site:?}");
+        }
+    }
+
+    #[test]
+    fn dock_macros_do_not_overlap() {
+        for width in [32u16, 64] {
+            let dm = DockMacros::for_width(width);
+            let mut all: Vec<LutSite> = dm
+                .write
+                .sites
+                .iter()
+                .chain(&dm.read.sites)
+                .chain(&dm.strobe.sites)
+                .copied()
+                .collect();
+            let before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), before, "sites overlap at width {width}");
+        }
+    }
+
+    #[test]
+    fn wider_dock_macro_for_plb() {
+        let dm = DockMacros::for_width(64);
+        assert_eq!(dm.write.width(), 64);
+        assert_eq!(dm.read.width(), 64);
+        assert_eq!(dm.strobe.width(), 1);
+    }
+}

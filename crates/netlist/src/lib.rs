@@ -1,0 +1,28 @@
+//! # vp2-netlist — structural netlists for the dynamic region
+//!
+//! Hardware modules destined for the dynamic region are described as
+//! structural netlists of the primitives a Virtex-II Pro slice offers (4-input
+//! LUTs and flip-flops), placed onto concrete slice sites, simulated at gate
+//! level, and encoded into configuration-memory bits (see `vp2-fabric`).
+//!
+//! The crate also implements the paper's **bus macros** (fig. 2): pass-through
+//! LUTs pinned to fixed sites so that independently designed components have
+//! compatible I/O locations and their configurations can be assembled by
+//! concatenation (BitLinker, in `vp2-bitstream`).
+//!
+//! Each application's hardware module exists twice in this reproduction —
+//! as a netlist here (the source of truth for area, placement and bitstream
+//! bits) and as a fast behavioural model in `rtr-apps`. Property tests assert
+//! the two agree cycle-for-cycle.
+
+pub mod busmacro;
+pub mod components;
+pub mod encode;
+pub mod graph;
+pub mod place;
+pub mod simulate;
+
+pub use busmacro::{BusMacro, MacroKind};
+pub use graph::{Bus, CellId, CellKind, NetId, Netlist, NetlistError, PortDir};
+pub use place::{AutoPlacer, PlaceError, Placement};
+pub use simulate::Simulator;

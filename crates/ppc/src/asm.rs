@@ -1,0 +1,593 @@
+//! Two-pass text assembler.
+//!
+//! All software baselines in the reproduction (the paper's "software-only
+//! implementations running on the embedded CPU") are written in this
+//! assembly dialect. Syntax:
+//!
+//! ```text
+//! # comment            ; also a comment
+//! label:
+//!     addi  r3, r0, 42
+//!     lwz   r4, 8(r3)       # displacement addressing
+//!     lwzx  r5, r3, r4      # indexed addressing
+//!     cmpwi r4, 0
+//!     bne   label           # branch to label
+//!     li    r6, 7           # pseudo: addi r6, r0, 7
+//!     lis   r7, 0x1234      # pseudo: addis r7, r0, 0x1234
+//!     mr    r8, r7          # pseudo: or r8, r7, r7
+//!     .word 0xDEADBEEF      # literal data
+//!     halt
+//! ```
+
+use crate::isa::{encode, Instr};
+use std::collections::HashMap;
+
+/// An assembled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u32,
+    /// Instruction/data words.
+    pub words: Vec<u32>,
+    /// Label → absolute address.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Program size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Address of a label.
+    ///
+    /// # Panics
+    /// Panics if the label is unknown (test ergonomics).
+    pub fn label(&self, name: &str) -> u32 {
+        *self
+            .labels
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown label '{name}'"))
+    }
+}
+
+/// Assembly errors with line numbers (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One statement after lexing.
+#[derive(Debug)]
+enum Stmt {
+    Instr { mnemonic: String, operands: Vec<String>, line: usize },
+    Word(u32),
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u8, AsmError> {
+    let s = s.trim();
+    let num = s
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got '{s}'")))?;
+    let n: u8 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad register '{s}'")))?;
+    if n > 31 {
+        return Err(err(line, format!("register out of range '{s}'")));
+    }
+    Ok(n)
+}
+
+fn parse_imm(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate '{s}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn imm_i16(v: i64, line: usize) -> Result<i16, AsmError> {
+    // Accept both signed [-32768, 32767] and unsigned-style [0, 65535].
+    if (-32768..=65535).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit 16 bits")))
+    }
+}
+
+fn imm_u16(v: i64, line: usize) -> Result<u16, AsmError> {
+    if (0..=65535).contains(&v) {
+        Ok(v as u16)
+    } else if (-32768..0).contains(&v) {
+        Ok(v as i16 as u16)
+    } else {
+        Err(err(line, format!("immediate {v} does not fit 16 bits")))
+    }
+}
+
+fn imm_sh(v: i64, line: usize) -> Result<u8, AsmError> {
+    if (0..=31).contains(&v) {
+        Ok(v as u8)
+    } else {
+        Err(err(line, format!("shift amount {v} out of range")))
+    }
+}
+
+/// Splits `disp(rA)` into (disp, reg).
+fn parse_mem(s: &str, line: usize) -> Result<(i64, u8), AsmError> {
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(rA), got '{s}'")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing ')' in '{s}'")))?;
+    let disp = if s[..open].trim().is_empty() {
+        0
+    } else {
+        parse_imm(&s[..open], line)?
+    };
+    let reg = parse_reg(&s[open + 1..close], line)?;
+    Ok((disp, reg))
+}
+
+/// Assembles `src` at load address `base`.
+pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
+    assert_eq!(base % 4, 0, "base must be word-aligned");
+    // Pass 1: lex statements, record label addresses.
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(p) = text.find(['#', ';']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several, though style uses one).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(err(line_no, format!("bad label '{label}'")));
+            }
+            let addr = base + 4 * stmts.len() as u32;
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(err(line_no, format!("duplicate label '{label}'")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".word") {
+            let v = parse_imm(rest.trim(), line_no)?;
+            stmts.push(Stmt::Word(v as u32));
+            continue;
+        }
+        let (mnemonic, ops) = match text.find(char::is_whitespace) {
+            Some(p) => (&text[..p], text[p..].trim()),
+            None => (text, ""),
+        };
+        let operands: Vec<String> = if ops.is_empty() {
+            Vec::new()
+        } else {
+            ops.split(',').map(|s| s.trim().to_string()).collect()
+        };
+        stmts.push(Stmt::Instr {
+            mnemonic: mnemonic.to_ascii_lowercase(),
+            operands,
+            line: line_no,
+        });
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::with_capacity(stmts.len());
+    for (i, stmt) in stmts.iter().enumerate() {
+        let pc = base + 4 * i as u32;
+        match stmt {
+            Stmt::Word(w) => words.push(*w),
+            Stmt::Instr {
+                mnemonic,
+                operands,
+                line,
+            } => {
+                let instr = encode_stmt(mnemonic, operands, pc, &labels, *line)?;
+                words.push(encode(instr));
+            }
+        }
+    }
+    Ok(Program {
+        base,
+        words,
+        labels,
+    })
+}
+
+/// Resolves a branch target operand (label or numeric offset) to a word
+/// offset relative to `pc`.
+fn branch_off(
+    op: &str,
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<i16, AsmError> {
+    if let Some(&target) = labels.get(op.trim()) {
+        let delta = (i64::from(target) - i64::from(pc)) / 4;
+        if !(-32768..=32767).contains(&delta) {
+            return Err(err(line, format!("branch to '{op}' out of range")));
+        }
+        Ok(delta as i16)
+    } else {
+        let v = parse_imm(op, line)?;
+        if !(-32768..=32767).contains(&v) {
+            return Err(err(line, "branch offset out of range"));
+        }
+        Ok(v as i16)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_stmt(
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    labels: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Instr, AsmError> {
+    let need = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("'{mnemonic}' expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let rrr = |f: fn(u8, u8, u8) -> Instr| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            parse_reg(&ops[2], line)?,
+        ))
+    };
+    let rri = |f: fn(u8, u8, i16) -> Instr| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            imm_i16(parse_imm(&ops[2], line)?, line)?,
+        ))
+    };
+    let rru = |f: fn(u8, u8, u16) -> Instr| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            imm_u16(parse_imm(&ops[2], line)?, line)?,
+        ))
+    };
+    let rrsh = |f: fn(u8, u8, u8) -> Instr| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(f(
+            parse_reg(&ops[0], line)?,
+            parse_reg(&ops[1], line)?,
+            imm_sh(parse_imm(&ops[2], line)?, line)?,
+        ))
+    };
+    let mem_form = |f: fn(u8, u8, i16) -> Instr| -> Result<Instr, AsmError> {
+        need(2)?;
+        let rd = parse_reg(&ops[0], line)?;
+        let (disp, ra) = parse_mem(&ops[1], line)?;
+        Ok(f(rd, ra, imm_i16(disp, line)?))
+    };
+    let branch = |f: fn(i16) -> Instr| -> Result<Instr, AsmError> {
+        need(1)?;
+        Ok(f(branch_off(&ops[0], pc, labels, line)?))
+    };
+
+    Ok(match mnemonic {
+        "halt" => {
+            need(0)?;
+            Instr::Halt
+        }
+        "nop" => {
+            need(0)?;
+            Instr::Nop
+        }
+        "sync" => {
+            need(0)?;
+            Instr::Sync
+        }
+        "addi" => rri(|rd, ra, imm| Instr::Addi { rd, ra, imm })?,
+        "addis" => rri(|rd, ra, imm| Instr::Addis { rd, ra, imm })?,
+        "li" => {
+            need(2)?;
+            Instr::Addi {
+                rd: parse_reg(&ops[0], line)?,
+                ra: 0,
+                imm: imm_i16(parse_imm(&ops[1], line)?, line)?,
+            }
+        }
+        "lis" => {
+            need(2)?;
+            Instr::Addis {
+                rd: parse_reg(&ops[0], line)?,
+                ra: 0,
+                imm: imm_i16(parse_imm(&ops[1], line)?, line)?,
+            }
+        }
+        "mr" => {
+            need(2)?;
+            let rd = parse_reg(&ops[0], line)?;
+            let ra = parse_reg(&ops[1], line)?;
+            Instr::Or { rd, ra, rb: ra }
+        }
+        "add" => rrr(|rd, ra, rb| Instr::Add { rd, ra, rb })?,
+        "sub" | "subf" => rrr(|rd, ra, rb| Instr::Sub { rd, ra, rb })?,
+        "mullw" => rrr(|rd, ra, rb| Instr::Mullw { rd, ra, rb })?,
+        "and" => rrr(|rd, ra, rb| Instr::And { rd, ra, rb })?,
+        "or" => rrr(|rd, ra, rb| Instr::Or { rd, ra, rb })?,
+        "xor" => rrr(|rd, ra, rb| Instr::Xor { rd, ra, rb })?,
+        "nor" => rrr(|rd, ra, rb| Instr::Nor { rd, ra, rb })?,
+        "slw" => rrr(|rd, ra, rb| Instr::Slw { rd, ra, rb })?,
+        "srw" => rrr(|rd, ra, rb| Instr::Srw { rd, ra, rb })?,
+        "andi" => rru(|rd, ra, imm| Instr::Andi { rd, ra, imm })?,
+        "ori" => rru(|rd, ra, imm| Instr::Ori { rd, ra, imm })?,
+        "xori" => rru(|rd, ra, imm| Instr::Xori { rd, ra, imm })?,
+        "slwi" => rrsh(|rd, ra, sh| Instr::Slwi { rd, ra, sh })?,
+        "srwi" => rrsh(|rd, ra, sh| Instr::Srwi { rd, ra, sh })?,
+        "srawi" => rrsh(|rd, ra, sh| Instr::Srawi { rd, ra, sh })?,
+        "rotlwi" => rrsh(|rd, ra, sh| Instr::Rotlwi { rd, ra, sh })?,
+        "lwz" => mem_form(|rd, ra, imm| Instr::Lwz { rd, ra, imm })?,
+        "lbz" => mem_form(|rd, ra, imm| Instr::Lbz { rd, ra, imm })?,
+        "lhz" => mem_form(|rd, ra, imm| Instr::Lhz { rd, ra, imm })?,
+        "stw" => mem_form(|rd, ra, imm| Instr::Stw { rd, ra, imm })?,
+        "stb" => mem_form(|rd, ra, imm| Instr::Stb { rd, ra, imm })?,
+        "sth" => mem_form(|rd, ra, imm| Instr::Sth { rd, ra, imm })?,
+        "lwzx" => rrr(|rd, ra, rb| Instr::Lwzx { rd, ra, rb })?,
+        "stwx" => rrr(|rd, ra, rb| Instr::Stwx { rd, ra, rb })?,
+        "lbzx" => rrr(|rd, ra, rb| Instr::Lbzx { rd, ra, rb })?,
+        "lhzx" => rrr(|rd, ra, rb| Instr::Lhzx { rd, ra, rb })?,
+        "stbx" => rrr(|rd, ra, rb| Instr::Stbx { rd, ra, rb })?,
+        "cmpw" => {
+            need(2)?;
+            Instr::Cmpw {
+                ra: parse_reg(&ops[0], line)?,
+                rb: parse_reg(&ops[1], line)?,
+            }
+        }
+        "cmplw" => {
+            need(2)?;
+            Instr::Cmplw {
+                ra: parse_reg(&ops[0], line)?,
+                rb: parse_reg(&ops[1], line)?,
+            }
+        }
+        "cmpwi" => {
+            need(2)?;
+            Instr::Cmpwi {
+                ra: parse_reg(&ops[0], line)?,
+                imm: imm_i16(parse_imm(&ops[1], line)?, line)?,
+            }
+        }
+        "cmplwi" => {
+            need(2)?;
+            Instr::Cmplwi {
+                ra: parse_reg(&ops[0], line)?,
+                imm: imm_u16(parse_imm(&ops[1], line)?, line)?,
+            }
+        }
+        "b" => branch(|off| Instr::B { off })?,
+        "bl" => branch(|off| Instr::Bl { off })?,
+        "blr" => {
+            need(0)?;
+            Instr::Blr
+        }
+        "beq" => branch(|off| Instr::Beq { off })?,
+        "bne" => branch(|off| Instr::Bne { off })?,
+        "blt" => branch(|off| Instr::Blt { off })?,
+        "bge" => branch(|off| Instr::Bge { off })?,
+        "bgt" => branch(|off| Instr::Bgt { off })?,
+        "ble" => branch(|off| Instr::Ble { off })?,
+        "dcbf" => {
+            need(1)?;
+            let (disp, ra) = parse_mem(&ops[0], line)?;
+            Instr::Dcbf {
+                ra,
+                imm: imm_i16(disp, line)?,
+            }
+        }
+        "dcbi" => {
+            need(1)?;
+            let (disp, ra) = parse_mem(&ops[0], line)?;
+            Instr::Dcbi {
+                ra,
+                imm: imm_i16(disp, line)?,
+            }
+        }
+        "wrteei" => {
+            need(1)?;
+            Instr::Wrteei {
+                imm: imm_u16(parse_imm(&ops[0], line)?, line)? & 1,
+            }
+        }
+        "rfi" => {
+            need(0)?;
+            Instr::Rfi
+        }
+        "mflr" => {
+            need(1)?;
+            Instr::Mflr {
+                rd: parse_reg(&ops[0], line)?,
+            }
+        }
+        "mtlr" => {
+            need(1)?;
+            Instr::Mtlr {
+                ra: parse_reg(&ops[0], line)?,
+            }
+        }
+        other => return Err(err(line, format!("unknown mnemonic '{other}'"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::decode;
+
+    #[test]
+    fn basic_program() {
+        let p = assemble(
+            "start:\n  li r3, 5\n  addi r3, r3, 1\n  halt\n",
+            0x100,
+        )
+        .unwrap();
+        assert_eq!(p.base, 0x100);
+        assert_eq!(p.words.len(), 3);
+        assert_eq!(p.label("start"), 0x100);
+        assert_eq!(
+            decode(p.words[0]),
+            Some(Instr::Addi { rd: 3, ra: 0, imm: 5 })
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            r#"
+            li r3, 3
+        top:
+            addi r3, r3, -1
+            cmpwi r3, 0
+            bne top
+            halt
+        "#,
+            0,
+        )
+        .unwrap();
+        // bne at word 3 targets word 1: offset -2.
+        assert_eq!(decode(p.words[3]), Some(Instr::Bne { off: -2 }));
+    }
+
+    #[test]
+    fn forward_references() {
+        let p = assemble("  b end\n  halt\nend:\n  halt\n", 0).unwrap();
+        assert_eq!(decode(p.words[0]), Some(Instr::B { off: 2 }));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("  lwz r3, 8(r4)\n  stw r3, -4(r5)\n  lwz r6, (r7)\n", 0).unwrap();
+        assert_eq!(
+            decode(p.words[0]),
+            Some(Instr::Lwz { rd: 3, ra: 4, imm: 8 })
+        );
+        assert_eq!(
+            decode(p.words[1]),
+            Some(Instr::Stw { rd: 3, ra: 5, imm: -4 })
+        );
+        assert_eq!(
+            decode(p.words[2]),
+            Some(Instr::Lwz { rd: 6, ra: 7, imm: 0 })
+        );
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("  li r3, 0xFF\n  li r4, -1\n  andi r5, r3, 0xF0F0\n", 0).unwrap();
+        assert_eq!(
+            decode(p.words[2]),
+            Some(Instr::Andi { rd: 5, ra: 3, imm: 0xF0F0 })
+        );
+        assert_eq!(
+            decode(p.words[1]),
+            Some(Instr::Addi { rd: 4, ra: 0, imm: -1 })
+        );
+    }
+
+    #[test]
+    fn comments_both_styles() {
+        let p = assemble("  li r3, 1 # hash\n  li r4, 2 ; semi\n", 0).unwrap();
+        assert_eq!(p.words.len(), 2);
+    }
+
+    #[test]
+    fn word_directive() {
+        let p = assemble("data:\n  .word 0xCAFEBABE\n", 0x40).unwrap();
+        assert_eq!(p.words[0], 0xCAFE_BABE);
+        assert_eq!(p.label("data"), 0x40);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("  bogus r1\n", 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bogus"));
+        let e = assemble("\n  addi r3, r0\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("  li r99, 0\n", 0).unwrap_err();
+        assert!(e.message.contains("register"));
+        let e = assemble("  b nowhere_special_9\n", 0).unwrap_err();
+        assert!(e.message.contains("bad immediate") || e.message.contains("branch"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\n  nop\na:\n  nop\n", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn pseudo_ops() {
+        let p = assemble("  mr r3, r4\n  lis r5, 0x1000\n", 0).unwrap();
+        assert_eq!(
+            decode(p.words[0]),
+            Some(Instr::Or { rd: 3, ra: 4, rb: 4 })
+        );
+        assert_eq!(
+            decode(p.words[1]),
+            Some(Instr::Addis { rd: 5, ra: 0, imm: 0x1000 })
+        );
+    }
+
+    #[test]
+    fn cache_ops_and_irq_ops() {
+        let p = assemble("  dcbf (r3)\n  dcbi 32(r4)\n  wrteei 1\n  rfi\n", 0).unwrap();
+        assert_eq!(decode(p.words[0]), Some(Instr::Dcbf { ra: 3, imm: 0 }));
+        assert_eq!(decode(p.words[1]), Some(Instr::Dcbi { ra: 4, imm: 32 }));
+        assert_eq!(decode(p.words[2]), Some(Instr::Wrteei { imm: 1 }));
+        assert_eq!(decode(p.words[3]), Some(Instr::Rfi));
+    }
+}

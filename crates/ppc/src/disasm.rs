@@ -1,0 +1,153 @@
+//! Disassembler: renders instruction words back into the assembler's
+//! syntax. Round-trips with [`crate::asm::assemble`] (property-tested), and
+//! backs the machine's debugging output.
+
+use crate::isa::{decode, Instr};
+
+/// Disassembles one word, or `None` for an illegal encoding.
+pub fn disassemble(word: u32) -> Option<String> {
+    Some(render(decode(word)?))
+}
+
+/// Renders a decoded instruction in assembler syntax. Branch offsets are
+/// rendered numerically (labels are an assembler-level concept).
+pub fn render(i: Instr) -> String {
+    use Instr::*;
+    match i {
+        Halt => "halt".to_string(),
+        Nop => "nop".to_string(),
+        Sync => "sync".to_string(),
+        Blr => "blr".to_string(),
+        Rfi => "rfi".to_string(),
+        Addi { rd, ra, imm } => format!("addi r{rd}, r{ra}, {imm}"),
+        Addis { rd, ra, imm } => format!("addis r{rd}, r{ra}, {imm}"),
+        Add { rd, ra, rb } => format!("add r{rd}, r{ra}, r{rb}"),
+        Sub { rd, ra, rb } => format!("sub r{rd}, r{ra}, r{rb}"),
+        Mullw { rd, ra, rb } => format!("mullw r{rd}, r{ra}, r{rb}"),
+        And { rd, ra, rb } => format!("and r{rd}, r{ra}, r{rb}"),
+        Or { rd, ra, rb } => format!("or r{rd}, r{ra}, r{rb}"),
+        Xor { rd, ra, rb } => format!("xor r{rd}, r{ra}, r{rb}"),
+        Nor { rd, ra, rb } => format!("nor r{rd}, r{ra}, r{rb}"),
+        Andi { rd, ra, imm } => format!("andi r{rd}, r{ra}, {imm}"),
+        Ori { rd, ra, imm } => format!("ori r{rd}, r{ra}, {imm}"),
+        Xori { rd, ra, imm } => format!("xori r{rd}, r{ra}, {imm}"),
+        Slw { rd, ra, rb } => format!("slw r{rd}, r{ra}, r{rb}"),
+        Srw { rd, ra, rb } => format!("srw r{rd}, r{ra}, r{rb}"),
+        Slwi { rd, ra, sh } => format!("slwi r{rd}, r{ra}, {sh}"),
+        Srwi { rd, ra, sh } => format!("srwi r{rd}, r{ra}, {sh}"),
+        Srawi { rd, ra, sh } => format!("srawi r{rd}, r{ra}, {sh}"),
+        Rotlwi { rd, ra, sh } => format!("rotlwi r{rd}, r{ra}, {sh}"),
+        Lwz { rd, ra, imm } => format!("lwz r{rd}, {imm}(r{ra})"),
+        Lbz { rd, ra, imm } => format!("lbz r{rd}, {imm}(r{ra})"),
+        Lhz { rd, ra, imm } => format!("lhz r{rd}, {imm}(r{ra})"),
+        Stw { rd, ra, imm } => format!("stw r{rd}, {imm}(r{ra})"),
+        Stb { rd, ra, imm } => format!("stb r{rd}, {imm}(r{ra})"),
+        Sth { rd, ra, imm } => format!("sth r{rd}, {imm}(r{ra})"),
+        Lwzx { rd, ra, rb } => format!("lwzx r{rd}, r{ra}, r{rb}"),
+        Stwx { rd, ra, rb } => format!("stwx r{rd}, r{ra}, r{rb}"),
+        Lbzx { rd, ra, rb } => format!("lbzx r{rd}, r{ra}, r{rb}"),
+        Stbx { rd, ra, rb } => format!("stbx r{rd}, r{ra}, r{rb}"),
+        Lhzx { rd, ra, rb } => format!("lhzx r{rd}, r{ra}, r{rb}"),
+        Cmpw { ra, rb } => format!("cmpw r{ra}, r{rb}"),
+        Cmplw { ra, rb } => format!("cmplw r{ra}, r{rb}"),
+        Cmpwi { ra, imm } => format!("cmpwi r{ra}, {imm}"),
+        Cmplwi { ra, imm } => format!("cmplwi r{ra}, {imm}"),
+        B { off } => format!("b {off}"),
+        Bl { off } => format!("bl {off}"),
+        Beq { off } => format!("beq {off}"),
+        Bne { off } => format!("bne {off}"),
+        Blt { off } => format!("blt {off}"),
+        Bge { off } => format!("bge {off}"),
+        Bgt { off } => format!("bgt {off}"),
+        Ble { off } => format!("ble {off}"),
+        Dcbf { ra, imm } => format!("dcbf {imm}(r{ra})"),
+        Dcbi { ra, imm } => format!("dcbi {imm}(r{ra})"),
+        Wrteei { imm } => format!("wrteei {imm}"),
+        Mflr { rd } => format!("mflr r{rd}"),
+        Mtlr { ra } => format!("mtlr r{ra}"),
+    }
+}
+
+/// Disassembles a program region (diagnostics helper).
+pub fn disassemble_block(base: u32, words: &[u32]) -> String {
+    let mut out = String::new();
+    for (i, &w) in words.iter().enumerate() {
+        let addr = base + 4 * i as u32;
+        let text = disassemble(w).unwrap_or_else(|| format!(".word 0x{w:08X}"));
+        out.push_str(&format!("{addr:08x}:  {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa::encode;
+    use proptest::prelude::*;
+
+    #[test]
+    fn renders_known_forms() {
+        assert_eq!(disassemble(encode(Instr::Addi { rd: 3, ra: 0, imm: -7 })).unwrap(), "addi r3, r0, -7");
+        assert_eq!(disassemble(encode(Instr::Lwz { rd: 4, ra: 5, imm: 8 })).unwrap(), "lwz r4, 8(r5)");
+        assert_eq!(disassemble(encode(Instr::Blr)).unwrap(), "blr");
+        assert_eq!(disassemble(63 << 26), None, "illegal encoding");
+    }
+
+    #[test]
+    fn block_disassembly_includes_addresses() {
+        let words = vec![
+            encode(Instr::Nop),
+            encode(Instr::Halt),
+            0xFFFF_FFFF, // illegal → .word
+        ];
+        let s = disassemble_block(0x1000, &words);
+        assert!(s.contains("00001000:  nop"));
+        assert!(s.contains("00001004:  halt"));
+        assert!(s.contains(".word 0xFFFFFFFF"));
+    }
+
+    /// Every renderable instruction reassembles to the same word
+    /// (assembler → disassembler → assembler fixpoint).
+    #[test]
+    fn roundtrip_through_the_assembler() {
+        let samples = [
+            Instr::Addi { rd: 1, ra: 2, imm: -32768 },
+            Instr::Slwi { rd: 7, ra: 8, sh: 31 },
+            Instr::Stw { rd: 9, ra: 10, imm: -4 },
+            Instr::Lhzx { rd: 1, ra: 2, rb: 3 },
+            Instr::Cmplwi { ra: 6, imm: 65535 },
+            Instr::Bne { off: -100 },
+            Instr::Dcbf { ra: 3, imm: 32 },
+            Instr::Wrteei { imm: 1 },
+            Instr::Mtlr { ra: 29 },
+        ];
+        for i in samples {
+            let text = render(i);
+            let prog = assemble(&format!("  {text}\n"), 0).unwrap_or_else(|e| {
+                panic!("'{text}' failed to reassemble: {e}")
+            });
+            assert_eq!(prog.words[0], encode(i), "'{text}'");
+        }
+    }
+
+    proptest! {
+        /// Random word: either both decode+render+reassemble agree, or the
+        /// word is illegal for the disassembler too.
+        #[test]
+        fn random_words_roundtrip(w in any::<u32>()) {
+            if let Some(text) = disassemble(w) {
+                // Branch offsets render numerically; negative offsets are
+                // legal operands for the assembler.
+                let prog = assemble(&format!("  {text}\n"), 0)
+                    .unwrap_or_else(|e| panic!("'{text}': {e}"));
+                // Re-encoding must produce a word that decodes identically
+                // (unused encoding bits may differ).
+                prop_assert_eq!(
+                    crate::isa::decode(prog.words[0]),
+                    crate::isa::decode(w)
+                );
+            }
+        }
+    }
+}

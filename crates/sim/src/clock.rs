@@ -1,0 +1,205 @@
+//! Clock domains.
+//!
+//! The paper's two systems each run three clock domains:
+//!
+//! | system | CPU | PLB | OPB |
+//! |--------|-----|-----|-----|
+//! | 32-bit (XC2VP7)  | 200 MHz | 50 MHz  | 50 MHz  |
+//! | 64-bit (XC2VP30) | 300 MHz | 100 MHz | 100 MHz |
+//!
+//! A [`ClockDomain`] converts between cycle counts and [`SimTime`] and aligns
+//! asynchronous requests to the next clock edge — the mechanism by which the
+//! model charges the synchroniser penalty of the PLB→OPB bridge crossing.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::fmt;
+
+/// A fixed-frequency clock domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct ClockDomain {
+    /// Human-readable name, e.g. `"cpu"`, `"plb"`, `"opb"`.
+    name: &'static str,
+    /// Clock period in picoseconds.
+    period_ps: u64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain from a frequency in MHz.
+    ///
+    /// The period is rounded down to whole picoseconds (300 MHz → 3333 ps,
+    /// i.e. 300.03 MHz); the resulting systematic error is < 0.01 % and is
+    /// irrelevant next to the calibration uncertainty documented in
+    /// EXPERIMENTS.md.
+    ///
+    /// # Panics
+    /// Panics if `mhz` is zero.
+    pub const fn from_mhz(name: &'static str, mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be non-zero");
+        ClockDomain {
+            name,
+            period_ps: 1_000_000 / mhz,
+        }
+    }
+
+    /// Creates a clock domain from an explicit period in picoseconds.
+    ///
+    /// # Panics
+    /// Panics if `period_ps` is zero.
+    pub const fn from_period_ps(name: &'static str, period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be non-zero");
+        ClockDomain { name, period_ps }
+    }
+
+    /// Domain name.
+    #[inline]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Clock period.
+    #[inline]
+    pub const fn period(&self) -> SimTime {
+        SimTime(self.period_ps)
+    }
+
+    /// Frequency in MHz (rounded).
+    #[inline]
+    pub const fn mhz(&self) -> u64 {
+        1_000_000 / self.period_ps
+    }
+
+    /// Duration of `n` cycles in this domain.
+    #[inline]
+    pub const fn cycles(&self, n: u64) -> SimTime {
+        SimTime(self.period_ps * n)
+    }
+
+    /// Number of *whole* cycles elapsed at instant `t` (cycles since t=0).
+    #[inline]
+    pub fn cycles_at(&self, t: SimTime) -> u64 {
+        t.as_ps() / self.period_ps
+    }
+
+    /// The first clock edge at or after `t`.
+    ///
+    /// All domains are modelled as phase-aligned at t=0 (the boards derive
+    /// every clock from one oscillator through DCMs, so fixed phase is the
+    /// realistic choice and keeps the simulation deterministic).
+    #[inline]
+    pub fn next_edge(&self, t: SimTime) -> SimTime {
+        let p = self.period_ps;
+        let ps = t.as_ps();
+        let rem = ps % p;
+        if rem == 0 {
+            t
+        } else {
+            SimTime(ps - rem + p)
+        }
+    }
+
+    /// The first clock edge strictly after `t`.
+    #[inline]
+    pub fn edge_after(&self, t: SimTime) -> SimTime {
+        SimTime(self.next_edge(t).as_ps().max(t.as_ps() + 1))
+            .pipe_align(self)
+    }
+
+    /// Time to wait from `t` until the next edge (zero if `t` is on an edge).
+    #[inline]
+    pub fn sync_delay(&self, t: SimTime) -> SimTime {
+        self.next_edge(t) - t
+    }
+
+    /// Converts a duration to a (rounded-up) number of cycles in this domain.
+    #[inline]
+    pub fn cycles_ceil(&self, d: SimTime) -> u64 {
+        d.as_ps().div_ceil(self.period_ps)
+    }
+}
+
+/// Tiny private helper so `edge_after` stays branch-free and aligned.
+trait PipeAlign {
+    fn pipe_align(self, clk: &ClockDomain) -> SimTime;
+}
+
+impl PipeAlign for SimTime {
+    #[inline]
+    fn pipe_align(self, clk: &ClockDomain) -> SimTime {
+        clk.next_edge(self)
+    }
+}
+
+impl fmt::Debug for ClockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}MHz", self.name, self.mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frequencies() {
+        let cpu32 = ClockDomain::from_mhz("cpu", 200);
+        let cpu64 = ClockDomain::from_mhz("cpu", 300);
+        let bus32 = ClockDomain::from_mhz("opb", 50);
+        let bus64 = ClockDomain::from_mhz("plb", 100);
+        assert_eq!(cpu32.period().as_ps(), 5_000);
+        assert_eq!(cpu64.period().as_ps(), 3_333);
+        assert_eq!(bus32.period().as_ps(), 20_000);
+        assert_eq!(bus64.period().as_ps(), 10_000);
+    }
+
+    #[test]
+    fn cycle_durations() {
+        let clk = ClockDomain::from_mhz("opb", 50);
+        assert_eq!(clk.cycles(3), SimTime::from_ns(60));
+        assert_eq!(clk.cycles(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn next_edge_alignment() {
+        let clk = ClockDomain::from_mhz("opb", 50); // 20 ns period
+        assert_eq!(clk.next_edge(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(clk.next_edge(SimTime::from_ns(20)), SimTime::from_ns(20));
+        assert_eq!(clk.next_edge(SimTime::from_ns(21)), SimTime::from_ns(40));
+        assert_eq!(clk.next_edge(SimTime::from_ps(1)), SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn edge_after_is_strict() {
+        let clk = ClockDomain::from_mhz("opb", 50);
+        assert_eq!(clk.edge_after(SimTime::ZERO), SimTime::from_ns(20));
+        assert_eq!(clk.edge_after(SimTime::from_ns(20)), SimTime::from_ns(40));
+        assert_eq!(clk.edge_after(SimTime::from_ns(19)), SimTime::from_ns(20));
+    }
+
+    #[test]
+    fn sync_delay_bounds() {
+        let clk = ClockDomain::from_mhz("plb", 100); // 10 ns
+        assert_eq!(clk.sync_delay(SimTime::from_ns(10)), SimTime::ZERO);
+        assert_eq!(clk.sync_delay(SimTime::from_ns(13)), SimTime::from_ns(7));
+        for ps in 0..50_000 {
+            let d = clk.sync_delay(SimTime::from_ps(ps));
+            assert!(d < clk.period());
+        }
+    }
+
+    #[test]
+    fn cycles_ceil_rounds_up() {
+        let clk = ClockDomain::from_mhz("plb", 100);
+        assert_eq!(clk.cycles_ceil(SimTime::from_ns(10)), 1);
+        assert_eq!(clk.cycles_ceil(SimTime::from_ns(11)), 2);
+        assert_eq!(clk.cycles_ceil(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn cycles_at_counts_whole_cycles() {
+        let clk = ClockDomain::from_mhz("cpu", 200);
+        assert_eq!(clk.cycles_at(SimTime::from_ns(4)), 0);
+        assert_eq!(clk.cycles_at(SimTime::from_ns(5)), 1);
+        assert_eq!(clk.cycles_at(SimTime::from_ns(52)), 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! # vp2-repro — umbrella crate
+//!
+//! Re-exports the public API of the reproduction of *"Exploiting dynamic
+//! reconfiguration of platform FPGAs: implementation issues"* (Silva &
+//! Ferreira, 2006). See `README.md` for the architecture overview and
+//! `DESIGN.md` for the full system inventory.
+//!
+//! The individual subsystems live in their own crates:
+//!
+//! * [`sim`] — discrete-event kernel (time, clocks, events, stats)
+//! * [`fabric`] — Virtex-II Pro resource & configuration-memory model
+//! * [`netlist`] — structural netlists, gate-level simulation, bus macros
+//! * [`bitstream`] — bitstream format, partial configs, BitLinker
+//! * [`ppc`] — PowerPC-405-flavoured CPU model and assembler
+//! * [`coreconnect`] — PLB/OPB buses, bridge, memories, DMA, interrupts
+//! * [`dock`] — OPB Dock and PLB Dock wrappers
+//! * [`rtr`] — the run-time reconfiguration framework (the paper's core)
+//! * [`apps`] — the paper's six evaluation workloads
+
+pub use coreconnect_sim as coreconnect;
+pub use dock;
+pub use ppc405_sim as ppc;
+pub use rtr_apps as apps;
+pub use rtr_core as rtr;
+pub use vp2_bitstream as bitstream;
+pub use vp2_fabric as fabric;
+pub use vp2_netlist as netlist;
+pub use vp2_sim as sim;

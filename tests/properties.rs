@@ -1,0 +1,134 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use proptest::prelude::*;
+use vp2_repro::apps::{imaging, jenkins, patmatch, sha1};
+use vp2_repro::bitstream::{apply_bitstream, differential_bitstream, full_bitstream, idcode_for};
+use vp2_repro::dock::DynamicModule;
+use vp2_repro::fabric::{ConfigMemory, Device, DeviceKind};
+use vp2_repro::fabric::coords::{ClbCoord, LutIndex, SliceIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any configuration state survives a full-bitstream round trip.
+    #[test]
+    fn bitstream_roundtrip_preserves_any_state(
+        writes in proptest::collection::vec((0u16..28, 0u16..44, 0u8..4, 0u8..2, any::<u16>()), 0..40)
+    ) {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut src = ConfigMemory::new(&dev);
+        for (col, row, slice, lut, truth) in writes {
+            src.set_lut(ClbCoord::new(col, row), SliceIndex::new(slice), LutIndex::new(lut), truth);
+        }
+        let bs = full_bitstream(&src, idcode_for(dev.kind));
+        let mut dst = ConfigMemory::new(&dev);
+        apply_bitstream(&bs, &mut dst, idcode_for(dev.kind)).unwrap();
+        prop_assert_eq!(dst, src);
+    }
+
+    /// differential(base → target) applied over base always reproduces
+    /// target, whatever the two states are.
+    #[test]
+    fn differential_is_exact_over_its_base(
+        a in proptest::collection::vec((0u16..28, 0u16..44, any::<u16>()), 0..20),
+        b in proptest::collection::vec((0u16..28, 0u16..44, any::<u16>()), 0..20),
+    ) {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut base = ConfigMemory::new(&dev);
+        for (col, row, truth) in a {
+            base.set_lut(ClbCoord::new(col, row), SliceIndex::new(0), LutIndex::F, truth);
+        }
+        let mut target = base.clone();
+        for (col, row, truth) in b {
+            target.set_lut(ClbCoord::new(col, row), SliceIndex::new(1), LutIndex::G, truth);
+        }
+        let diff = differential_bitstream(&base, &target, idcode_for(dev.kind));
+        let mut mem = base.clone();
+        apply_bitstream(&diff, &mut mem, idcode_for(dev.kind)).unwrap();
+        prop_assert_eq!(mem, target);
+    }
+
+    /// The Jenkins hardware module equals the reference for any key.
+    #[test]
+    fn jenkins_module_matches_reference(key in proptest::collection::vec(any::<u8>(), 0..300), iv in any::<u32>()) {
+        let mut module = jenkins::JenkinsModule::new();
+        module.poke_at(8, u64::from(iv));
+        module.poke_at(4, key.len() as u64);
+        let words = key.len() / 12 * 3 + 3;
+        let mut padded = key.clone();
+        padded.resize(words * 4, 0);
+        for w in 0..words {
+            let be = u32::from_be_bytes(padded[4 * w..4 * w + 4].try_into().unwrap());
+            module.poke_at(0, u64::from(be));
+        }
+        prop_assert_eq!(module.read_pop() as u32, jenkins::hash_reference(&key, iv));
+    }
+
+    /// The SHA-1 behavioural core equals the reference for any message.
+    #[test]
+    fn sha1_module_matches_reference(msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let want = sha1::sha1_reference(&msg);
+        let mut module = sha1::Sha1Module::new();
+        module.poke_at(4, 0);
+        let mut data = msg.clone();
+        let bitlen = (msg.len() as u64) * 8;
+        data.push(0x80);
+        while data.len() % 64 != 56 { data.push(0); }
+        data.extend_from_slice(&bitlen.to_be_bytes());
+        for w in data.chunks_exact(4) {
+            module.poke_at(0, u64::from(u32::from_be_bytes(w.try_into().unwrap())));
+        }
+        let digest: Vec<u32> = (0..5).map(|i| module.read_at(4 * i) as u32).collect();
+        prop_assert_eq!(digest, want.to_vec());
+    }
+
+    /// Imaging reference semantics: results always within pixel range and
+    /// fade interpolates monotonically between B (f=0) and A (f=256).
+    #[test]
+    fn fade_interpolates(a in any::<u8>(), b in any::<u8>()) {
+        let at0 = imaging::reference_pixel(imaging::Task::Fade, a, b, 0);
+        let at256 = imaging::reference_pixel(imaging::Task::Fade, a, b, 256);
+        prop_assert_eq!(at0, b);
+        prop_assert_eq!(at256, a);
+        let mid = imaging::reference_pixel(imaging::Task::Fade, a, b, 128);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(mid >= lo.saturating_sub(1) && mid <= hi.saturating_add(1));
+    }
+
+    /// The pattern-matching behavioural module equals the reference over
+    /// random images and patterns (the gate-level model is separately
+    /// property-tested against the behavioural one in `rtr-apps`).
+    #[test]
+    fn patmatch_module_matches_reference(seed in any::<u64>(), pat in any::<[u8; 8]>()) {
+        let img = patmatch::BinaryImage::random(64, 9, seed);
+        let want = patmatch::match_counts_reference(&img, &pat);
+        let mut module = patmatch::PatMatchModule::new();
+        for (r, &byte) in pat.iter().enumerate() {
+            module.poke_at(4, u64::from(patmatch::CMD_PATTERN | (r as u32) << 24 | u32::from(byte)));
+        }
+        let blocks = img.width / 32;
+        let wpr = img.words_per_row();
+        let mut got = vec![vec![0u8; img.width - 7]; img.height - 7];
+        for (y, band) in got.iter_mut().enumerate() {
+            module.poke_at(4, u64::from(patmatch::CMD_RESET));
+            for b in 0..blocks + 2 {
+                for r in 0..8 {
+                    let w = if b < blocks { img.data[(y + r) * wpr + b] } else { 0 };
+                    module.poke_at(0, u64::from(w));
+                }
+                if b >= 2 {
+                    for w in 0..8 {
+                        let word = module.read_at(0) as u32;
+                        for k in 0..4 {
+                            let x = 32 * (b - 2) + 4 * w + k;
+                            if x < band.len() {
+                                band[x] = ((word >> (24 - 8 * k)) & 0xFF) as u8;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}
