@@ -236,7 +236,7 @@ pub fn imaging_netlist(task: Task) -> Netlist {
     let wr_cmd = c::and2(&mut nl, wr, is_cmd);
 
     // Parameter register (9 bits, two's complement).
-    let param = c::register(&mut nl, &din[..9].to_vec(), Some(wr_cmd));
+    let param = c::register(&mut nl, &din[..9], Some(wr_cmd));
 
     let lane = |_nl: &mut Netlist, i: usize| -> Bus { din[8 * i..8 * i + 8].to_vec() };
 
@@ -355,7 +355,7 @@ pub fn imaging_netlist(task: Task) -> Netlist {
 /// `y*W + x` (the index multiply a naive compile emits), load, saturate,
 /// store.
 /// args: r3 = W, r4 = H, r5 = src, r6 = dst, r7 = constant (signed).
-const SW_BRIGHT: &str = r#"
+pub(crate) const SW_BRIGHT: &str = r#"
 entry:
     li   r8, 0               ; y
 yloop:
@@ -388,7 +388,7 @@ bstore:
 
 /// Additive blending (2-D naive). args: r3 = W, r4 = H, r5 = srcA,
 /// r6 = srcB, r7 = dst.
-const SW_BLEND: &str = r#"
+pub(crate) const SW_BLEND: &str = r#"
 entry:
     li   r8, 0
 yloop:
@@ -419,7 +419,7 @@ bstore:
 
 /// Fade (2-D naive). args: r3 = W, r4 = H, r5 = srcA, r6 = srcB, r7 = dst,
 /// r8 = f (0..256).
-const SW_FADE: &str = r#"
+pub(crate) const SW_FADE: &str = r#"
 entry:
     li   r9, 0               ; y
 yloop:
@@ -462,7 +462,7 @@ fstore:
 
 /// Brightness hw driver: 4 px per write, read result word back.
 /// args: r3 = n words, r4 = src, r5 = dst, r6 = constant (9-bit 2c).
-const HW_BRIGHT: &str = r#"
+pub(crate) const HW_BRIGHT: &str = r#"
 entry:
     lis  r20, 0x8000
     stw  r6, 4(r20)          ; parameter
@@ -484,7 +484,7 @@ hloop:
 /// packed word of 4 results per two writes.
 /// args: r3 = n pixel pairs of words... (r3 = total pixels / 2 = writes),
 /// r4 = srcA, r5 = srcB, r6 = dst, r7 = parameter.
-const HW_COMBINE: &str = r#"
+pub(crate) const HW_COMBINE: &str = r#"
 entry:
     lis  r20, 0x8000
     stw  r7, 4(r20)

@@ -231,7 +231,7 @@ impl DynamicModule for JenkinsModule {
 /// published C compiles on a big-endian CPU without unaligned word loads.
 ///
 /// args: r3 = key pointer, r4 = length, r5 = initval. Returns hash in r3.
-const SW_ASM: &str = r#"
+pub(crate) const SW_ASM: &str = r#"
 entry:
     lis  r6, 0x9E37
     ori  r6, r6, 0x79B9      ; a
@@ -368,7 +368,7 @@ mix:
 ///
 /// args: r3 = key pointer (word-aligned buffer, zero-padded), r4 = length,
 /// r5 = initval. Returns hash in r3.
-const HW_ASM: &str = r#"
+pub(crate) const HW_ASM: &str = r#"
 entry:
     lis  r20, 0x8000
     stw  r5, 8(r20)          ; initval
@@ -441,7 +441,6 @@ pub fn compare(kind: rtr_core::SystemKind, len: usize, seed: u64) -> Comparison 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use rtr_core::SystemKind;
 
     #[test]
@@ -480,9 +479,13 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn module_equals_reference_property(key in proptest::collection::vec(any::<u8>(), 0..200), iv in any::<u32>()) {
+    #[test]
+    fn module_equals_reference_property() {
+        for case in 0..32u64 {
+            let mut rng = vp2_sim::SplitMix64::new(0x1EC4_0000 + case);
+            let mut key = vec![0u8; rng.below(200) as usize];
+            rng.fill_bytes(&mut key);
+            let iv = rng.next_u32();
             let mut module = JenkinsModule::new();
             module.poke_at(8, u64::from(iv));
             module.poke_at(4, key.len() as u64);
@@ -493,7 +496,7 @@ mod tests {
                 let be = u32::from_be_bytes(padded[4 * w..4 * w + 4].try_into().unwrap());
                 module.poke_at(0, u64::from(be));
             }
-            prop_assert_eq!(module.read_pop() as u32, hash_reference(&key, iv));
+            assert_eq!(module.read_pop() as u32, hash_reference(&key, iv), "case {case}");
         }
     }
 

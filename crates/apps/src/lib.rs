@@ -21,4 +21,7 @@ pub mod harness;
 pub mod imaging;
 pub mod jenkins;
 pub mod patmatch;
+pub mod request;
 pub mod sha1;
+
+pub use request::{Kernel, Request, Response};

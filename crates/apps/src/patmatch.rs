@@ -45,7 +45,7 @@ impl BinaryImage {
     /// # Panics
     /// Panics unless `width` is a positive multiple of 32 and ≥ 8 rows.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 32 && width % 32 == 0, "width must be a multiple of 32");
+        assert!(width >= 32 && width.is_multiple_of(32), "width must be a multiple of 32");
         assert!(height >= 8, "need at least 8 rows");
         BinaryImage {
             width,
@@ -505,7 +505,7 @@ pub fn build_component(
 // ---------------------------------------------------------------------
 
 /// The naive per-pixel software implementation (see module docs).
-const SW_ASM: &str = r#"
+pub(crate) const SW_ASM: &str = r#"
     # args: r3 = W, r4 = H, r5 = img, r6 = pattern, r7 = out (byte grid)
 entry:
     srwi r15, r3, 5          ; words per row
@@ -644,7 +644,7 @@ pub fn sw_run_optimized(
 }
 
 /// The hardware driver: streams bands through the dock.
-const HW_ASM: &str = r#"
+pub(crate) const HW_ASM: &str = r#"
     # args: r3 = bands (H-7), r4 = B (W/32), r5 = img, r6 = pattern,
     #       r7 = out (packed result words)
 entry:

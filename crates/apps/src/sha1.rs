@@ -333,7 +333,7 @@ pub fn sha1_netlist() -> Netlist {
         let x3 = c::bus_xor(&mut nl, &x2, &ring[k]);
         new_w.push(c::rotl(&x3, 1));
     }
-    for j in 0..8usize {
+    for (j, ring_j) in ring.iter().enumerate().take(8) {
         // phase bits as LUTs of rc: phase = (8*rc + j) / 20.
         let p0 = nl.lut(
             c::truth4(move |r0, r1, r2, r3| {
@@ -351,7 +351,7 @@ pub fn sha1_netlist() -> Netlist {
             }),
             [Some(rc[0]), Some(rc[1]), Some(rc[2]), Some(rc[3])],
         );
-        let (na, nb, nc, nd, ne) = round_logic(&mut nl, &a, &b, &cw, &d, &e, &ring[j], &[p0, p1]);
+        let (na, nb, nc, nd, ne) = round_logic(&mut nl, &a, &b, &cw, &d, &e, ring_j, &[p0, p1]);
         a = na;
         b = nb;
         cw = nc;
@@ -445,7 +445,7 @@ pub fn sha1_netlist() -> Netlist {
 /// 0x10000 W[80], 0x11800 staging block.
 /// args: r3 = msg, r4 = len bytes, r5 = digest out (5 words).
 /// Returns H0 in r3.
-const SW_ASM: &str = r#"
+pub(crate) const SW_ASM: &str = r#"
 entry:
     mr   r26, r3             ; msg
     mr   r27, r4             ; len
@@ -630,7 +630,7 @@ havef:
 /// the CPU into a staging tail, like the software's, so the fixed overhead
 /// is honest), read the digest.
 /// args: r3 = msg, r4 = len bytes, r5 = digest out.
-const HW_ASM: &str = r#"
+pub(crate) const HW_ASM: &str = r#"
 entry:
     lis  r20, 0x8000
     stw  r0, 4(r20)          ; init command
@@ -863,9 +863,9 @@ mod tests {
         // Per-byte software cost must be much higher at 64 B than at 8 KiB
         // (the RFC implementation's fixed overhead).
         let mut m = rtr_core::build_system(SystemKind::Bit64);
-        let (t_small, _) = sw_run(&mut m, &vec![7u8; 64]);
+        let (t_small, _) = sw_run(&mut m, &[7u8; 64]);
         let mut m = rtr_core::build_system(SystemKind::Bit64);
-        let (t_big, _) = sw_run(&mut m, &vec![7u8; 8192]);
+        let (t_big, _) = sw_run(&mut m, &[7u8; 8192]);
         let per_byte_small = t_small.as_ns_f64() / 64.0;
         let per_byte_big = t_big.as_ns_f64() / 8192.0;
         assert!(

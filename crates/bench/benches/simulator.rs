@@ -1,201 +1,160 @@
-//! Criterion benchmarks — host-side performance of the reproduction's
-//! subsystems (how fast the simulator itself runs). The *paper's* numbers
-//! (simulated time) come from the `tables` binary; see EXPERIMENTS.md.
+//! Host-side micro-benchmarks — how fast the reproduction's subsystems run
+//! on the host. The *paper's* numbers (simulated time) come from the
+//! `tables` binary; see EXPERIMENTS.md.
+//!
+//! Dependency-free harness (`harness = false`): each benchmark runs a short
+//! warm-up, then a fixed number of timed iterations, and reports the mean
+//! wall-clock time per iteration.
+//!
+//! ```text
+//! cargo bench                    # all benchmarks
+//! cargo bench -- patmatch        # names containing "patmatch"
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use rtr_apps::{imaging, jenkins, patmatch, sha1};
 use rtr_core::measure::{dma_transfer_time, program_transfer_time, TransferKind};
 use rtr_core::{build_system, SystemKind};
 
-/// Table 2 / 7: program-controlled transfer experiment, both systems.
-fn bench_transfers_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transfers_cpu");
-    g.sample_size(10);
+const WARMUP: u32 = 2;
+const ITERS: u32 = 10;
+
+struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..WARMUP {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        let per_iter = start.elapsed() / ITERS;
+        println!("{name:<44} {per_iter:>12.2?}/iter  ({ITERS} iters)");
+    }
+}
+
+fn main() {
+    // `cargo bench -- <filter>`: the filter is the first non-flag argument;
+    // harness-style flags (`--bench` etc.) are ignored.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    let h = Harness { filter };
+
+    // Table 2 / 7: program-controlled transfer experiment, both systems.
     for kind in [SystemKind::Bit32, SystemKind::Bit64] {
-        g.bench_function(format!("{kind:?}_write_1k"), |b| {
-            b.iter(|| {
-                let mut m = build_system(kind);
-                black_box(program_transfer_time(&mut m, TransferKind::Write, 1024))
-            })
+        h.bench(&format!("transfers_cpu/{kind:?}_write_1k"), || {
+            let mut m = build_system(kind);
+            program_transfer_time(&mut m, TransferKind::Write, 1024)
         });
     }
-    g.finish();
-}
 
-/// Table 8: DMA transfer experiment.
-fn bench_transfers_dma(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transfers_dma");
-    g.sample_size(10);
+    // Table 8: DMA transfer experiment.
     for kind in [TransferKind::Write, TransferKind::WriteRead] {
-        g.bench_function(format!("{kind:?}_1k"), |b| {
-            b.iter(|| {
-                let mut m = build_system(SystemKind::Bit64);
-                black_box(dma_transfer_time(&mut m, kind, 1024))
-            })
+        h.bench(&format!("transfers_dma/{kind:?}_1k"), || {
+            let mut m = build_system(SystemKind::Bit64);
+            dma_transfer_time(&mut m, kind, 1024)
         });
     }
-    g.finish();
-}
 
-/// Tables 3 / 9: pattern matching, sw and hw paths.
-fn bench_patmatch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("patmatch");
-    g.sample_size(10);
+    // Tables 3 / 9: pattern matching, sw and hw paths.
     let img = patmatch::BinaryImage::random(64, 16, 1);
     let pat = [0xA5u8, 0x3C, 0x7E, 0x81, 0x42, 0x99, 0x18, 0xE7];
-    g.bench_function("sw_64x16_bit32", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit32);
-            black_box(patmatch::sw_run(&mut m, &img, &pat))
-        })
+    h.bench("patmatch/sw_64x16_bit32", || {
+        let mut m = build_system(SystemKind::Bit32);
+        patmatch::sw_run(&mut m, &img, &pat)
     });
-    g.bench_function("hw_64x16_bit32", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit32);
-            black_box(patmatch::hw_run(&mut m, &img, &pat))
-        })
+    h.bench("patmatch/hw_64x16_bit32", || {
+        let mut m = build_system(SystemKind::Bit32);
+        patmatch::hw_run(&mut m, &img, &pat)
     });
-    g.finish();
-}
 
-/// Tables 4 / 10 / 11: hashing workloads.
-fn bench_hashing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashing");
-    g.sample_size(10);
+    // Tables 4 / 10 / 11: hashing workloads.
     let key = vec![0xABu8; 4096];
-    g.bench_function("jenkins_sw_4k_bit32", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit32);
-            black_box(jenkins::sw_run(&mut m, &key, 0))
-        })
+    h.bench("hashing/jenkins_sw_4k_bit32", || {
+        let mut m = build_system(SystemKind::Bit32);
+        jenkins::sw_run(&mut m, &key, 0)
     });
-    g.bench_function("jenkins_hw_4k_bit32", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit32);
-            black_box(jenkins::hw_run(&mut m, &key, 0))
-        })
+    h.bench("hashing/jenkins_hw_4k_bit32", || {
+        let mut m = build_system(SystemKind::Bit32);
+        jenkins::hw_run(&mut m, &key, 0)
     });
-    g.bench_function("sha1_sw_2k_bit64", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit64);
-            black_box(sha1::sw_run(&mut m, &key[..2048]))
-        })
+    h.bench("hashing/sha1_sw_2k_bit64", || {
+        let mut m = build_system(SystemKind::Bit64);
+        sha1::sw_run(&mut m, &key[..2048])
     });
-    g.bench_function("sha1_hw_2k_bit64", |b| {
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit64);
-            black_box(sha1::hw_run(&mut m, &key[..2048]))
-        })
+    h.bench("hashing/sha1_hw_2k_bit64", || {
+        let mut m = build_system(SystemKind::Bit64);
+        sha1::hw_run(&mut m, &key[..2048])
     });
-    g.finish();
-}
 
-/// Tables 5 / 12: imaging workloads (CPU-controlled and DMA paths).
-fn bench_imaging(c: &mut Criterion) {
-    let mut g = c.benchmark_group("imaging");
-    g.sample_size(10);
+    // Tables 5 / 12: imaging workloads (CPU-controlled and DMA paths).
     let a = vec![0x80u8; 4096];
     let b2 = vec![0x40u8; 4096];
     for task in [imaging::Task::Brightness, imaging::Task::Fade] {
-        g.bench_function(format!("{task:?}_cpu_bit32"), |b| {
-            b.iter(|| {
-                let mut m = build_system(SystemKind::Bit32);
-                black_box(imaging::hw_run(&mut m, task, &a, &b2, 25))
-            })
+        h.bench(&format!("imaging/{task:?}_cpu_bit32"), || {
+            let mut m = build_system(SystemKind::Bit32);
+            imaging::hw_run(&mut m, task, &a, &b2, 25)
         });
-        g.bench_function(format!("{task:?}_dma_bit64"), |b| {
-            b.iter(|| {
-                let mut m = build_system(SystemKind::Bit64);
-                black_box(imaging::dma_run(&mut m, task, &a, &b2, 25))
-            })
+        h.bench(&format!("imaging/{task:?}_dma_bit64"), || {
+            let mut m = build_system(SystemKind::Bit64);
+            imaging::dma_run(&mut m, task, &a, &b2, 25)
         });
     }
-    g.finish();
-}
 
-/// The configuration plane: BitLinker assembly and ICAP apply (the
-/// reconfiguration-time ablation's building blocks).
-fn bench_reconfiguration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reconfiguration");
-    g.sample_size(10);
+    // The configuration plane: BitLinker assembly and ICAP apply (the
+    // reconfiguration-time ablation's building blocks).
     let kind = SystemKind::Bit32;
     let region = kind.region();
     let comp = patmatch::patmatch_component(region.width(), region.height());
     let linker = rtr_core::system::bitlinker_for(kind);
-    g.bench_function("bitlinker_link_complete", |b| {
-        b.iter(|| black_box(linker.link(&comp, (0, 0)).unwrap()))
+    h.bench("reconfiguration/bitlinker_link_complete", || {
+        linker.link(&comp, (0, 0)).unwrap()
     });
     let (bs, _) = linker.link(&comp, (0, 0)).unwrap();
-    g.bench_function("apply_bitstream", |b| {
-        b.iter(|| {
-            let mut mem = rtr_core::system::static_base(kind);
-            black_box(
-                vp2_bitstream::apply_bitstream(&bs, &mut mem, vp2_bitstream::IDCODE_XC2VP7)
-                    .unwrap(),
-            )
-        })
+    h.bench("reconfiguration/apply_bitstream", || {
+        let mut mem = rtr_core::system::static_base(kind);
+        vp2_bitstream::apply_bitstream(&bs, &mut mem, vp2_bitstream::IDCODE_XC2VP7).unwrap()
     });
-    g.finish();
-}
 
-/// Gate-level simulation throughput (the equivalence-test workhorse).
-fn bench_gate_level(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gate_level");
-    g.sample_size(10);
-    let nl = patmatch::patmatch_netlist();
-    g.bench_function("patmatch_1k_strobes", |b| {
+    // Gate-level simulation throughput (the equivalence-test workhorse).
+    {
         use dock::DynamicModule;
-        b.iter(|| {
+        let nl = patmatch::patmatch_netlist();
+        h.bench("gate_level/patmatch_1k_strobes", || {
             let mut m = dock::GateLevelModule::new(&nl).unwrap();
             for i in 0..1000u64 {
                 black_box(m.poke_at(0, i));
             }
-        })
-    });
-    let sha = sha1::sha1_netlist();
-    g.bench_function("sha1_one_block", |b| {
-        use dock::DynamicModule;
-        b.iter(|| {
+        });
+        let sha = sha1::sha1_netlist();
+        h.bench("gate_level/sha1_one_block", || {
             let mut m = dock::GateLevelModule::new(&sha).unwrap();
             m.poke_at(4, 0);
             for i in 0..16u64 {
                 black_box(m.poke_at(0, i));
             }
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-/// CPU interpreter throughput.
-fn bench_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cpu");
-    g.sample_size(10);
-    g.bench_function("interpreter_100k_instrs", |b| {
-        let prog = ppc405_sim::assemble(
-            "entry:\n  li r3, 0\n  lis r4, 2\nloop:\n  addi r3, r3, 1\n  cmpw r3, r4\n  blt loop\n  halt\n",
-            0x1000,
-        )
-        .unwrap();
-        b.iter(|| {
-            let mut m = build_system(SystemKind::Bit64);
-            m.load_program(&prog);
-            black_box(m.call(prog.label("entry"), &[], 1_000_000))
-        })
+    // CPU interpreter throughput.
+    let prog = ppc405_sim::assemble(
+        "entry:\n  li r3, 0\n  lis r4, 2\nloop:\n  addi r3, r3, 1\n  cmpw r3, r4\n  blt loop\n  halt\n",
+        0x1000,
+    )
+    .unwrap();
+    h.bench("cpu/interpreter_100k_instrs", || {
+        let mut m = build_system(SystemKind::Bit64);
+        m.load_program(&prog);
+        m.call(prog.label("entry"), &[], 1_000_000)
     });
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_transfers_cpu,
-    bench_transfers_dma,
-    bench_patmatch,
-    bench_hashing,
-    bench_imaging,
-    bench_reconfiguration,
-    bench_gate_level,
-    bench_cpu
-);
-criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Drives the run-time reconfiguration scheduler with a reproducible
+//! traffic mix on both systems and emits a machine-readable JSON
+//! summary — the service-layer counterpart of the `tables` binary.
+//!
+//! ```text
+//! service_scenario                   # both systems, default traffic
+//! service_scenario --requests 96     # heavier run
+//! service_scenario --json out.json   # write the summary to a file
+//! ```
+
+use rtr_core::SystemKind;
+use rtr_service::{Policy, Service, ServiceConfig, TrafficConfig};
+use std::io::Write as _;
+use vp2_sim::{Json, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let requests: usize = value_of("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let seed: u64 = value_of("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x0007_AF1C_2026);
+    let json_path = value_of("--json");
+
+    let mut systems = Vec::new();
+    for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+        let traffic = TrafficConfig {
+            seed,
+            requests,
+            kernels: Vec::new(),
+            mean_gap: SimTime::from_us(20),
+            burst_percent: 75,
+            min_payload: 256,
+            max_payload: 2048,
+        }
+        .generate();
+
+        let mut policies = Vec::new();
+        let mut makespans = Vec::new();
+        for policy in [Policy::SwOnly, Policy::CostModel] {
+            eprintln!("[service] {kind:?} / {policy:?}: {requests} requests...");
+            let mut svc = Service::new(ServiceConfig {
+                kind,
+                policy,
+                kernels: Vec::new(),
+                verify: true,
+            });
+            let snap = svc.process(&traffic);
+            assert_eq!(snap.verify_failures, 0, "responses must verify");
+            makespans.push(snap.elapsed);
+            let name = match policy {
+                Policy::SwOnly => "sw_only",
+                Policy::CostModel => "cost_model",
+            };
+            policies.push((name, snap));
+        }
+
+        let speedup = makespans[0].as_ps() as f64 / makespans[1].as_ps() as f64;
+        let mut sys = Json::obj()
+            .field("system", format!("{kind:?}"))
+            .field("requests", requests)
+            .field("seed", seed)
+            .field("speedup_vs_sw_only", speedup);
+        for (name, snap) in policies {
+            sys = sys.field(name, snap.to_json());
+        }
+        systems.push(sys);
+    }
+
+    let summary = Json::obj().field(
+        "service_scenarios",
+        Json::Arr(systems),
+    );
+    let rendered = summary.render_pretty();
+    match json_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("create {path}: {e}"));
+            f.write_all(rendered.as_bytes()).expect("write json");
+            eprintln!("[service] wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

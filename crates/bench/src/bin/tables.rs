@@ -30,7 +30,7 @@ fn main() {
             "--figure" => only_figure = it.next().and_then(|v| v.parse().ok()),
             "--json" => json_path = it.next().cloned(),
             "--ablations" => ablations = true,
-            "--full" | _ => {}
+            _ => {}
         }
     }
 
@@ -62,9 +62,10 @@ fn main() {
         println!("{}", ablation_sw_quality().render());
     }
     if let Some(path) = json_path {
+        let doc = vp2_sim::Json::Arr(results.iter().map(rtr_bench::TableResult::to_json).collect());
         let f = std::fs::File::create(&path).expect("create json file");
         let mut w = std::io::BufWriter::new(f);
-        serde_json::to_writer_pretty(&mut w, &results).expect("serialise");
+        w.write_all(doc.render_pretty().as_bytes()).expect("serialise");
         w.flush().expect("flush");
         eprintln!("[tables] wrote {path}");
     }

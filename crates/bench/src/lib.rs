@@ -9,17 +9,16 @@
 //!
 //! * the **paper harness** (this library + the `tables` binary) reports
 //!   *simulated* time — the paper's metric;
-//! * the **Criterion benches** under `benches/` measure the simulator's
-//!   own host-side throughput (how fast the reproduction runs), which is
-//!   the conventional meaning of `cargo bench`.
+//! * the **host-side benches** under `benches/` measure the simulator's
+//!   own throughput (how fast the reproduction runs), which is the
+//!   conventional meaning of `cargo bench`.
 
 use rtr_apps::harness::Comparison;
 use rtr_apps::{imaging, jenkins, patmatch, sha1};
 use rtr_core::measure::{self, TransferKind};
 use rtr_core::{build_system, SystemKind};
-use serde::Serialize;
 use vp2_sim::table::{fmt_sig, TextTable};
-use vp2_sim::SimTime;
+use vp2_sim::{Json, SimTime};
 
 /// Scaling knob: `Quick` for tests/CI, `Full` for the printed tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +30,7 @@ pub enum Effort {
 }
 
 /// One measured row in machine-readable form.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MeasuredRow {
     /// Row label (workload / transfer kind / size).
     pub label: String,
@@ -48,7 +47,7 @@ pub struct MeasuredRow {
 }
 
 /// A regenerated table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TableResult {
     /// Paper table number (1..=12).
     pub number: u32,
@@ -58,6 +57,33 @@ pub struct TableResult {
     pub rows: Vec<MeasuredRow>,
     /// Rendered text form.
     pub rendered: String,
+}
+
+impl MeasuredRow {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("label", self.label.as_str())
+            .field("sw_us", self.sw_us)
+            .field("hw_us", self.hw_us)
+            .field("prep_us", self.prep_us)
+            .field("speedup", self.speedup)
+            .field("value", self.value)
+    }
+}
+
+impl TableResult {
+    /// Machine-readable form (what `tables --json` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("number", self.number)
+            .field("title", self.title.as_str())
+            .field(
+                "rows",
+                Json::Arr(self.rows.iter().map(MeasuredRow::to_json).collect()),
+            )
+            .field("rendered", self.rendered.as_str())
+    }
 }
 
 fn us(t: SimTime) -> f64 {

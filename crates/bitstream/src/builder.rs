@@ -305,7 +305,7 @@ mod tests {
                     ClbCoord::new(col, row),
                     SliceIndex::new((row % 4) as u8),
                     LutIndex::F,
-                    0x8000 | (u16::from(col) << 8) | u16::from(row),
+                    0x8000 | (col << 8) | row,
                 );
                 m.set_routing_word(ClbCoord::new(col, row), 1, u64::from(col) * 1000 + u64::from(row));
             }

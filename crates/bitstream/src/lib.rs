@@ -13,9 +13,10 @@
 //!      generation time, so BitLinker emits *complete* configurations;
 //!   2. frames span the full device height, so BitLinker guarantees the rows
 //!      above and below the dynamic region are carried over unchanged;
-//!   plus component **relocation** and **assembly** with bus-macro
-//!   footprint checking, enabling component reuse without rerunning the
-//!   high-level design flow.
+//!
+//! plus component **relocation** and **assembly** with bus-macro
+//! footprint checking, enabling component reuse without rerunning the
+//! high-level design flow.
 
 pub mod bitlinker;
 pub mod builder;

@@ -7,7 +7,6 @@
 //! address held in the frame address register (FAR), which auto-increments
 //! across frame boundaries exactly like the silicon.
 
-use serde::{Deserialize, Serialize};
 use vp2_fabric::config::{FrameAddress, FrameBlock};
 
 /// The synchronisation word that starts configuration (same value as the
@@ -17,7 +16,7 @@ pub const SYNC_WORD: u32 = 0xAA99_5566;
 pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
 
 /// Configuration registers (5-bit address space).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum ConfigRegister {
     /// CRC check register.
@@ -50,7 +49,7 @@ impl ConfigRegister {
 }
 
 /// Command-register values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
 pub enum Command {
     /// No operation.
@@ -80,7 +79,7 @@ impl Command {
 }
 
 /// One parsed packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
     /// Pad/no-op word.
     Nop,
@@ -145,7 +144,7 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// A serialised bitstream.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitstream {
     /// Raw 32-bit words (dummy + sync + packets).
     pub words: Vec<u32>,

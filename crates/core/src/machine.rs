@@ -577,11 +577,9 @@ impl Platform {
                 map::DOCK_CSR_DMA_SRC => self.csr_scratch_mut().0 = data,
                 map::DOCK_CSR_DMA_DST => self.csr_scratch_mut().1 = data,
                 map::DOCK_CSR_DMA_LEN => self.csr_scratch_mut().2 = data,
-                map::DOCK_CSR_DMA_CTL => {
-                    if data & 1 != 0 {
-                        let (src, dst, len) = *self.csr_scratch_mut();
-                        self.dma_start(end, data, src, dst, len);
-                    }
+                map::DOCK_CSR_DMA_CTL if data & 1 != 0 => {
+                    let (src, dst, len) = *self.csr_scratch_mut();
+                    self.dma_start(end, data, src, dst, len);
                 }
                 map::DOCK_CSR_IRQ_ACK => {
                     if let Docks::Plb(d) = &mut self.dock {
@@ -600,16 +598,14 @@ impl Platform {
             let end = self.periph_write_single(now);
             match addr - map::HWICAP_BASE {
                 map::HWICAP_DATA => self.icap.write_data(data),
-                map::HWICAP_CTL => {
-                    if data & 1 != 0 {
-                        // Commit; errors latch in the status register.
-                        let mut cfg = std::mem::replace(
-                            &mut self.config,
-                            ConfigMemory::new(&self.device),
-                        );
-                        let _ = self.icap.commit(end, &mut cfg);
-                        self.config = cfg;
-                    }
+                map::HWICAP_CTL if data & 1 != 0 => {
+                    // Commit; errors latch in the status register.
+                    let mut cfg = std::mem::replace(
+                        &mut self.config,
+                        ConfigMemory::new(&self.device),
+                    );
+                    let _ = self.icap.commit(end, &mut cfg);
+                    self.config = cfg;
                 }
                 _ => {}
             }
@@ -911,6 +907,17 @@ impl Machine {
             if a == 0 {
                 break;
             }
+        }
+    }
+
+    /// Advances the whole machine to `t` without executing instructions —
+    /// the service's idle wait between request arrivals. Concurrent
+    /// platform activity (DMA beats, FIFO drains) still progresses; a `t`
+    /// in the past is a no-op.
+    pub fn idle_until(&mut self, t: SimTime) {
+        if t > self.cpu.now() {
+            self.cpu.advance_time_to(t);
+            self.platform.advance(t);
         }
     }
 

@@ -9,11 +9,10 @@
 //! EXPERIMENTS.md records this provenance per table.
 
 use crate::system::SystemKind;
-use serde::Serialize;
 use vp2_sim::table::TextTable;
 
 /// One row of a resource table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResourceRow {
     /// Module name as it would appear in the EDK design.
     pub module: &'static str,

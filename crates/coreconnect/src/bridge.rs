@@ -7,11 +7,10 @@
 //! improvement to the absence of this bridge ("the additional improvement
 //! presumably comes from the fact that no PLB-to-OPB bridge is used").
 
-use serde::Serialize;
 use vp2_sim::SimTime;
 
 /// Bridge cost parameters.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Bridge {
     /// Internal decode/buffer cycles, paid in OPB cycles.
     pub decode_opb_cycles: u64,

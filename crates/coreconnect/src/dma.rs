@@ -9,10 +9,9 @@
 //! supports 64-bit transfers … data transfers to the dynamic area have to be
 //! done as a block".
 
-use serde::{Deserialize, Serialize};
 
 /// Transfer direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaDirection {
     /// Memory → dock write channel.
     MemToDock,
@@ -21,7 +20,7 @@ pub enum DmaDirection {
 }
 
 /// Engine status.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaStatus {
     /// No transfer programmed.
     Idle,
@@ -32,7 +31,7 @@ pub enum DmaStatus {
 }
 
 /// One scatter-gather segment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Descriptor {
     /// Memory address of the segment.
     pub addr: u32,

@@ -5,10 +5,9 @@
 //! into the CPU's external-interrupt input, the handler reads the pending
 //! set and acknowledges.
 
-use serde::{Deserialize, Serialize};
 
 /// A simple 32-line interrupt controller.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct InterruptController {
     /// Pending (latched) interrupts.
     isr: u32,

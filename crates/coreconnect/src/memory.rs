@@ -11,11 +11,10 @@
 //! * DDR on the 64-bit system's PLB: row activation + CAS on the first beat
 //!   (5 wait states), then streaming beats.
 
-use serde::{Deserialize, Serialize};
 
 /// Backing store with byte/half/word/doubleword access (big-endian, like
 /// the PowerPC).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemArray {
     bytes: Vec<u8>,
 }

@@ -8,11 +8,10 @@
 //! behind it — the contention the paper's interleaved-transfer measurements
 //! exercise.
 
-use serde::Serialize;
 use vp2_sim::{ClockDomain, SimTime};
 
 /// Protocol cost parameters for one bus.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BusTiming {
     /// Bus clock.
     pub clock: ClockDomain,

@@ -18,7 +18,6 @@
 
 use crate::coords::{ClbCoord, FfIndex, LutIndex, SliceIndex};
 use crate::device::Device;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Frames (minor addresses) per CLB column.
@@ -38,7 +37,7 @@ pub const WORDS_PER_CLB_ROW: usize = 2;
 pub const WORDS_PER_BRAM_BLOCK: usize = 9;
 
 /// Which column family a frame belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FrameBlock {
     /// CLB column `col` (0-based, left to right).
     Clb { col: u16 },
@@ -51,7 +50,7 @@ pub enum FrameBlock {
 /// Full frame address: block (major) + minor.
 ///
 /// Mirrors the Virtex-II FAR register's block-type / major / minor split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameAddress {
     /// Column family and index.
     pub block: FrameBlock,
@@ -70,7 +69,7 @@ impl fmt::Display for FrameAddress {
 }
 
 /// One configuration frame: a column-spanning vector of 32-bit words.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Frame payload words.
     pub words: Vec<u32>,
@@ -93,7 +92,7 @@ impl Frame {
 /// The device's entire configuration memory.
 ///
 /// Cloneable so that tests and the BitLinker can snapshot/diff states.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigMemory {
     rows: u16,
     clb_cols: u16,

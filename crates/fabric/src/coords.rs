@@ -6,7 +6,6 @@
 //! per the Virtex-II Pro CLB organisation the paper quotes ("4 slices, each
 //! with two 4-input lookup tables and two flip-flops").
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of slices in one CLB.
@@ -17,7 +16,7 @@ pub const LUTS_PER_SLICE: usize = 2;
 pub const FFS_PER_SLICE: usize = 2;
 
 /// Location of a CLB on the fabric grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClbCoord {
     /// CLB column (0 = leftmost).
     pub col: u16,
@@ -53,7 +52,7 @@ impl fmt::Display for ClbCoord {
 }
 
 /// Slice index within a CLB (0..4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SliceIndex(pub u8);
 
 impl SliceIndex {
@@ -73,7 +72,7 @@ impl SliceIndex {
 }
 
 /// LUT index within a slice: 0 = F, 1 = G.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LutIndex(pub u8);
 
 impl LutIndex {
@@ -93,7 +92,7 @@ impl LutIndex {
 }
 
 /// Flip-flop index within a slice: 0 = X, 1 = Y.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FfIndex(pub u8);
 
 impl FfIndex {
@@ -108,7 +107,7 @@ impl FfIndex {
 }
 
 /// Fully-qualified slice location: CLB coordinate plus slice index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SliceCoord {
     /// Hosting CLB.
     pub clb: ClbCoord,

@@ -10,10 +10,9 @@
 //!   = **136 BRAMs**; two embedded PowerPC 405s (the paper uses only one).
 
 use crate::coords::{ClbCoord, SLICES_PER_CLB};
-use serde::{Deserialize, Serialize};
 
 /// The two Virtex-II Pro parts used in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// XC2VP7-FG456, speed grade -6 — the 32-bit system's device.
     Xc2vp7,
@@ -22,7 +21,7 @@ pub enum DeviceKind {
 }
 
 /// A rectangular hole in the CLB grid occupied by a hard PowerPC 405 block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PpcHole {
     /// First CLB column covered by the block.
     pub col: u16,
@@ -45,7 +44,7 @@ impl PpcHole {
 }
 
 /// Static description of one device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Device {
     /// Which part this is.
     pub kind: DeviceKind,

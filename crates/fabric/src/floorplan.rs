@@ -7,11 +7,10 @@
 
 use crate::device::Device;
 use crate::region::DynamicRegion;
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// A labelled rectangle on the floorplan (a placed static module).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlacedBlock {
     /// Single-character map key.
     pub key: char,

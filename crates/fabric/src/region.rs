@@ -10,7 +10,6 @@
 use crate::config::{FrameAddress, FrameBlock, MINORS_PER_BRAM_CONTENT, MINORS_PER_BRAM_INTERCONNECT, MINORS_PER_CLB_COL};
 use crate::coords::{ClbCoord, SLICES_PER_CLB};
 use crate::device::Device;
-use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
 /// Errors from dynamic-region construction.
@@ -51,7 +50,7 @@ impl std::error::Error for RegionError {}
 
 /// A rectangular dynamic (run-time reconfigurable) region plus the BRAM
 /// blocks allocated to it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicRegion {
     /// CLB columns covered.
     pub cols: Range<u16>,

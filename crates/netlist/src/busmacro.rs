@@ -16,11 +16,10 @@
 use crate::components::truth4;
 use crate::graph::{Bus, CellId, Netlist};
 use crate::place::{AutoPlacer, LutSite};
-use serde::{Deserialize, Serialize};
 use vp2_fabric::coords::{LutIndex, SliceCoord, LUTS_PER_SLICE, SLICES_PER_CLB};
 
 /// Bus-macro flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MacroKind {
     /// Pass-through LUTs at fixed sites (1 LUT per signal per side).
     LutBased,
@@ -32,7 +31,7 @@ pub enum MacroKind {
 ///
 /// Two components can be assembled next to each other iff they instantiate
 /// byte-identical macros ([`BusMacro::same_footprint`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BusMacro {
     /// Macro name (part of the compatibility contract).
     pub name: String,
@@ -153,7 +152,7 @@ impl BusMacro {
 /// read channel leaving at the same edge, plus the write-strobe signal the
 /// paper describes ("an additional signal that indicates the occurrence of a
 /// write operation … can be used as a clock enable").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DockMacros {
     /// CPU→region data (32 or 64 bits).
     pub write: BusMacro,

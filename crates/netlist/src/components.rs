@@ -337,8 +337,8 @@ pub fn saturating_add_signed(nl: &mut Netlist, a: &[NetId], b_signext: &[NetId])
     };
     // result = neg ? 0 : ovf ? max : sum[0..w]
     let mut out = Vec::with_capacity(w);
-    for i in 0..w {
-        let with_max = or2(nl, sum[i], ovf); // saturate high
+    for &s in sum.iter().take(w) {
+        let with_max = or2(nl, s, ovf); // saturate high
         let not_neg = not(nl, neg);
         let gated = and2(nl, with_max, not_neg); // saturate low
         out.push(gated);
@@ -455,7 +455,7 @@ mod tests {
 
     #[test]
     fn multiplier_8x8_samples() {
-        let mut sim = harness2(8, |nl, a, b| multiplier(nl, a, b));
+        let mut sim = harness2(8, multiplier);
         for (a, b) in [(0u64, 0u64), (1, 255), (255, 255), (17, 13), (200, 3), (128, 2)] {
             sim.set_input("a", a);
             sim.set_input("b", b);
@@ -465,7 +465,7 @@ mod tests {
 
     #[test]
     fn saturating_add_unsigned_8bit() {
-        let mut sim = harness2(8, |nl, a, b| saturating_add_unsigned(nl, a, b));
+        let mut sim = harness2(8, saturating_add_unsigned);
         for (a, b) in [(0u64, 0u64), (100, 100), (200, 100), (255, 255), (255, 1)] {
             sim.set_input("a", a);
             sim.set_input("b", b);

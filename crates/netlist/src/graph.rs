@@ -6,23 +6,22 @@
 //! named I/O ports. Multi-bit values are plain `Vec<NetId>` buses (LSB
 //! first), built with the combinators in [`crate::components`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A single-bit signal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NetId(pub u32);
 
 /// A primitive cell instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellId(pub u32);
 
 /// A multi-bit bus, least-significant bit first.
 pub type Bus = Vec<NetId>;
 
 /// Port direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDir {
     /// Driven from outside the module (by the dock's write channel).
     Input,
@@ -31,7 +30,7 @@ pub enum PortDir {
 }
 
 /// Primitive cell kinds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CellKind {
     /// 4-input lookup table. Unused inputs are `None` and read as 0.
     /// `truth` bit *i* gives the output for input pattern *i*
@@ -107,7 +106,7 @@ impl fmt::Display for NetlistError {
 impl std::error::Error for NetlistError {}
 
 /// A structural netlist.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Netlist {
     /// Module name (for reports and bitstream metadata).
     pub name: String,

@@ -10,7 +10,6 @@
 //! the remaining logic around them column-major.
 
 use crate::graph::{CellId, CellKind, Netlist};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vp2_fabric::coords::{ClbCoord, FfIndex, LutIndex, SliceCoord, LUTS_PER_SLICE, SLICES_PER_CLB};
 
@@ -61,7 +60,7 @@ impl std::error::Error for PlaceError {}
 
 /// A completed placement: every LUT and FF cell mapped to a site inside a
 /// `width × height` CLB bounding box anchored at local (0,0).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Placement {
     /// Bounding-box width in CLB columns.
     pub width: u16,

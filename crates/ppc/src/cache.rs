@@ -62,7 +62,7 @@ impl Cache {
     /// `ways * 32`.
     pub fn new(size_bytes: usize, ways: usize) -> Self {
         let lines = size_bytes / LINE_BYTES;
-        assert!(lines % ways == 0, "line count must divide by ways");
+        assert!(lines.is_multiple_of(ways), "line count must divide by ways");
         let nsets = lines / ways;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
         Cache {

@@ -5,13 +5,12 @@
 //! displacements are signed word offsets relative to the branch's own
 //! address.
 
-use serde::{Deserialize, Serialize};
 
 /// A register index (0..32). `r0` reads as zero.
 pub type Reg = u8;
 
 /// Decoded instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// Stop execution (test/measurement harness).
     Halt,

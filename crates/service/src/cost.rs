@@ -1,0 +1,246 @@
+//! The scheduler's cost model.
+//!
+//! Per kernel and path (software on the PPC405 vs hardware in the dynamic
+//! region), execution time is modelled as a linear function of payload
+//! size, fitted from two calibration probes on a scratch machine. The
+//! reconfiguration cost starts from one measured load
+//! (`LoadOutcome::Loaded { reconfig_time, .. }`) and tracks subsequent
+//! live loads with an exponentially weighted moving average — complete
+//! partial configurations cover the whole region, so the cost is nearly
+//! constant per system and one probe is already a good estimate.
+
+use rtr_apps::request::{factory_for, Driver, Kernel, Request};
+use rtr_apps::harness;
+use rtr_core::{build_system, SystemKind};
+use vp2_sim::{SimTime, SplitMix64};
+
+/// Linear time estimate for one (kernel, path): `base + per_byte * bytes`.
+#[derive(Debug, Clone, Copy)]
+pub struct PathEstimate {
+    /// Fixed per-item overhead in picoseconds.
+    pub base_ps: f64,
+    /// Marginal cost per payload byte in picoseconds.
+    pub per_byte_ps: f64,
+}
+
+impl PathEstimate {
+    /// Estimated time for a payload.
+    pub fn estimate(&self, bytes: usize) -> SimTime {
+        let ps = self.base_ps + self.per_byte_ps * bytes as f64;
+        SimTime::from_ps(ps.max(0.0) as u64)
+    }
+
+    /// Fits the line through two measured points.
+    fn fit(s1: usize, t1: SimTime, s2: usize, t2: SimTime) -> PathEstimate {
+        let (s1f, s2f) = (s1 as f64, s2 as f64);
+        let (t1f, t2f) = (t1.as_ps() as f64, t2.as_ps() as f64);
+        let per_byte_ps = if s2 > s1 { (t2f - t1f) / (s2f - s1f) } else { 0.0 };
+        let per_byte_ps = per_byte_ps.max(0.0);
+        PathEstimate {
+            base_ps: (t1f - per_byte_ps * s1f).max(0.0),
+            per_byte_ps,
+        }
+    }
+}
+
+/// EWMA weight for live reconfiguration-time updates.
+const RECONFIG_ALPHA: f64 = 0.25;
+
+/// Probe payload sizes (bytes) for the two-point fit.
+const PROBE_SMALL: usize = 256;
+const PROBE_LARGE: usize = 2048;
+
+/// The calibrated model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    sw: [PathEstimate; Kernel::ALL.len()],
+    hw: [Option<PathEstimate>; Kernel::ALL.len()],
+    reconfig_ps: f64,
+}
+
+impl CostModel {
+    /// Calibrates per-item estimates for `kernels` by probing scratch
+    /// machines of the right system kind (behavioural models are bound
+    /// directly — the scratch machine never touches the service's
+    /// configuration plane). Kernels not probed get a zero model and are
+    /// never chosen for hardware.
+    pub fn calibrate(kind: SystemKind, kernels: &[Kernel]) -> CostModel {
+        let zero = PathEstimate {
+            base_ps: 0.0,
+            per_byte_ps: 0.0,
+        };
+        let mut model = CostModel {
+            sw: [zero; Kernel::ALL.len()],
+            hw: [None; Kernel::ALL.len()],
+            reconfig_ps: 0.0,
+        };
+        for &kernel in kernels {
+            let probe = |payload: usize, hw: bool| -> (usize, SimTime) {
+                let mut rng = SplitMix64::new(0xCA11_B8A7 ^ payload as u64);
+                let req = Request::synthetic(kernel, payload, &mut rng);
+                let mut m = build_system(kind);
+                let mut d = Driver::new();
+                let (t, _) = if hw {
+                    harness::bind(&mut m, factory_for(kernel)());
+                    d.run_hw(&mut m, &req)
+                } else {
+                    d.run_sw(&mut m, &req)
+                };
+                (req.payload_bytes(), t)
+            };
+            let (s1, t1) = probe(PROBE_SMALL, false);
+            let (s2, t2) = probe(PROBE_LARGE, false);
+            model.sw[kernel.index()] = PathEstimate::fit(s1, t1, s2, t2);
+            if kernel_has_hw(kernel, kind) {
+                let (s1, t1) = probe(PROBE_SMALL, true);
+                let (s2, t2) = probe(PROBE_LARGE, true);
+                model.hw[kernel.index()] = Some(PathEstimate::fit(s1, t1, s2, t2));
+            }
+        }
+        model
+    }
+
+    /// Software time estimate for one item.
+    pub fn sw_estimate(&self, kernel: Kernel, bytes: usize) -> SimTime {
+        self.sw[kernel.index()].estimate(bytes)
+    }
+
+    /// Hardware time estimate for one item (`None` when the kernel has no
+    /// hardware form on this system).
+    pub fn hw_estimate(&self, kernel: Kernel, bytes: usize) -> Option<SimTime> {
+        self.hw[kernel.index()].map(|e| e.estimate(bytes))
+    }
+
+    /// Current reconfiguration-time estimate.
+    pub fn reconfig_estimate(&self) -> SimTime {
+        SimTime::from_ps(self.reconfig_ps as u64)
+    }
+
+    /// Folds a measured reconfiguration time into the estimate.
+    pub fn observe_reconfig(&mut self, t: SimTime) {
+        let ps = t.as_ps() as f64;
+        if self.reconfig_ps == 0.0 {
+            self.reconfig_ps = ps;
+        } else {
+            self.reconfig_ps += RECONFIG_ALPHA * (ps - self.reconfig_ps);
+        }
+    }
+
+    /// Batch decision: run `batch_bytes` (payload sizes of the queued
+    /// items) in hardware? True when the estimated hardware time — plus
+    /// the reconfiguration, if a swap is needed — undercuts software.
+    pub fn hardware_pays_off(
+        &self,
+        kernel: Kernel,
+        batch_bytes: &[usize],
+        swap_needed: bool,
+    ) -> bool {
+        let Some(hw) = self.hw[kernel.index()] else {
+            return false;
+        };
+        let sw: f64 = batch_bytes
+            .iter()
+            .map(|&b| self.sw[kernel.index()].estimate(b).as_ps() as f64)
+            .sum();
+        let mut hwt: f64 = batch_bytes
+            .iter()
+            .map(|&b| hw.estimate(b).as_ps() as f64)
+            .sum();
+        if swap_needed {
+            hwt += self.reconfig_ps;
+        }
+        hwt < sw
+    }
+
+    /// Smallest batch size (of `bytes`-sized items) at which a swap to
+    /// hardware pays off — the break-even depth the metrics report.
+    pub fn break_even_depth(&self, kernel: Kernel, bytes: usize) -> Option<usize> {
+        let hw = self.hw[kernel.index()]?;
+        let sw_item = self.sw[kernel.index()].estimate(bytes).as_ps() as f64;
+        let hw_item = hw.estimate(bytes).as_ps() as f64;
+        if hw_item >= sw_item {
+            return None;
+        }
+        let n = self.reconfig_ps / (sw_item - hw_item);
+        Some(n.ceil().max(1.0) as usize)
+    }
+}
+
+/// Does the kernel have a hardware form on the system? (SHA-1's unrolled
+/// core does not fit the 32-bit region.)
+pub fn kernel_has_hw(kernel: Kernel, kind: SystemKind) -> bool {
+    !(kernel == Kernel::Sha1 && kind == SystemKind::Bit32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_a_line() {
+        let e = PathEstimate::fit(100, SimTime::from_ps(1_100), 300, SimTime::from_ps(1_300));
+        assert!((e.per_byte_ps - 1.0).abs() < 1e-9);
+        assert!((e.base_ps - 1_000.0).abs() < 1e-9);
+        assert_eq!(e.estimate(200), SimTime::from_ps(1_200));
+    }
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let mut m = CostModel {
+            sw: [PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 0.0,
+            }; Kernel::ALL.len()],
+            hw: [None; Kernel::ALL.len()],
+            reconfig_ps: 0.0,
+        };
+        m.observe_reconfig(SimTime::from_us(100));
+        assert_eq!(m.reconfig_estimate(), SimTime::from_us(100));
+        for _ in 0..50 {
+            m.observe_reconfig(SimTime::from_us(200));
+        }
+        let est = m.reconfig_estimate().as_us_f64();
+        assert!((est - 200.0).abs() < 1.0, "{est}");
+    }
+
+    #[test]
+    fn decision_respects_break_even() {
+        let mut model = CostModel {
+            sw: [PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 100.0,
+            }; Kernel::ALL.len()],
+            hw: [Some(PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 10.0,
+            }); Kernel::ALL.len()],
+            reconfig_ps: 0.0,
+        };
+        model.observe_reconfig(SimTime::from_ps(90_000));
+        // Per 100-byte item: sw 10_000 ps, hw 1_000 ps → saves 9_000 ps.
+        // Reconfig 90_000 ps → break-even at 10 items.
+        assert_eq!(model.break_even_depth(Kernel::Jenkins, 100), Some(10));
+        let under: Vec<usize> = vec![100; 9];
+        let over: Vec<usize> = vec![100; 11];
+        assert!(!model.hardware_pays_off(Kernel::Jenkins, &under, true));
+        assert!(model.hardware_pays_off(Kernel::Jenkins, &over, true));
+        // Already resident: no swap cost, hardware wins at any depth.
+        assert!(model.hardware_pays_off(Kernel::Jenkins, &[100], false));
+    }
+
+    #[test]
+    fn calibration_orders_paths_sensibly() {
+        // Pattern matching is the paper's big hardware win: the calibrated
+        // model must prefer hardware per item by a wide margin.
+        let model = CostModel::calibrate(SystemKind::Bit32, &[Kernel::PatMatch]);
+        let sw = model.sw_estimate(Kernel::PatMatch, 1024);
+        let hw = model.hw_estimate(Kernel::PatMatch, 1024).unwrap();
+        assert!(
+            sw.as_ps() > 3 * hw.as_ps(),
+            "sw {sw} should dwarf hw {hw}"
+        );
+        // SHA-1 has no hardware estimate on the 32-bit system.
+        let m32 = CostModel::calibrate(SystemKind::Bit32, &[Kernel::Sha1]);
+        assert!(m32.hw_estimate(Kernel::Sha1, 1024).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Service metrics.
+//!
+//! The accumulator records one sample per completed request (latency =
+//! completion − arrival, on the simulated timeline) plus batch-level
+//! counters; [`MetricsSnapshot`] folds them into the numbers the paper
+//! cares about: throughput, latency percentiles, dynamic-region
+//! utilization and the hardware/software split.
+
+use std::fmt;
+
+use vp2_sim::{Json, SimTime};
+
+/// Running accumulator owned by the service.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    latencies_ps: Vec<u64>,
+    hw_items: u64,
+    sw_items: u64,
+    hw_batches: u64,
+    sw_batches: u64,
+    swaps: u64,
+    reconfig_time: SimTime,
+    hw_busy: SimTime,
+    sw_busy: SimTime,
+    verify_failures: u64,
+}
+
+impl Metrics {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed request.
+    pub fn record_item(&mut self, latency: SimTime, hw: bool) {
+        self.latencies_ps.push(latency.as_ps());
+        if hw {
+            self.hw_items += 1;
+        } else {
+            self.sw_items += 1;
+        }
+    }
+
+    /// Records one dispatched batch and the time its path was busy.
+    pub fn record_batch(&mut self, hw: bool, busy: SimTime) {
+        if hw {
+            self.hw_batches += 1;
+            self.hw_busy += busy;
+        } else {
+            self.sw_batches += 1;
+            self.sw_busy += busy;
+        }
+    }
+
+    /// Records one reconfiguration (a module swap) and its cost.
+    pub fn record_swap(&mut self, reconfig_time: SimTime) {
+        self.swaps += 1;
+        self.reconfig_time += reconfig_time;
+    }
+
+    /// Records a response that did not match its software reference.
+    pub fn record_verify_failure(&mut self) {
+        self.verify_failures += 1;
+    }
+
+    /// Completed request count so far.
+    pub fn completed(&self) -> u64 {
+        self.hw_items + self.sw_items
+    }
+
+    /// Snapshot over an observation window of length `elapsed`.
+    pub fn snapshot(&self, elapsed: SimTime) -> MetricsSnapshot {
+        let mut sorted = self.latencies_ps.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> SimTime {
+            if sorted.is_empty() {
+                return SimTime::ZERO;
+            }
+            let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+            SimTime::from_ps(sorted[rank.min(sorted.len() - 1)])
+        };
+        let mean = if sorted.is_empty() {
+            SimTime::ZERO
+        } else {
+            SimTime::from_ps(sorted.iter().sum::<u64>() / sorted.len() as u64)
+        };
+        let secs = elapsed.as_secs_f64();
+        MetricsSnapshot {
+            completed: self.completed(),
+            hw_items: self.hw_items,
+            sw_items: self.sw_items,
+            hw_batches: self.hw_batches,
+            sw_batches: self.sw_batches,
+            swaps: self.swaps,
+            verify_failures: self.verify_failures,
+            elapsed,
+            throughput_per_s: if secs > 0.0 {
+                self.completed() as f64 / secs
+            } else {
+                0.0
+            },
+            latency_mean: mean,
+            latency_p50: pct(0.50),
+            latency_p99: pct(0.99),
+            reconfig_time: self.reconfig_time,
+            hw_utilization: ratio(self.hw_busy, elapsed),
+            sw_utilization: ratio(self.sw_busy, elapsed),
+        }
+    }
+}
+
+fn ratio(num: SimTime, den: SimTime) -> f64 {
+    if den.is_zero() {
+        0.0
+    } else {
+        num.as_ps() as f64 / den.as_ps() as f64
+    }
+}
+
+/// Point-in-time summary of a service run.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests served by the dynamic region.
+    pub hw_items: u64,
+    /// Requests served by the PPC405 software path.
+    pub sw_items: u64,
+    /// Batches dispatched to hardware.
+    pub hw_batches: u64,
+    /// Batches dispatched to software.
+    pub sw_batches: u64,
+    /// Reconfigurations performed (module swaps).
+    pub swaps: u64,
+    /// Responses that failed verification against the software reference.
+    pub verify_failures: u64,
+    /// Simulated observation window.
+    pub elapsed: SimTime,
+    /// Completed requests per simulated second.
+    pub throughput_per_s: f64,
+    /// Mean latency (arrival → completion).
+    pub latency_mean: SimTime,
+    /// Median latency.
+    pub latency_p50: SimTime,
+    /// 99th-percentile latency.
+    pub latency_p99: SimTime,
+    /// Total time spent shifting configuration frames.
+    pub reconfig_time: SimTime,
+    /// Fraction of the window the dynamic region was computing.
+    pub hw_utilization: f64,
+    /// Fraction of the window the software path was computing.
+    pub sw_utilization: f64,
+}
+
+impl MetricsSnapshot {
+    /// JSON rendering for machine consumption (bench tables, CI).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("completed", self.completed)
+            .field("hw_items", self.hw_items)
+            .field("sw_items", self.sw_items)
+            .field("hw_batches", self.hw_batches)
+            .field("sw_batches", self.sw_batches)
+            .field("swaps", self.swaps)
+            .field("verify_failures", self.verify_failures)
+            .field("elapsed_us", self.elapsed.as_us_f64())
+            .field("throughput_per_s", self.throughput_per_s)
+            .field("latency_mean_us", self.latency_mean.as_us_f64())
+            .field("latency_p50_us", self.latency_p50.as_us_f64())
+            .field("latency_p99_us", self.latency_p99.as_us_f64())
+            .field("reconfig_time_us", self.reconfig_time.as_us_f64())
+            .field("hw_utilization", self.hw_utilization)
+            .field("sw_utilization", self.sw_utilization)
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "  completed {:>6}   (hw {} / sw {})",
+            self.completed, self.hw_items, self.sw_items
+        )?;
+        writeln!(
+            f,
+            "  batches   {:>6}   (hw {} / sw {}), swaps {}",
+            self.hw_batches + self.sw_batches,
+            self.hw_batches,
+            self.sw_batches,
+            self.swaps
+        )?;
+        writeln!(
+            f,
+            "  elapsed   {:>10}   throughput {:.0} req/s",
+            self.elapsed.to_string(),
+            self.throughput_per_s
+        )?;
+        writeln!(
+            f,
+            "  latency   mean {} / p50 {} / p99 {}",
+            self.latency_mean, self.latency_p50, self.latency_p99
+        )?;
+        write!(
+            f,
+            "  region    busy {:.1}% of window, {} reconfiguring; sw busy {:.1}%",
+            self.hw_utilization * 100.0,
+            self.reconfig_time,
+            self.sw_utilization * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reconciles_counts_and_percentiles() {
+        let mut m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_item(SimTime::from_us(i), i % 4 == 0);
+        }
+        m.record_batch(true, SimTime::from_us(50));
+        m.record_batch(false, SimTime::from_us(150));
+        m.record_swap(SimTime::from_us(30));
+
+        let s = m.snapshot(SimTime::from_us(1000));
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.hw_items + s.sw_items, s.completed);
+        assert_eq!(s.hw_items, 25);
+        assert_eq!(s.swaps, 1);
+        // Latencies 1..=100us: p50 ≈ 50/51us, p99 = 99 or 100us.
+        assert!(s.latency_p50 >= SimTime::from_us(50) && s.latency_p50 <= SimTime::from_us(51));
+        assert!(s.latency_p99 >= SimTime::from_us(99));
+        assert_eq!(s.latency_mean, SimTime::from_ps(50_500_000));
+        // 100 requests in 1000us = 1ms → 100_000 req/s.
+        assert!((s.throughput_per_s - 100_000.0).abs() < 1.0);
+        assert!((s.hw_utilization - 0.05).abs() < 1e-9);
+        assert!((s.sw_utilization - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Metrics::new().snapshot(SimTime::ZERO);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.latency_p99, SimTime::ZERO);
+        assert_eq!(s.throughput_per_s, 0.0);
+        // JSON must render without panicking even when empty.
+        assert!(s.to_json().render().contains("\"completed\":0"));
+    }
+}

@@ -1,0 +1,268 @@
+//! The run-time reconfiguration service.
+//!
+//! [`Service`] owns one simulated machine, its [`ModuleManager`] and a
+//! request [`Driver`]. Clients' requests land in per-module admission
+//! queues; the scheduler serves one batch at a time and, per batch,
+//! either runs software-only on the PPC405 model or reconfigures the
+//! dynamic region and runs the hardware path — whichever the calibrated
+//! cost model predicts is cheaper once the ICAP transfer is amortized
+//! over the queued work.
+
+use rtr_apps::request::{component_for, factory_for, Driver, Kernel, Request};
+use rtr_core::{build_system, LoadOutcome, Machine, ModuleManager, SystemKind};
+use vp2_sim::SimTime;
+
+use crate::cost::CostModel;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{AdmissionQueues, Pending};
+
+/// Batch-path selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Never touch the dynamic region — the paper's software baseline.
+    SwOnly,
+    /// Reconfigure when the cost model says the batch amortizes it.
+    CostModel,
+}
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Which of the two systems to build.
+    pub kind: SystemKind,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Kernels the service accepts (empty defaults to all six).
+    pub kernels: Vec<Kernel>,
+    /// Check every response against the Rust reference implementation.
+    pub verify: bool,
+}
+
+impl ServiceConfig {
+    /// Cost-model scheduling over all kernels, with verification on.
+    pub fn new(kind: SystemKind) -> Self {
+        ServiceConfig {
+            kind,
+            policy: Policy::CostModel,
+            kernels: Vec::new(),
+            verify: true,
+        }
+    }
+}
+
+/// The scheduler and the platform it drives.
+pub struct Service {
+    config: ServiceConfig,
+    kernels: Vec<Kernel>,
+    machine: Machine,
+    manager: ModuleManager,
+    driver: Driver,
+    queues: AdmissionQueues,
+    cost: CostModel,
+    metrics: Metrics,
+    hw_ready: [bool; Kernel::ALL.len()],
+    submitted: u64,
+}
+
+impl Service {
+    /// Boots the service: builds the system, registers every accepted
+    /// kernel that has a hardware form (linking its partial bitstream
+    /// into the manager's cache), downloads the driver programs, runs
+    /// the two-point calibration, and performs one warm-up load so the
+    /// reconfiguration-time estimate starts from a measurement instead
+    /// of a guess.
+    pub fn new(config: ServiceConfig) -> Self {
+        let kernels: Vec<Kernel> = if config.kernels.is_empty() {
+            Kernel::ALL.to_vec()
+        } else {
+            config.kernels.clone()
+        };
+        let mut machine = build_system(config.kind);
+        let mut manager = ModuleManager::new(config.kind);
+        let mut hw_ready = [false; Kernel::ALL.len()];
+        for &kernel in &kernels {
+            if let Some(component) = component_for(kernel, config.kind) {
+                manager
+                    .register(component, (0, 0), factory_for(kernel))
+                    .unwrap_or_else(|e| panic!("register {kernel}: {e}"));
+                hw_ready[kernel.index()] = true;
+            }
+        }
+        let mut driver = Driver::new();
+        driver.preload_all(&mut machine);
+        let mut cost = CostModel::calibrate(config.kind, &kernels);
+        if let Some(&first_hw) = kernels.iter().find(|&&k| hw_ready[k.index()]) {
+            match manager.load(&mut machine, first_hw.module_name()) {
+                Ok(LoadOutcome::Loaded { reconfig_time, .. }) => {
+                    cost.observe_reconfig(reconfig_time)
+                }
+                Ok(LoadOutcome::AlreadyLoaded) => unreachable!("nothing loaded at boot"),
+                Err(e) => panic!("warm-up load of {first_hw}: {e}"),
+            }
+        }
+        Service {
+            config,
+            kernels,
+            machine,
+            manager,
+            driver,
+            queues: AdmissionQueues::new(),
+            cost,
+            metrics: Metrics::new(),
+            hw_ready,
+            submitted: 0,
+        }
+    }
+
+    /// The calibrated cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The module manager (reconfiguration counters, resident module).
+    pub fn manager(&self) -> &ModuleManager {
+        &self.manager
+    }
+
+    /// Current simulated time on the service's machine.
+    pub fn now(&self) -> SimTime {
+        self.machine.now()
+    }
+
+    /// Requests admitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Runs an open-loop schedule of `(arrival, request)` pairs (arrival
+    /// times relative to the call; must be sorted ascending) to
+    /// completion and returns the metrics over exactly that window.
+    pub fn process(&mut self, schedule: &[(SimTime, Request)]) -> MetricsSnapshot {
+        debug_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+        let origin = self.machine.now();
+        let mut next = 0;
+        while next < schedule.len() || !self.queues.is_empty() {
+            let now = self.machine.now();
+            while next < schedule.len() && origin + schedule[next].0 <= now {
+                let (rel, req) = &schedule[next];
+                self.admit(origin + *rel, req.clone());
+                next += 1;
+            }
+            match self.queues.next_kernel() {
+                Some(kernel) => {
+                    let batch = self.queues.drain(kernel);
+                    self.dispatch(kernel, batch);
+                }
+                // Nothing queued: idle forward to the next arrival.
+                None => self.machine.idle_until(origin + schedule[next].0),
+            }
+        }
+        self.metrics.snapshot(self.machine.now() - origin)
+    }
+
+    /// Queues one request that arrived at absolute time `arrival`.
+    fn admit(&mut self, arrival: SimTime, request: Request) {
+        assert!(
+            self.kernels.contains(&request.kernel()),
+            "service does not accept {} requests",
+            request.kernel()
+        );
+        self.submitted += 1;
+        self.queues.push(arrival, request);
+    }
+
+    /// Runs one batch, choosing the path per policy and cost model.
+    fn dispatch(&mut self, kernel: Kernel, batch: Vec<Pending>) {
+        let bytes: Vec<usize> = batch.iter().map(|p| p.request.payload_bytes()).collect();
+        let swap_needed = self.manager.loaded() != Some(kernel.module_name());
+        let use_hw = match self.config.policy {
+            Policy::SwOnly => false,
+            Policy::CostModel => {
+                self.hw_ready[kernel.index()]
+                    && self.cost.hardware_pays_off(kernel, &bytes, swap_needed)
+            }
+        };
+        let batch_start = self.machine.now();
+        if use_hw && swap_needed {
+            match self.manager.load(&mut self.machine, kernel.module_name()) {
+                Ok(LoadOutcome::Loaded { reconfig_time, .. }) => {
+                    self.cost.observe_reconfig(reconfig_time);
+                    self.metrics.record_swap(reconfig_time);
+                }
+                Ok(LoadOutcome::AlreadyLoaded) => {}
+                Err(e) => panic!("load {kernel}: {e}"),
+            }
+        }
+        for pending in batch {
+            let (_, response) = if use_hw {
+                self.driver.run_hw(&mut self.machine, &pending.request)
+            } else {
+                self.driver.run_sw(&mut self.machine, &pending.request)
+            };
+            // Latency is wall time on the simulated clock — it includes
+            // queueing, the swap and the execution, not just the call.
+            let latency = self.machine.now().saturating_sub(pending.arrival);
+            self.metrics.record_item(latency, use_hw);
+            if self.config.verify && response != pending.request.reference() {
+                self.metrics.record_verify_failure();
+            }
+        }
+        self.metrics
+            .record_batch(use_hw, self.machine.now() - batch_start);
+    }
+
+    /// True when the kernel can run in the dynamic region of this service.
+    pub fn hardware_available(&self, kernel: Kernel) -> bool {
+        self.hw_ready[kernel.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::kernel_has_hw;
+    use vp2_sim::SplitMix64;
+
+    fn burst(kernel: Kernel, n: usize, payload: usize) -> Vec<(SimTime, Request)> {
+        let mut rng = SplitMix64::new(7);
+        (0..n)
+            .map(|i| {
+                (
+                    SimTime::from_ns(i as u64),
+                    Request::synthetic(kernel, payload, &mut rng),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sw_only_policy_never_reconfigures_after_boot() {
+        let mut svc = Service::new(ServiceConfig {
+            kind: SystemKind::Bit32,
+            policy: Policy::SwOnly,
+            kernels: vec![Kernel::Jenkins],
+            verify: true,
+        });
+        let boot_reconfigs = svc.manager().reconfigurations;
+        let snap = svc.process(&burst(Kernel::Jenkins, 4, 192));
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.sw_items, 4);
+        assert_eq!(snap.hw_items, 0);
+        assert_eq!(snap.swaps, 0);
+        assert_eq!(svc.manager().reconfigurations, boot_reconfigs);
+        assert_eq!(snap.verify_failures, 0);
+    }
+
+    #[test]
+    fn registration_mirrors_hardware_fit() {
+        let svc32 = Service::new(ServiceConfig {
+            kind: SystemKind::Bit32,
+            policy: Policy::SwOnly,
+            kernels: vec![Kernel::Sha1, Kernel::PatMatch],
+            verify: false,
+        });
+        assert!(!svc32.hardware_available(Kernel::Sha1));
+        assert!(svc32.hardware_available(Kernel::PatMatch));
+        assert!(kernel_has_hw(Kernel::Sha1, SystemKind::Bit64));
+    }
+}

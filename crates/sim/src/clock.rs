@@ -12,11 +12,10 @@
 //! model charges the synchroniser penalty of the PLB→OPB bridge crossing.
 
 use crate::time::SimTime;
-use serde::Serialize;
 use std::fmt;
 
 /// A fixed-frequency clock domain.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClockDomain {
     /// Human-readable name, e.g. `"cpu"`, `"plb"`, `"opb"`.
     name: &'static str,

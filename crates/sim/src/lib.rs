@@ -14,6 +14,7 @@
 
 pub mod clock;
 pub mod events;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -21,6 +22,7 @@ pub mod time;
 
 pub use clock::ClockDomain;
 pub use events::{EventQueue, Scheduled};
+pub use json::Json;
 pub use rng::SplitMix64;
 pub use stats::OnlineStats;
 pub use time::SimTime;

@@ -6,10 +6,9 @@
 //! latency-distribution ablations.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -105,7 +104,7 @@ impl OnlineStats {
 }
 
 /// Fixed-width bucket histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

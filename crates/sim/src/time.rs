@@ -7,7 +7,6 @@
 //! ~213 days of simulated time — five orders of magnitude beyond any
 //! experiment in the paper.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -17,7 +16,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// `SimTime` is used both as a point on the simulation timeline and as a
 /// span between two points; the arithmetic impls make the dual use ergonomic
 /// while keeping everything in integer picoseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

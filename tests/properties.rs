@@ -1,56 +1,87 @@
-//! Cross-crate property-based tests on the core invariants.
+//! Cross-crate randomized tests on the core invariants.
+//!
+//! Deterministic replacements for the former proptest suite: each test
+//! sweeps a fixed number of cases drawn from `SplitMix64`, so failures
+//! reproduce exactly and the workspace builds with no external crates.
 
-use proptest::prelude::*;
 use vp2_repro::apps::{imaging, jenkins, patmatch, sha1};
 use vp2_repro::bitstream::{apply_bitstream, differential_bitstream, full_bitstream, idcode_for};
 use vp2_repro::dock::DynamicModule;
-use vp2_repro::fabric::{ConfigMemory, Device, DeviceKind};
 use vp2_repro::fabric::coords::{ClbCoord, LutIndex, SliceIndex};
+use vp2_repro::fabric::{ConfigMemory, Device, DeviceKind};
+use vp2_repro::sim::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// Any configuration state survives a full-bitstream round trip.
-    #[test]
-    fn bitstream_roundtrip_preserves_any_state(
-        writes in proptest::collection::vec((0u16..28, 0u16..44, 0u8..4, 0u8..2, any::<u16>()), 0..40)
-    ) {
+/// Any configuration state survives a full-bitstream round trip.
+#[test]
+fn bitstream_roundtrip_preserves_any_state() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0001 + case);
         let dev = Device::new(DeviceKind::Xc2vp7);
         let mut src = ConfigMemory::new(&dev);
-        for (col, row, slice, lut, truth) in writes {
-            src.set_lut(ClbCoord::new(col, row), SliceIndex::new(slice), LutIndex::new(lut), truth);
+        for _ in 0..rng.below(40) {
+            let col = rng.below(28) as u16;
+            let row = rng.below(44) as u16;
+            let slice = rng.below(4) as u8;
+            let lut = rng.below(2) as u8;
+            let truth = rng.next_u32() as u16;
+            src.set_lut(
+                ClbCoord::new(col, row),
+                SliceIndex::new(slice),
+                LutIndex::new(lut),
+                truth,
+            );
         }
         let bs = full_bitstream(&src, idcode_for(dev.kind));
         let mut dst = ConfigMemory::new(&dev);
         apply_bitstream(&bs, &mut dst, idcode_for(dev.kind)).unwrap();
-        prop_assert_eq!(dst, src);
+        assert_eq!(dst, src, "case {case}");
     }
+}
 
-    /// differential(base → target) applied over base always reproduces
-    /// target, whatever the two states are.
-    #[test]
-    fn differential_is_exact_over_its_base(
-        a in proptest::collection::vec((0u16..28, 0u16..44, any::<u16>()), 0..20),
-        b in proptest::collection::vec((0u16..28, 0u16..44, any::<u16>()), 0..20),
-    ) {
+/// differential(base → target) applied over base always reproduces
+/// target, whatever the two states are.
+#[test]
+fn differential_is_exact_over_its_base() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0002 + case);
         let dev = Device::new(DeviceKind::Xc2vp7);
         let mut base = ConfigMemory::new(&dev);
-        for (col, row, truth) in a {
-            base.set_lut(ClbCoord::new(col, row), SliceIndex::new(0), LutIndex::F, truth);
+        for _ in 0..rng.below(20) {
+            let (col, row) = (rng.below(28) as u16, rng.below(44) as u16);
+            base.set_lut(
+                ClbCoord::new(col, row),
+                SliceIndex::new(0),
+                LutIndex::F,
+                rng.next_u32() as u16,
+            );
         }
         let mut target = base.clone();
-        for (col, row, truth) in b {
-            target.set_lut(ClbCoord::new(col, row), SliceIndex::new(1), LutIndex::G, truth);
+        for _ in 0..rng.below(20) {
+            let (col, row) = (rng.below(28) as u16, rng.below(44) as u16);
+            target.set_lut(
+                ClbCoord::new(col, row),
+                SliceIndex::new(1),
+                LutIndex::G,
+                rng.next_u32() as u16,
+            );
         }
         let diff = differential_bitstream(&base, &target, idcode_for(dev.kind));
         let mut mem = base.clone();
         apply_bitstream(&diff, &mut mem, idcode_for(dev.kind)).unwrap();
-        prop_assert_eq!(mem, target);
+        assert_eq!(mem, target, "case {case}");
     }
+}
 
-    /// The Jenkins hardware module equals the reference for any key.
-    #[test]
-    fn jenkins_module_matches_reference(key in proptest::collection::vec(any::<u8>(), 0..300), iv in any::<u32>()) {
+/// The Jenkins hardware module equals the reference for any key.
+#[test]
+fn jenkins_module_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0003 + case);
+        let mut key = vec![0u8; rng.below(300) as usize];
+        rng.fill_bytes(&mut key);
+        let iv = rng.next_u32();
         let mut module = jenkins::JenkinsModule::new();
         module.poke_at(8, u64::from(iv));
         module.poke_at(4, key.len() as u64);
@@ -61,50 +92,75 @@ proptest! {
             let be = u32::from_be_bytes(padded[4 * w..4 * w + 4].try_into().unwrap());
             module.poke_at(0, u64::from(be));
         }
-        prop_assert_eq!(module.read_pop() as u32, jenkins::hash_reference(&key, iv));
+        assert_eq!(
+            module.read_pop() as u32,
+            jenkins::hash_reference(&key, iv),
+            "case {case}"
+        );
     }
+}
 
-    /// The SHA-1 behavioural core equals the reference for any message.
-    #[test]
-    fn sha1_module_matches_reference(msg in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// The SHA-1 behavioural core equals the reference for any message.
+#[test]
+fn sha1_module_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0004 + case);
+        let mut msg = vec![0u8; rng.below(300) as usize];
+        rng.fill_bytes(&mut msg);
         let want = sha1::sha1_reference(&msg);
         let mut module = sha1::Sha1Module::new();
         module.poke_at(4, 0);
         let mut data = msg.clone();
         let bitlen = (msg.len() as u64) * 8;
         data.push(0x80);
-        while data.len() % 64 != 56 { data.push(0); }
+        while data.len() % 64 != 56 {
+            data.push(0);
+        }
         data.extend_from_slice(&bitlen.to_be_bytes());
         for w in data.chunks_exact(4) {
             module.poke_at(0, u64::from(u32::from_be_bytes(w.try_into().unwrap())));
         }
         let digest: Vec<u32> = (0..5).map(|i| module.read_at(4 * i) as u32).collect();
-        prop_assert_eq!(digest, want.to_vec());
+        assert_eq!(digest, want.to_vec(), "case {case}");
     }
+}
 
-    /// Imaging reference semantics: results always within pixel range and
-    /// fade interpolates monotonically between B (f=0) and A (f=256).
-    #[test]
-    fn fade_interpolates(a in any::<u8>(), b in any::<u8>()) {
+/// Imaging reference semantics: results always within pixel range and
+/// fade interpolates monotonically between B (f=0) and A (f=256).
+#[test]
+fn fade_interpolates() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0005 + case);
+        let a = rng.next_u32() as u8;
+        let b = rng.next_u32() as u8;
         let at0 = imaging::reference_pixel(imaging::Task::Fade, a, b, 0);
         let at256 = imaging::reference_pixel(imaging::Task::Fade, a, b, 256);
-        prop_assert_eq!(at0, b);
-        prop_assert_eq!(at256, a);
+        assert_eq!(at0, b);
+        assert_eq!(at256, a);
         let mid = imaging::reference_pixel(imaging::Task::Fade, a, b, 128);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        prop_assert!(mid >= lo.saturating_sub(1) && mid <= hi.saturating_add(1));
+        assert!(mid >= lo.saturating_sub(1) && mid <= hi.saturating_add(1));
     }
+}
 
-    /// The pattern-matching behavioural module equals the reference over
-    /// random images and patterns (the gate-level model is separately
-    /// property-tested against the behavioural one in `rtr-apps`).
-    #[test]
-    fn patmatch_module_matches_reference(seed in any::<u64>(), pat in any::<[u8; 8]>()) {
+/// The pattern-matching behavioural module equals the reference over
+/// random images and patterns (the gate-level model is separately
+/// property-tested against the behavioural one in `rtr-apps`).
+#[test]
+fn patmatch_module_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0006 + case);
+        let seed = rng.next_u64();
+        let mut pat = [0u8; 8];
+        rng.fill_bytes(&mut pat);
         let img = patmatch::BinaryImage::random(64, 9, seed);
         let want = patmatch::match_counts_reference(&img, &pat);
         let mut module = patmatch::PatMatchModule::new();
         for (r, &byte) in pat.iter().enumerate() {
-            module.poke_at(4, u64::from(patmatch::CMD_PATTERN | (r as u32) << 24 | u32::from(byte)));
+            module.poke_at(
+                4,
+                u64::from(patmatch::CMD_PATTERN | (r as u32) << 24 | u32::from(byte)),
+            );
         }
         let blocks = img.width / 32;
         let wpr = img.words_per_row();
@@ -113,7 +169,11 @@ proptest! {
             module.poke_at(4, u64::from(patmatch::CMD_RESET));
             for b in 0..blocks + 2 {
                 for r in 0..8 {
-                    let w = if b < blocks { img.data[(y + r) * wpr + b] } else { 0 };
+                    let w = if b < blocks {
+                        img.data[(y + r) * wpr + b]
+                    } else {
+                        0
+                    };
                     module.poke_at(0, u64::from(w));
                 }
                 if b >= 2 {
@@ -129,6 +189,6 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
 }

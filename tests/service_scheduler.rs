@@ -1,0 +1,126 @@
+//! Deterministic integration tests for the run-time reconfiguration
+//! scheduler: a burst of identical requests amortizes (at most) one
+//! reconfiguration, batches below the break-even depth stay on the
+//! software path, and the metrics counters reconcile with the work
+//! actually submitted.
+
+use vp2_repro::apps::request::{Kernel, Request};
+use vp2_repro::rtr::SystemKind;
+use vp2_repro::service::{Policy, Service, ServiceConfig, TrafficConfig};
+use vp2_repro::sim::{SimTime, SplitMix64};
+
+/// N identical requests, 1 ns apart — one long same-kernel burst.
+fn burst(kernel: Kernel, n: usize, payload: usize) -> Vec<(SimTime, Request)> {
+    let mut rng = SplitMix64::new(42);
+    (0..n)
+        .map(|i| {
+            (
+                SimTime::from_ns(i as u64),
+                Request::synthetic(kernel, payload, &mut rng),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn burst_of_identical_requests_reconfigures_at_most_once() {
+    // Jenkins listed first, so the boot warm-up leaves its module
+    // resident; the pattern-matching burst then needs exactly one swap.
+    let mut svc = Service::new(ServiceConfig {
+        kind: SystemKind::Bit32,
+        policy: Policy::CostModel,
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        verify: true,
+    });
+    let boot_reconfigs = svc.manager().reconfigurations;
+    assert_eq!(svc.manager().loaded(), Some("jenkins-lookup2"));
+    // Pattern matching in hardware is such a large win that a single
+    // queued item already amortizes the ICAP transfer.
+    assert_eq!(
+        svc.cost_model().break_even_depth(Kernel::PatMatch, 256),
+        Some(1)
+    );
+
+    let n = 6;
+    let snap = svc.process(&burst(Kernel::PatMatch, n, 256));
+
+    assert_eq!(snap.swaps, 1, "one burst, one reconfiguration");
+    assert_eq!(
+        svc.manager().reconfigurations,
+        boot_reconfigs + 1,
+        "later batches must hit the resident module (bitstream cache)"
+    );
+    assert_eq!(snap.hw_items, n as u64, "the whole burst runs in hardware");
+    assert_eq!(snap.sw_items, 0);
+    assert_eq!(snap.verify_failures, 0);
+    assert_eq!(svc.manager().loaded(), Some("patmatch8x8"));
+}
+
+#[test]
+fn below_break_even_the_scheduler_stays_software_only() {
+    // Pattern matching resident after warm-up; a short Jenkins burst is
+    // far below lookup2's break-even depth, so swapping would cost more
+    // than it saves and every item must run on the PPC405.
+    let mut svc = Service::new(ServiceConfig {
+        kind: SystemKind::Bit32,
+        policy: Policy::CostModel,
+        kernels: vec![Kernel::PatMatch, Kernel::Jenkins],
+        verify: true,
+    });
+    let boot_reconfigs = svc.manager().reconfigurations;
+    assert_eq!(svc.manager().loaded(), Some("patmatch8x8"));
+    let n = 6;
+    let depth = svc
+        .cost_model()
+        .break_even_depth(Kernel::Jenkins, 512)
+        .expect("jenkins has a hardware form on Bit32");
+    assert!(depth > n, "test premise: burst of {n} is below break-even {depth}");
+
+    let snap = svc.process(&burst(Kernel::Jenkins, n, 512));
+
+    assert_eq!(snap.swaps, 0, "no batch amortized a swap");
+    assert_eq!(svc.manager().reconfigurations, boot_reconfigs);
+    assert_eq!(snap.sw_items, n as u64);
+    assert_eq!(snap.hw_items, 0);
+    assert_eq!(snap.verify_failures, 0);
+    assert_eq!(
+        svc.manager().loaded(),
+        Some("patmatch8x8"),
+        "the resident module is untouched"
+    );
+}
+
+#[test]
+fn metrics_counters_reconcile_with_completed_requests() {
+    let mut svc = Service::new(ServiceConfig {
+        kind: SystemKind::Bit32,
+        policy: Policy::CostModel,
+        kernels: vec![Kernel::Jenkins, Kernel::Brightness],
+        verify: true,
+    });
+    let traffic = TrafficConfig {
+        seed: 9,
+        requests: 16,
+        kernels: vec![Kernel::Jenkins, Kernel::Brightness],
+        mean_gap: SimTime::from_us(10),
+        burst_percent: 50,
+        min_payload: 64,
+        max_payload: 512,
+    }
+    .generate();
+
+    let snap = svc.process(&traffic);
+
+    assert_eq!(snap.completed, 16);
+    assert_eq!(snap.completed, svc.submitted());
+    assert_eq!(snap.completed, snap.hw_items + snap.sw_items);
+    assert!(snap.hw_batches + snap.sw_batches >= 1);
+    assert!(snap.swaps <= snap.hw_batches, "every swap belongs to a hw batch");
+    assert_eq!(snap.verify_failures, 0);
+    assert!(snap.latency_p50 <= snap.latency_p99);
+    assert!(snap.latency_p99 <= snap.elapsed);
+    assert!(snap.throughput_per_s > 0.0);
+    // The JSON view carries the same counters.
+    let json = snap.to_json().render();
+    assert!(json.contains("\"completed\":16"));
+}

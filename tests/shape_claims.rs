@@ -114,9 +114,9 @@ fn sha1_gains_considerably() {
 #[test]
 fn sha1_software_overhead_shrinks_with_size() {
     let mut m = build_system(SystemKind::Bit64);
-    let (t_small, _) = sha1::sw_run(&mut m, &vec![1u8; 64]);
+    let (t_small, _) = sha1::sw_run(&mut m, &[1u8; 64]);
     let mut m = build_system(SystemKind::Bit64);
-    let (t_large, _) = sha1::sw_run(&mut m, &vec![1u8; 16384]);
+    let (t_large, _) = sha1::sw_run(&mut m, &[1u8; 16384]);
     let per_byte_small = t_small.as_ns_f64() / 64.0;
     let per_byte_large = t_large.as_ns_f64() / 16384.0;
     assert!(per_byte_small > 1.5 * per_byte_large);
