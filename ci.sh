@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
@@ -11,5 +14,9 @@ cargo test -q --workspace
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== example smoke runs =="
+cargo run --release --example service_traffic > /dev/null
+cargo run --release --example fault_tolerance > /dev/null
 
 echo "CI OK"

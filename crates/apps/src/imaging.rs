@@ -275,15 +275,15 @@ pub fn imaging_netlist(task: Task) -> Netlist {
                 let mut eb: Bus = b.clone();
                 eb.push(zero);
                 let (diff, _) = c::subtractor(&mut nl, &ea, &eb); // 9-bit two's complement
-                // Multiply |diff| is messy; multiply sign-extended diff by f
-                // using 17-bit x 9-bit two's-complement via sign-extension
-                // to 18 bits and an unsigned multiplier (f ≥ 0).
+                                                                  // Multiply |diff| is messy; multiply sign-extended diff by f
+                                                                  // using 17-bit x 9-bit two's-complement via sign-extension
+                                                                  // to 18 bits and an unsigned multiplier (f ≥ 0).
                 let sign = diff[8];
                 let ext: Bus = (0..18)
                     .map(|k| if k < 9 { diff[k] } else { sign })
                     .collect();
                 let prod = c::multiplier(&mut nl, &ext, &param); // 27 bits
-                // scaled = prod >> 8, take 10 bits (signed).
+                                                                 // scaled = prod >> 8, take 10 bits (signed).
                 let scaled: Bus = (8..18).map(|k| prod[k]).collect();
                 // sum = b + scaled (11-bit signed).
                 let mut eb2: Bus = b.clone();
@@ -617,13 +617,7 @@ flsh:
 "#;
 
 /// Runs the software kernel; returns `(time, result)`.
-pub fn sw_run(
-    m: &mut Machine,
-    task: Task,
-    a: &[u8],
-    b: &[u8],
-    param: i32,
-) -> (SimTime, Vec<u8>) {
+pub fn sw_run(m: &mut Machine, task: Task, a: &[u8], b: &[u8], param: i32) -> (SimTime, Vec<u8>) {
     harness::store_bytes(m, SRC_A, a);
     if task.two_sources() {
         harness::store_bytes(m, SRC_B, b);
@@ -643,13 +637,7 @@ pub fn sw_run(
 
 /// Runs the CPU-controlled hardware version (tables 5 and the unmodified
 /// transfers of table 12's sibling measurements); returns `(time, result)`.
-pub fn hw_run(
-    m: &mut Machine,
-    task: Task,
-    a: &[u8],
-    b: &[u8],
-    param: i32,
-) -> (SimTime, Vec<u8>) {
+pub fn hw_run(m: &mut Machine, task: Task, a: &[u8], b: &[u8], param: i32) -> (SimTime, Vec<u8>) {
     bind(m, Box::new(ImagingModule::new(task)));
     harness::store_bytes(m, SRC_A, a);
     if task.two_sources() {
@@ -660,9 +648,7 @@ pub fn hw_run(
     let max = u64::from(n) * 80 + 100_000;
     let (t, _) = match task {
         Task::Brightness => run_asm(m, HW_BRIGHT, &[n / 4, SRC_A, DST, p9], max),
-        Task::Blend | Task::Fade => {
-            run_asm(m, HW_COMBINE, &[n / 2, SRC_A, SRC_B, DST, p9], max)
-        }
+        Task::Blend | Task::Fade => run_asm(m, HW_COMBINE, &[n / 2, SRC_A, SRC_B, DST, p9], max),
     };
     // Results land in memory in pixel order on every path.
     let out = harness::load_bytes(m, DST, a.len());
@@ -700,12 +686,7 @@ pub fn dma_run(
             harness::store_bytes(&mut mp, SRC_A, a);
             harness::store_bytes(&mut mp, SRC_B, b);
             let (prep, _) = run_asm(&mut mp, DMA_PREP_ONLY, &[n, SRC_A, SRC_B, AUX], max);
-            let (t, _) = run_asm(
-                m,
-                DMA_COMBINE,
-                &[n, SRC_A, SRC_B, AUX, p9, DST],
-                max,
-            );
+            let (t, _) = run_asm(m, DMA_COMBINE, &[n, SRC_A, SRC_B, AUX, p9, DST], max);
             (t, prep)
         }
     };
@@ -855,7 +836,11 @@ mod tests {
                 let w = u64::from(rng.next_u32());
                 let g = gate.poke_at(0, w);
                 let b = beh.poke_at(0, w);
-                assert_eq!((g.data, g.valid), (b.data & 0xFFFF_FFFF, b.valid), "{task:?} w={w:#x}");
+                assert_eq!(
+                    (g.data, g.valid),
+                    (b.data & 0xFFFF_FFFF, b.valid),
+                    "{task:?} w={w:#x}"
+                );
             }
         }
     }

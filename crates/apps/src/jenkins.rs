@@ -60,12 +60,8 @@ pub fn hash_reference(key: &[u8], initval: u32) -> u32 {
     // reserved for the length.
     let tail = k;
     let byte = |i: usize| -> u32 { u32::from(*tail.get(i).unwrap_or(&0)) };
-    a = a.wrapping_add(
-        byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24),
-    );
-    b = b.wrapping_add(
-        byte(4) | (byte(5) << 8) | (byte(6) << 16) | (byte(7) << 24),
-    );
+    a = a.wrapping_add(byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24));
+    b = b.wrapping_add(byte(4) | (byte(5) << 8) | (byte(6) << 16) | (byte(7) << 24));
     c = c.wrapping_add((byte(8) << 8) | (byte(9) << 16) | (byte(10) << 24));
     let (_, _, c) = mix(a, b, c);
     c
@@ -496,7 +492,11 @@ mod tests {
                 let be = u32::from_be_bytes(padded[4 * w..4 * w + 4].try_into().unwrap());
                 module.poke_at(0, u64::from(be));
             }
-            assert_eq!(module.read_pop() as u32, hash_reference(&key, iv), "case {case}");
+            assert_eq!(
+                module.read_pop() as u32,
+                hash_reference(&key, iv),
+                "case {case}"
+            );
         }
     }
 

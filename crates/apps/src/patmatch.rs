@@ -45,7 +45,10 @@ impl BinaryImage {
     /// # Panics
     /// Panics unless `width` is a positive multiple of 32 and ≥ 8 rows.
     pub fn new(width: usize, height: usize) -> Self {
-        assert!(width >= 32 && width.is_multiple_of(32), "width must be a multiple of 32");
+        assert!(
+            width >= 32 && width.is_multiple_of(32),
+            "width must be a multiple of 32"
+        );
         assert!(height >= 8, "need at least 8 rows");
         BinaryImage {
             width,
@@ -294,14 +297,21 @@ pub fn patmatch_netlist() -> Netlist {
     // Write counter wcnt (3 bits) with synchronous reset.
     let wcnt_d: Bus = (0..3).map(|_| nl.net()).collect();
     let wcnt_ce = c::or2(&mut nl, wr_data, rst);
-    let wcnt: Bus = wcnt_d.iter().map(|&d| nl.ff(d, false, Some(wcnt_ce))).collect();
+    let wcnt: Bus = wcnt_d
+        .iter()
+        .map(|&d| nl.ff(d, false, Some(wcnt_ce)))
+        .collect();
     {
         let one = c::const_bus(&mut nl, 3, 1);
         let (inc, _) = c::adder(&mut nl, &wcnt, &one, zero);
         let not_rst = c::not(&mut nl, rst);
         for i in 0..3 {
             let gated = c::and2(&mut nl, inc[i], not_rst);
-            nl.lut_into(c::truth4(|a, _, _, _| a), [Some(gated), None, None, None], wcnt_d[i]);
+            nl.lut_into(
+                c::truth4(|a, _, _, _| a),
+                [Some(gated), None, None, None],
+                wcnt_d[i],
+            );
         }
     }
     let wcnt_is7 = c::eq_const(&mut nl, &wcnt, 7);
@@ -343,8 +353,16 @@ pub fn patmatch_netlist() -> Netlist {
             let or = c::or2(&mut nl, bd[0], bd[1]);
             c::and2(&mut nl, or, not_rst)
         };
-        nl.lut_into(c::truth4(|a, _, _, _| a), [Some(n0), None, None, None], bd_d[0]);
-        nl.lut_into(c::truth4(|a, _, _, _| a), [Some(n1), None, None, None], bd_d[1]);
+        nl.lut_into(
+            c::truth4(|a, _, _, _| a),
+            [Some(n0), None, None, None],
+            bd_d[0],
+        );
+        nl.lut_into(
+            c::truth4(|a, _, _, _| a),
+            [Some(n1), None, None, None],
+            bd_d[1],
+        );
     }
 
     // Sliding window register per row: 44 columns of [prev2 | prev] in
@@ -370,7 +388,10 @@ pub fn patmatch_netlist() -> Netlist {
             })
             .collect();
         let d: Bus = (0..44).map(|_| nl.net()).collect();
-        let q: Bus = d.iter().map(|&dd| nl.ff(dd, false, Some(wr_data))).collect();
+        let q: Bus = d
+            .iter()
+            .map(|&dd| nl.ff(dd, false, Some(wr_data)))
+            .collect();
         for cidx in 0..44 {
             let shifted = if cidx + 4 < 44 { q[cidx + 4] } else { zero };
             let sel = c::mux2(&mut nl, shifted, load[cidx], block_end);
@@ -431,7 +452,11 @@ pub fn patmatch_netlist() -> Netlist {
         for i in 0..3 {
             let sel = c::mux2(nl, q[i], inc[i], ce_ev);
             let cleared = c::and2(nl, sel, not_rst);
-            nl.lut_into(c::truth4(|a, _, _, _| a), [Some(cleared), None, None, None], d[i]);
+            nl.lut_into(
+                c::truth4(|a, _, _, _| a),
+                [Some(cleared), None, None, None],
+                d[i],
+            );
         }
         q
     };
@@ -629,17 +654,9 @@ pub fn sw_run_optimized(
     harness::store_bytes(m, harness::AUX, &table);
     let (w, h) = (img.width as u32, img.height as u32);
     let max = u64::from(w) * u64::from(h) * 600 + 100_000;
-    let (t, _) = run_asm(
-        m,
-        SW_OPT_ASM,
-        &[w, h, SRC_A, SRC_B, DST, harness::AUX],
-        max,
-    );
+    let (t, _) = run_asm(m, SW_OPT_ASM, &[w, h, SRC_A, SRC_B, DST, harness::AUX], max);
     let out = harness::load_bytes(m, DST, (img.width - 7) * (img.height - 7));
-    let counts = out
-        .chunks(img.width - 7)
-        .map(<[u8]>::to_vec)
-        .collect();
+    let counts = out.chunks(img.width - 7).map(<[u8]>::to_vec).collect();
     (t, counts)
 }
 
@@ -720,17 +737,9 @@ pub fn sw_run(m: &mut Machine, img: &BinaryImage, pattern: &[u8; 8]) -> (SimTime
     harness::store_bytes(m, SRC_B, pattern);
     let (w, h) = (img.width as u32, img.height as u32);
     let max = u64::from(w) * u64::from(h) * 3000 + 100_000;
-    let (t, _) = run_asm(
-        m,
-        SW_ASM,
-        &[w, h, SRC_A, SRC_B, DST],
-        max,
-    );
+    let (t, _) = run_asm(m, SW_ASM, &[w, h, SRC_A, SRC_B, DST], max);
     let out = harness::load_bytes(m, DST, (img.width - 7) * (img.height - 7));
-    let counts = out
-        .chunks(img.width - 7)
-        .map(<[u8]>::to_vec)
-        .collect();
+    let counts = out.chunks(img.width - 7).map(<[u8]>::to_vec).collect();
     (t, counts)
 }
 
@@ -743,12 +752,7 @@ pub fn hw_run(m: &mut Machine, img: &BinaryImage, pattern: &[u8; 8]) -> (SimTime
     let bands = (img.height - 7) as u32;
     let blocks = (img.width / 32) as u32;
     let max = u64::from(bands) * u64::from(blocks + 2) * 400 + 100_000;
-    let (t, _) = run_asm(
-        m,
-        HW_ASM,
-        &[bands, blocks, SRC_A, SRC_B, DST],
-        max,
-    );
+    let (t, _) = run_asm(m, HW_ASM, &[bands, blocks, SRC_A, SRC_B, DST], max);
     // Unpack: per band, B blocks x 8 words x 4 counts.
     let words = harness::load_words(m, DST, bands as usize * blocks as usize * 8);
     let mut counts = vec![vec![0u8; img.width - 7]; bands as usize];
@@ -822,9 +826,16 @@ mod tests {
 
     /// Drives a module through the band protocol in pure Rust (no machine)
     /// and returns the counts.
-    fn drive_protocol(module: &mut dyn DynamicModule, img: &BinaryImage, pattern: &[u8; 8]) -> Vec<Vec<u8>> {
+    fn drive_protocol(
+        module: &mut dyn DynamicModule,
+        img: &BinaryImage,
+        pattern: &[u8; 8],
+    ) -> Vec<Vec<u8>> {
         for (r, &byte) in pattern.iter().enumerate() {
-            module.poke_at(4, u64::from(CMD_PATTERN | (r as u32) << 24 | u32::from(byte)));
+            module.poke_at(
+                4,
+                u64::from(CMD_PATTERN | (r as u32) << 24 | u32::from(byte)),
+            );
         }
         let blocks = img.width / 32;
         let bands = img.height - 7;

@@ -344,8 +344,7 @@ impl Driver {
             .enumerate()
             .map(|(i, (id, src))| {
                 let base = harness::PROG_BASE + i as u32 * SLOT_BYTES;
-                let prog =
-                    assemble(src, base).unwrap_or_else(|e| panic!("{id:?}: asm error: {e}"));
+                let prog = assemble(src, base).unwrap_or_else(|e| panic!("{id:?}: asm error: {e}"));
                 assert!(
                     prog.byte_len() as u32 <= SLOT_BYTES,
                     "{id:?} overflows its {SLOT_BYTES}-byte slot"

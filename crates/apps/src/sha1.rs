@@ -23,7 +23,13 @@ use vp2_netlist::graph::{Bus, NetId, Netlist};
 use vp2_sim::SimTime;
 
 /// SHA-1 initial hash values.
-pub const IV: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+pub const IV: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 /// Round constants per 20-round phase.
 pub const K: [u32; 4] = [0x5A82_7999, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6];
 
@@ -264,7 +270,10 @@ pub fn sha1_netlist() -> Netlist {
     // Word counter (4 bits) during absorb.
     let wcnt_d: Bus = (0..4).map(|_| nl.net()).collect();
     let wcnt_ce = c::or2(&mut nl, absorb, init);
-    let wcnt: Bus = wcnt_d.iter().map(|&d| nl.ff(d, false, Some(wcnt_ce))).collect();
+    let wcnt: Bus = wcnt_d
+        .iter()
+        .map(|&d| nl.ff(d, false, Some(wcnt_ce)))
+        .collect();
     let wcnt_is15 = c::eq_const(&mut nl, &wcnt, 15);
     let start_block = c::and2(&mut nl, absorb, wcnt_is15);
     {
@@ -276,7 +285,11 @@ pub fn sha1_netlist() -> Netlist {
         let not_clr = c::not(&mut nl, clr);
         for i in 0..4 {
             let v = c::and2(&mut nl, inc[i], not_clr);
-            nl.lut_into(c::truth4(|a, _, _, _| a), [Some(v), None, None, None], wcnt_d[i]);
+            nl.lut_into(
+                c::truth4(|a, _, _, _| a),
+                [Some(v), None, None, None],
+                wcnt_d[i],
+            );
         }
     }
 
@@ -337,7 +350,10 @@ pub fn sha1_netlist() -> Netlist {
         // phase bits as LUTs of rc: phase = (8*rc + j) / 20.
         let p0 = nl.lut(
             c::truth4(move |r0, r1, r2, r3| {
-                let rcv = usize::from(r0) | usize::from(r1) << 1 | usize::from(r2) << 2 | usize::from(r3) << 3;
+                let rcv = usize::from(r0)
+                    | usize::from(r1) << 1
+                    | usize::from(r2) << 2
+                    | usize::from(r3) << 3;
                 let round = 8 * rcv + j;
                 (round / 20) & 1 == 1
             }),
@@ -345,7 +361,10 @@ pub fn sha1_netlist() -> Netlist {
         );
         let p1 = nl.lut(
             c::truth4(move |r0, r1, r2, r3| {
-                let rcv = usize::from(r0) | usize::from(r1) << 1 | usize::from(r2) << 2 | usize::from(r3) << 3;
+                let rcv = usize::from(r0)
+                    | usize::from(r1) << 1
+                    | usize::from(r2) << 2
+                    | usize::from(r3) << 3;
                 let round = 8 * rcv + j;
                 (round / 20) & 2 == 2
             }),
@@ -362,14 +381,24 @@ pub fn sha1_netlist() -> Netlist {
     // Ring next state: absorb → shift by 1 with din at the end;
     // step → shift by 8 with new_w appended.
     for i in 0..16usize {
-        let absorb_src: Bus = if i < 15 { ring[i + 1].clone() } else { din.clone() };
+        let absorb_src: Bus = if i < 15 {
+            ring[i + 1].clone()
+        } else {
+            din.clone()
+        };
         let step_src: Bus = if i < 8 {
             ring[i + 8].clone()
         } else {
             new_w[i - 8].clone()
         };
         for bit in 0..32 {
-            c::mux2_into(&mut nl, step_src[bit], absorb_src[bit], absorb, ring_d[i][bit]);
+            c::mux2_into(
+                &mut nl,
+                step_src[bit],
+                absorb_src[bit],
+                absorb,
+                ring_d[i][bit],
+            );
         }
     }
 
@@ -406,7 +435,11 @@ pub fn sha1_netlist() -> Netlist {
         let set = c::or2(&mut nl, start_block, still);
         let not_init = c::not(&mut nl, init);
         let v = c::and2(&mut nl, set, not_init);
-        nl.lut_into(c::truth4(|x, _, _, _| x), [Some(v), None, None, None], busy_d);
+        nl.lut_into(
+            c::truth4(|x, _, _, _| x),
+            [Some(v), None, None, None],
+            busy_d,
+        );
     }
     // rc: 0 at start_block/init, +1 per step.
     {
@@ -417,7 +450,11 @@ pub fn sha1_netlist() -> Netlist {
         for i in 0..4 {
             let stepped = c::mux2(&mut nl, rc[i], inc[i], step);
             let v = c::and2(&mut nl, stepped, not_clr);
-            nl.lut_into(c::truth4(|x, _, _, _| x), [Some(v), None, None, None], rc_d[i]);
+            nl.lut_into(
+                c::truth4(|x, _, _, _| x),
+                [Some(v), None, None, None],
+                rc_d[i],
+            );
         }
     }
 
@@ -767,16 +804,34 @@ mod tests {
         // FIPS 180-1 / RFC 3174 test vectors.
         assert_eq!(
             sha1_reference(b"abc"),
-            [0xA999_3E36, 0x4706_816A, 0xBA3E_2571, 0x7850_C26C, 0x9CD0_D89D]
+            [
+                0xA999_3E36,
+                0x4706_816A,
+                0xBA3E_2571,
+                0x7850_C26C,
+                0x9CD0_D89D
+            ]
         );
         assert_eq!(
             sha1_reference(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
-            [0x8498_3E44, 0x1C3B_D26E, 0xBAAE_4AA1, 0xF951_29E5, 0xE546_70F1]
+            [
+                0x8498_3E44,
+                0x1C3B_D26E,
+                0xBAAE_4AA1,
+                0xF951_29E5,
+                0xE546_70F1
+            ]
         );
         let a1000000 = vec![b'a'; 1_000_000];
         assert_eq!(
             sha1_reference(&a1000000),
-            [0x34AA_973C, 0xD4C4_DAA4, 0xF61E_EB2B, 0xDBAD_2731, 0x6534_016F]
+            [
+                0x34AA_973C,
+                0xD4C4_DAA4,
+                0xF61E_EB2B,
+                0xDBAD_2731,
+                0x6534_016F
+            ]
         );
     }
 
@@ -831,9 +886,17 @@ mod tests {
         let nl = sha1_netlist();
         use vp2_netlist::place::AutoPlacer;
         let fits32 = AutoPlacer::new().place(&nl, 28, 11).is_ok();
-        assert!(!fits32, "SHA-1 must NOT fit 308 CLBs (needs {} LUTs)", nl.lut_cell_count());
+        assert!(
+            !fits32,
+            "SHA-1 must NOT fit 308 CLBs (needs {} LUTs)",
+            nl.lut_cell_count()
+        );
         let fits64 = AutoPlacer::new().place(&nl, 32, 24).is_ok();
-        assert!(fits64, "SHA-1 must fit 768 CLBs (needs {} LUTs)", nl.lut_cell_count());
+        assert!(
+            fits64,
+            "SHA-1 must fit 768 CLBs (needs {} LUTs)",
+            nl.lut_cell_count()
+        );
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Sweeps configuration-plane corruption rates across both systems and
+//! emits a machine-readable JSON summary of throughput, latency and the
+//! fault-tolerance counters — the resilience counterpart of
+//! `service_scenario`.
+//!
+//! ```text
+//! fault_scenario                    # both systems, rates {0, 1e-3, 1e-2}
+//! fault_scenario --requests 96      # heavier run
+//! fault_scenario --json out.json    # write the summary to a file
+//! ```
+
+use rtr_core::SystemKind;
+use rtr_service::{Service, ServiceConfig, TrafficConfig};
+use std::io::Write as _;
+use vp2_sim::{Json, SimTime};
+
+/// Corruption rates the paper-style comparison sweeps.
+const RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let requests: usize = value_of("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48);
+    let seed: u64 = value_of("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x0007_AF1C_2026);
+    let json_path = value_of("--json");
+
+    let mut systems = Vec::new();
+    for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+        let traffic = TrafficConfig {
+            seed,
+            requests,
+            kernels: Vec::new(),
+            mean_gap: SimTime::from_us(20),
+            burst_percent: 75,
+            min_payload: 256,
+            max_payload: 2048,
+        }
+        .generate();
+
+        let mut sweeps = Vec::new();
+        let mut clean_elapsed = None;
+        for rate in RATES {
+            eprintln!("[fault] {kind:?} / rate {rate}: {requests} requests...");
+            let mut svc = Service::new(ServiceConfig::with_faults(kind, rate, seed ^ 0xFA17));
+            let snap = svc.process(&traffic).expect("generated traffic is sorted");
+            assert_eq!(snap.completed as usize, requests, "all requests served");
+            assert_eq!(snap.verify_failures, 0, "responses must verify at any rate");
+            if rate == 0.0 {
+                clean_elapsed = Some(snap.elapsed);
+            }
+            let slowdown = clean_elapsed
+                .map(|clean| snap.elapsed.as_ps() as f64 / clean.as_ps().max(1) as f64)
+                .unwrap_or(1.0);
+            sweeps.push(
+                Json::obj()
+                    .field("corruption_rate", rate)
+                    .field("slowdown_vs_clean", slowdown)
+                    .field("metrics", snap.to_json()),
+            );
+        }
+
+        systems.push(
+            Json::obj()
+                .field("system", format!("{kind:?}"))
+                .field("requests", requests)
+                .field("seed", seed)
+                .field("rates", Json::Arr(sweeps)),
+        );
+    }
+
+    let summary = Json::obj().field("fault_scenarios", Json::Arr(systems));
+    let rendered = summary.render_pretty();
+    match json_path {
+        Some(path) => {
+            let mut f =
+                std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+            f.write_all(rendered.as_bytes()).expect("write json");
+            eprintln!("[fault] wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}

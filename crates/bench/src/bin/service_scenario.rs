@@ -47,12 +47,10 @@ fn main() {
         for policy in [Policy::SwOnly, Policy::CostModel] {
             eprintln!("[service] {kind:?} / {policy:?}: {requests} requests...");
             let mut svc = Service::new(ServiceConfig {
-                kind,
                 policy,
-                kernels: Vec::new(),
-                verify: true,
+                ..ServiceConfig::new(kind)
             });
-            let snap = svc.process(&traffic);
+            let snap = svc.process(&traffic).expect("generated traffic is sorted");
             assert_eq!(snap.verify_failures, 0, "responses must verify");
             makespans.push(snap.elapsed);
             let name = match policy {
@@ -74,15 +72,12 @@ fn main() {
         systems.push(sys);
     }
 
-    let summary = Json::obj().field(
-        "service_scenarios",
-        Json::Arr(systems),
-    );
+    let summary = Json::obj().field("service_scenarios", Json::Arr(systems));
     let rendered = summary.render_pretty();
     match json_path {
         Some(path) => {
-            let mut f = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("create {path}: {e}"));
+            let mut f =
+                std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
             f.write_all(rendered.as_bytes()).expect("write json");
             eprintln!("[service] wrote {path}");
         }

@@ -62,10 +62,16 @@ fn main() {
         println!("{}", ablation_sw_quality().render());
     }
     if let Some(path) = json_path {
-        let doc = vp2_sim::Json::Arr(results.iter().map(rtr_bench::TableResult::to_json).collect());
+        let doc = vp2_sim::Json::Arr(
+            results
+                .iter()
+                .map(rtr_bench::TableResult::to_json)
+                .collect(),
+        );
         let f = std::fs::File::create(&path).expect("create json file");
         let mut w = std::io::BufWriter::new(f);
-        w.write_all(doc.render_pretty().as_bytes()).expect("serialise");
+        w.write_all(doc.render_pretty().as_bytes())
+            .expect("serialise");
         w.flush().expect("flush");
         eprintln!("[tables] wrote {path}");
     }

@@ -130,7 +130,11 @@ pub fn table_resources(kind: SystemKind) -> TableResult {
             "  (module) patmatch8x8".to_string(),
             patmatch::patmatch_component(region.width(), region.height()).slices_used(),
         )];
-        for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+        for task in [
+            imaging::Task::Brightness,
+            imaging::Task::Blend,
+            imaging::Task::Fade,
+        ] {
             let nl = imaging::imaging_netlist(task);
             v.push((format!("  (module) {}", nl.name), nl.slice_estimate()));
         }
@@ -187,7 +191,11 @@ pub fn table_transfers_cpu(kind: SystemKind, effort: Effort) -> TableResult {
     };
     let mut t = TextTable::new(title, &["transfer type", "avg time per transfer (us)"]);
     let mut rows = Vec::new();
-    for k in [TransferKind::Write, TransferKind::Read, TransferKind::WriteRead] {
+    for k in [
+        TransferKind::Write,
+        TransferKind::Read,
+        TransferKind::WriteRead,
+    ] {
         let mut m = build_system(kind);
         let per = measure::program_transfer_time(&mut m, k, n);
         t.row(&[k.label().to_string(), fmt_sig(us(per))]);
@@ -217,7 +225,11 @@ pub fn table_transfers_dma(effort: Effort) -> TableResult {
     let title = "Table 8. Measured times for 64-bit data transfers between dynamic region and external memory (DMA-controlled)";
     let mut t = TextTable::new(title, &["transfer type", "avg time per transfer (us)"]);
     let mut rows = Vec::new();
-    for k in [TransferKind::Write, TransferKind::Read, TransferKind::WriteRead] {
+    for k in [
+        TransferKind::Write,
+        TransferKind::Read,
+        TransferKind::WriteRead,
+    ] {
         let mut m = build_system(SystemKind::Bit64);
         let per = measure::dma_transfer_time(&mut m, k, n);
         let label = match k {
@@ -351,7 +363,11 @@ pub fn table_imaging32(effort: Effort) -> TableResult {
     let title = "Table 5. Speedups for simple image processing tasks (32 bit)";
     let mut t = TextTable::new(title, &["task", "sw (us)", "hw/sw (us)", "speedup"]);
     let mut rows = Vec::new();
-    for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+    for task in [
+        imaging::Task::Brightness,
+        imaging::Task::Blend,
+        imaging::Task::Fade,
+    ] {
         let c = imaging::compare(SystemKind::Bit32, task, n, n as u64);
         t.row(&[
             task.label().to_string(),
@@ -379,10 +395,20 @@ pub fn table_imaging64(effort: Effort) -> TableResult {
     let title = "Table 12. Results for simple image processing tasks (64 bit)";
     let mut t = TextTable::new(
         title,
-        &["task", "sw (us)", "hw total (us)", "data preparation (us)", "speedup"],
+        &[
+            "task",
+            "sw (us)",
+            "hw total (us)",
+            "data preparation (us)",
+            "speedup",
+        ],
     );
     let mut rows = Vec::new();
-    for task in [imaging::Task::Brightness, imaging::Task::Blend, imaging::Task::Fade] {
+    for task in [
+        imaging::Task::Brightness,
+        imaging::Task::Blend,
+        imaging::Task::Fade,
+    ] {
         let c = imaging::compare_dma(task, n, n as u64);
         t.row(&[
             task.label().to_string(),
@@ -450,8 +476,12 @@ pub fn ablation_reconfig() -> TextTable {
     // Complete configuration through the module manager.
     let mut machine = build_system(kind);
     let mut mgr = ModuleManager::new(kind);
-    mgr.register(comp.clone(), (0, 0), Box::new(|| Box::new(patmatch::PatMatchModule::new())))
-        .expect("registers");
+    mgr.register(
+        comp.clone(),
+        (0, 0),
+        Box::new(|| Box::new(patmatch::PatMatchModule::new())),
+    )
+    .expect("registers");
     let out = mgr.load(&mut machine, "patmatch8x8").expect("loads");
     if let LoadOutcome::Loaded {
         reconfig_time,
@@ -468,9 +498,7 @@ pub fn ablation_reconfig() -> TextTable {
 
     // Differential against the blank-region state.
     let linker = rtr_core::system::bitlinker_for(kind);
-    let blank_state = linker
-        .expected_state(&[])
-        .expect("blank state");
+    let blank_state = linker.expected_state(&[]).expect("blank state");
     let (diff_bs, _) = linker
         .link_differential(&comp, (0, 0), &blank_state)
         .expect("links");

@@ -293,8 +293,13 @@ impl BitLinker {
             self.region.cols.start + origin.0,
             self.region.rows.start + origin.1,
         );
-        encode_placement(&component.netlist, &component.placement, dev_origin, &mut merged)
-            .map_err(|e| AssembleError::Encode(e.to_string()))?;
+        encode_placement(
+            &component.netlist,
+            &component.placement,
+            dev_origin,
+            &mut merged,
+        )
+        .map_err(|e| AssembleError::Encode(e.to_string()))?;
         let changed = merged.diff(assumed_current);
         let bs = partial_bitstream(&merged, &changed, self.idcode);
         let words = bs.word_count();
@@ -425,7 +430,12 @@ mod tests {
     fn static_base(dev: &Device) -> ConfigMemory {
         let mut m = ConfigMemory::new(dev);
         for col in 0..dev.clb_cols {
-            m.set_lut(ClbCoord::new(col, 0), SliceIndex::new(0), LutIndex::F, 0xBEEF);
+            m.set_lut(
+                ClbCoord::new(col, 0),
+                SliceIndex::new(0),
+                LutIndex::F,
+                0xBEEF,
+            );
             m.set_lut(
                 ClbCoord::new(col, dev.rows - 1),
                 SliceIndex::new(1),
@@ -452,7 +462,8 @@ mod tests {
             .map(|&b| components::xor2(&mut nl, b, tagbit))
             .collect();
         let regd = components::register(&mut nl, &mixed, Some(strobe[0]));
-        dm.read.instantiate_output(&mut nl, &mut placer, "dout", &regd);
+        dm.read
+            .instantiate_output(&mut nl, &mut placer, "dout", &regd);
         let placement = placer.place(&nl, 12, 11).unwrap();
         Component::new(
             format!("inv{tag}"),
@@ -468,12 +479,7 @@ mod tests {
         let region = region_32bit(&dev);
         let base = static_base(&dev);
         let dm = DockMacros::for_width(32);
-        BitLinker::new(
-            dev,
-            region,
-            base,
-            vec![dm.write, dm.read, dm.strobe],
-        )
+        BitLinker::new(dev, region, base, vec![dm.write, dm.read, dm.strobe])
     }
 
     #[test]
@@ -501,10 +507,17 @@ mod tests {
                 0xBEEF
             );
             assert_eq!(
-                mem.lut(ClbCoord::new(col, dev.rows - 1), SliceIndex::new(1), LutIndex::G),
+                mem.lut(
+                    ClbCoord::new(col, dev.rows - 1),
+                    SliceIndex::new(1),
+                    LutIndex::G
+                ),
                 0xCAFE
             );
-            assert_eq!(mem.routing_word(ClbCoord::new(col, 1), 2), 0x57A7_1C00 + u64::from(col));
+            assert_eq!(
+                mem.routing_word(ClbCoord::new(col, 1), 2),
+                0x57A7_1C00 + u64::from(col)
+            );
         }
     }
 

@@ -15,6 +15,7 @@
 //! does.
 
 use crate::crc::CrcAccumulator;
+use crate::fault::FaultPlan;
 use crate::packet::{decode_far, encode_far, Bitstream, Command, ConfigRegister, Packet};
 use vp2_fabric::config::{ConfigMemory, FrameAddress};
 
@@ -54,10 +55,16 @@ impl std::fmt::Display for ApplyError {
         match self {
             ApplyError::Parse(e) => write!(f, "parse error: {e}"),
             ApplyError::IdcodeMismatch { expected, found } => {
-                write!(f, "IDCODE mismatch: stream {found:#010x}, device {expected:#010x}")
+                write!(
+                    f,
+                    "IDCODE mismatch: stream {found:#010x}, device {expected:#010x}"
+                )
             }
             ApplyError::CrcMismatch { expected, found } => {
-                write!(f, "CRC mismatch: accumulated {expected:#010x}, stream {found:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: accumulated {expected:#010x}, stream {found:#010x}"
+                )
             }
             ApplyError::FdriWithoutWcfg => write!(f, "FDRI write without WCFG command"),
             ApplyError::NoFrameAddress => write!(f, "FDRI write without a FAR"),
@@ -194,6 +201,22 @@ pub fn apply_bitstream(
     mem: &mut ConfigMemory,
     device_idcode: u32,
 ) -> Result<ApplyReport, ApplyError> {
+    apply_bitstream_faulty(bs, mem, device_idcode, None)
+}
+
+/// [`apply_bitstream`] with an optional [`FaultPlan`] corrupting frame
+/// payloads at the FDRI → configuration-cell boundary.
+///
+/// The CRC is accumulated over the stream *as received* — corruption
+/// happens after the check, so a faulty apply still succeeds and only a
+/// readback-verify pass can detect the damage. With `None` (or an
+/// inactive plan) this is bit-identical to [`apply_bitstream`].
+pub fn apply_bitstream_faulty(
+    bs: &Bitstream,
+    mem: &mut ConfigMemory,
+    device_idcode: u32,
+    mut fault: Option<&mut FaultPlan>,
+) -> Result<ApplyReport, ApplyError> {
     let packets = bs.parse().map_err(ApplyError::Parse)?;
     let order: Vec<FrameAddress> = mem.frame_addresses().collect();
     let mut crc = CrcAccumulator::new();
@@ -265,7 +288,14 @@ pub fn apply_bitstream(
                     if off + len > data.len() {
                         return Err(ApplyError::PartialFrame);
                     }
-                    mem.write_frame(addr, &data[off..off + len]);
+                    match fault.as_deref_mut().filter(|p| p.is_active()) {
+                        Some(plan) => {
+                            let mut words = data[off..off + len].to_vec();
+                            plan.corrupt_frame(&mut words);
+                            mem.write_frame(addr, &words);
+                        }
+                        None => mem.write_frame(addr, &data[off..off + len]),
+                    }
                     frames_written += 1;
                     off += len;
                     idx += 1;
@@ -307,7 +337,11 @@ mod tests {
                     LutIndex::F,
                     0x8000 | (col << 8) | row,
                 );
-                m.set_routing_word(ClbCoord::new(col, row), 1, u64::from(col) * 1000 + u64::from(row));
+                m.set_routing_word(
+                    ClbCoord::new(col, row),
+                    1,
+                    u64::from(col) * 1000 + u64::from(row),
+                );
             }
         }
         m
@@ -349,7 +383,12 @@ mod tests {
         let diff_bs = differential_bitstream(&base, &target, ID);
         // Wrong initial state: something already configured elsewhere.
         let mut wrong = ConfigMemory::new(&dev());
-        wrong.set_lut(ClbCoord::new(20, 20), SliceIndex::new(0), LutIndex::F, 0xFFFF);
+        wrong.set_lut(
+            ClbCoord::new(20, 20),
+            SliceIndex::new(0),
+            LutIndex::F,
+            0xFFFF,
+        );
         apply_bitstream(&diff_bs, &mut wrong, ID).unwrap();
         assert_ne!(wrong, target, "stale configuration bits survive");
         assert_eq!(
@@ -367,6 +406,35 @@ mod tests {
         let report = apply_bitstream(&bs, &mut dst, ID).unwrap();
         assert_eq!(report.frames_written, frames.len());
         assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn faulty_apply_passes_crc_but_corrupts_frames() {
+        let src = patterned_memory();
+        let bs = full_bitstream(&src, ID);
+        let mut dst = ConfigMemory::new(&dev());
+        let mut plan = FaultPlan::new(5, 1.0);
+        // CRC verifies on the received stream: the apply still succeeds.
+        let report = apply_bitstream_faulty(&bs, &mut dst, ID, Some(&mut plan)).unwrap();
+        assert_eq!(report.frames_written, src.frame_count());
+        assert!(plan.frames_corrupted > 0);
+        // …but readback verification catches every corrupted frame.
+        let frames: Vec<FrameAddress> = src.frame_addresses().collect();
+        let bad = dst.mismatched_frames(&src, &frames);
+        assert_eq!(bad.len() as u64, plan.frames_corrupted);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical() {
+        let src = patterned_memory();
+        let bs = full_bitstream(&src, ID);
+        let mut with_none = ConfigMemory::new(&dev());
+        apply_bitstream(&bs, &mut with_none, ID).unwrap();
+        let mut with_zero = ConfigMemory::new(&dev());
+        let mut plan = FaultPlan::new(5, 0.0);
+        apply_bitstream_faulty(&bs, &mut with_zero, ID, Some(&mut plan)).unwrap();
+        assert_eq!(with_none, with_zero);
+        assert_eq!(plan.frames_corrupted, 0);
     }
 
     #[test]
@@ -459,7 +527,15 @@ mod tests {
             .parse()
             .unwrap()
             .iter()
-            .filter(|p| matches!(p, Packet::Write { reg: ConfigRegister::Far, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Packet::Write {
+                        reg: ConfigRegister::Far,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(fars, 1);
         let mut dst = ConfigMemory::new(&dev());

@@ -1,0 +1,141 @@
+//! Deterministic configuration-plane fault injection.
+//!
+//! Differential and partial bitstreams are only safe when the frames that
+//! actually land in configuration memory match what BitLinker assembled.
+//! On real Virtex-II Pro hardware that is threatened by transfer glitches
+//! and configuration-cell upsets *after* the stream's CRC has been
+//! checked — exactly the window this module models: a [`FaultPlan`]
+//! corrupts frame payloads at the FDRI → configuration-cell boundary, so
+//! the stream still parses and its CRC still verifies, but the fabric
+//! ends up holding the wrong bits. Only a readback-verify pass (see
+//! `ConfigMemory::mismatched_frames`) can catch it.
+//!
+//! Everything is seeded SplitMix64: the same seed, rate and frame-write
+//! sequence produce bit-identical corruption, which keeps every
+//! fault-tolerance experiment reproducible. A rate of zero draws nothing
+//! from the generator and leaves the data path untouched.
+
+use vp2_sim::SplitMix64;
+
+/// Fixed-point denominator for the per-frame corruption probability.
+const RATE_DENOM: u64 = 1_000_000_000;
+
+/// A seeded plan for corrupting configuration frames in flight.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+    /// Corruption probability per frame write, in units of 1e-9.
+    rate_ppb: u64,
+    /// Frames corrupted so far.
+    pub frames_corrupted: u64,
+    /// Individual bits flipped so far.
+    pub bits_flipped: u64,
+}
+
+impl FaultPlan {
+    /// Plan corrupting each written frame with probability `rate`
+    /// (clamped to `[0, 1]`; resolution 1e-9).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate_ppb = (rate.clamp(0.0, 1.0) * RATE_DENOM as f64).round() as u64;
+        FaultPlan {
+            rng: SplitMix64::new(seed),
+            rate_ppb,
+            frames_corrupted: 0,
+            bits_flipped: 0,
+        }
+    }
+
+    /// Does this plan ever corrupt anything?
+    pub fn is_active(&self) -> bool {
+        self.rate_ppb > 0
+    }
+
+    /// The configured per-frame corruption probability.
+    pub fn rate(&self) -> f64 {
+        self.rate_ppb as f64 / RATE_DENOM as f64
+    }
+
+    /// Possibly corrupts one frame payload about to be written to
+    /// configuration memory. Returns true when a bit was flipped.
+    ///
+    /// An inactive plan (rate zero) returns immediately without touching
+    /// the generator, so a zero-rate run is bit-identical to no plan.
+    pub fn corrupt_frame(&mut self, words: &mut [u32]) -> bool {
+        if self.rate_ppb == 0 || words.is_empty() {
+            return false;
+        }
+        if !self.rng.chance(self.rate_ppb, RATE_DENOM) {
+            return false;
+        }
+        let word = self.rng.below(words.len() as u64) as usize;
+        let bit = self.rng.below(32) as u32;
+        words[word] ^= 1u32 << bit;
+        self.frames_corrupted += 1;
+        self.bits_flipped += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_corrupts_and_never_draws() {
+        let mut plan = FaultPlan::new(7, 0.0);
+        assert!(!plan.is_active());
+        let mut words = vec![0xAAAA_5555u32; 16];
+        for _ in 0..1000 {
+            assert!(!plan.corrupt_frame(&mut words));
+        }
+        assert!(words.iter().all(|&w| w == 0xAAAA_5555));
+        assert_eq!(plan.frames_corrupted, 0);
+        // The generator was never advanced: it still matches a fresh one.
+        let mut fresh = SplitMix64::new(7);
+        assert_eq!(plan.rng.next_u64(), fresh.next_u64());
+    }
+
+    #[test]
+    fn certain_rate_flips_exactly_one_bit_per_frame() {
+        let mut plan = FaultPlan::new(3, 1.0);
+        assert!(plan.is_active());
+        for _ in 0..50 {
+            let mut words = vec![0u32; 88];
+            assert!(plan.corrupt_frame(&mut words));
+            let flipped: u32 = words.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(flipped, 1, "exactly one bit per corrupted frame");
+        }
+        assert_eq!(plan.frames_corrupted, 50);
+        assert_eq!(plan.bits_flipped, 50);
+    }
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let run = |seed: u64| -> Vec<Vec<u32>> {
+            let mut plan = FaultPlan::new(seed, 0.5);
+            (0..32)
+                .map(|i| {
+                    let mut words = vec![i as u32; 8];
+                    plan.corrupt_frame(&mut words);
+                    words
+                })
+                .collect()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "distinct seeds corrupt differently");
+    }
+
+    #[test]
+    fn rate_is_roughly_respected() {
+        let mut plan = FaultPlan::new(99, 0.1);
+        let mut hits = 0u32;
+        for _ in 0..10_000 {
+            let mut words = vec![0u32; 4];
+            if plan.corrupt_frame(&mut words) {
+                hits += 1;
+            }
+        }
+        assert!((800..1200).contains(&hits), "{hits} hits for p=0.1");
+        assert!((plan.rate() - 0.1).abs() < 1e-9);
+    }
+}

@@ -21,13 +21,15 @@
 pub mod bitlinker;
 pub mod builder;
 pub mod crc;
+pub mod fault;
 pub mod packet;
 
 pub use bitlinker::{AssembleError, BitLinker, Component};
 pub use builder::{
-    apply_bitstream, differential_bitstream, full_bitstream, partial_bitstream, ApplyError,
-    ApplyReport,
+    apply_bitstream, apply_bitstream_faulty, differential_bitstream, full_bitstream,
+    partial_bitstream, ApplyError, ApplyReport,
 };
+pub use fault::FaultPlan;
 pub use packet::{Bitstream, ConfigRegister, Packet, SYNC_WORD};
 
 /// IDCODE of the XC2VP7 (matches the real part's JTAG IDCODE).

@@ -29,6 +29,9 @@ pub mod system;
 pub mod timing;
 
 pub use machine::{Machine, Platform};
-pub use manager::{LoadOutcome, ModuleManager, RegisteredModule};
+pub use manager::{
+    LoadError, LoadOutcome, ModuleHealth, ModuleManager, RegisteredModule, RetryPolicy,
+};
 pub use system::{build_system, SystemKind};
 pub use timing::SystemTiming;
+pub use vp2_bitstream::FaultPlan;

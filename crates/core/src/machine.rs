@@ -10,9 +10,9 @@
 use crate::system::SystemKind;
 use crate::timing::{SystemTiming, DMA_BURST_BEATS, LINE_BEATS_32, LINE_BEATS_64};
 use coreconnect_sim::dma::{DmaDirection, DmaStatus};
+use coreconnect_sim::memory::{DdrController, MemArray, OcmRam, SramController};
 use coreconnect_sim::periph::{Gpio, JtagPpc, Uart};
 use coreconnect_sim::{map, Bridge, Bus, BusTiming, HwIcap, InterruptController};
-use coreconnect_sim::memory::{DdrController, MemArray, OcmRam, SramController};
 use dock::{OpbDock, PlbDock};
 use ppc405_sim::mem::{MemoryPort, LINE_BYTES};
 use ppc405_sim::{Cpu, CpuConfig, Program, StepOutcome};
@@ -600,10 +600,8 @@ impl Platform {
                 map::HWICAP_DATA => self.icap.write_data(data),
                 map::HWICAP_CTL if data & 1 != 0 => {
                     // Commit; errors latch in the status register.
-                    let mut cfg = std::mem::replace(
-                        &mut self.config,
-                        ConfigMemory::new(&self.device),
-                    );
+                    let mut cfg =
+                        std::mem::replace(&mut self.config, ConfigMemory::new(&self.device));
                     let _ = self.icap.commit(end, &mut cfg);
                     self.config = cfg;
                 }
@@ -722,7 +720,10 @@ impl MemoryPort for Platform {
             (v, end.saturating_sub(now))
         } else if map::is_extmem(addr) {
             let end = self.ext_single(now);
-            let v = self.ext.mem().read((addr - map::EXTMEM_BASE) as usize, size);
+            let v = self
+                .ext
+                .mem()
+                .read((addr - map::EXTMEM_BASE) as usize, size);
             (v, end.saturating_sub(now))
         } else {
             let (v, end) = self.mmio_read(now, addr);
@@ -880,12 +881,7 @@ impl Machine {
             fn write(&mut self, _: SimTime, _: u32, _: u8, _: u32) -> SimTime {
                 unreachable!("flush writes whole lines")
             }
-            fn read_line(
-                &mut self,
-                _: SimTime,
-                _: u32,
-                _: &mut [u8; LINE_BYTES],
-            ) -> SimTime {
+            fn read_line(&mut self, _: SimTime, _: u32, _: &mut [u8; LINE_BYTES]) -> SimTime {
                 unreachable!("flush only writes")
             }
             fn write_line(&mut self, _: SimTime, addr: u32, buf: &[u8; LINE_BYTES]) -> SimTime {

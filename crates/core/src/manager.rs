@@ -44,15 +44,67 @@ pub struct RegisteredModule {
 pub enum LoadOutcome {
     /// The module was already resident; nothing was transferred.
     AlreadyLoaded,
-    /// A reconfiguration ran.
+    /// A reconfiguration ran and readback confirms the region state.
     Loaded {
-        /// Total time from first HWICAP word to end of ICAP shift.
+        /// Total time from first HWICAP word to end of ICAP shift,
+        /// including any repair passes and retry back-off.
         reconfig_time: SimTime,
-        /// Bitstream length in words.
+        /// Full bitstream length in words (excluding repair patches).
         words: usize,
         /// Frames carried.
         frames: usize,
+        /// Frames re-written by targeted repair passes (0 on a clean load).
+        repaired_frames: usize,
+        /// Full-stream attempts consumed (1 on a clean load).
+        attempts: u32,
     },
+    /// The retry policy was exhausted without a verified configuration.
+    /// The dock is unbound and the region must be treated as scrap; the
+    /// caller should fall back to software.
+    Degraded {
+        /// Full-stream attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// Retry policy for fault-tolerant loads.
+///
+/// The ladder is: full load → readback-verify → targeted re-write of only
+/// the mismatched frames (the differential-bitstream fast path) → full
+/// retry with back-off → [`LoadOutcome::Degraded`]. A clean first load
+/// touches none of it and costs exactly one verify pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Full-stream attempts before degrading (minimum 1).
+    pub max_attempts: u32,
+    /// Targeted frame-repair passes per attempt before a full retry.
+    pub max_repairs_per_attempt: u32,
+    /// Simulated-time back-off before retry `n` (charged `n - 1` times,
+    /// so escalating: nothing before the first attempt).
+    pub backoff: SimTime,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            max_repairs_per_attempt: 2,
+            backoff: SimTime::from_us(50),
+        }
+    }
+}
+
+/// Per-module load health, accumulated across the manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuleHealth {
+    /// Verified (successful) loads.
+    pub loads: u64,
+    /// Readback-verify passes that found mismatched frames.
+    pub verify_failures: u64,
+    /// Frames re-written by targeted repair.
+    pub repaired_frames: u64,
+    /// Loads abandoned after exhausting the retry policy.
+    pub degraded: u64,
 }
 
 /// Load errors.
@@ -75,7 +127,10 @@ impl std::fmt::Display for LoadError {
             LoadError::Assemble(e) => write!(f, "assembly failed: {e}"),
             LoadError::Icap(e) => write!(f, "ICAP error: {e}"),
             LoadError::VerifyFailed { differing_frames } => {
-                write!(f, "readback verification failed: {differing_frames} frames differ")
+                write!(
+                    f,
+                    "readback verification failed: {differing_frames} frames differ"
+                )
             }
         }
     }
@@ -90,6 +145,10 @@ pub struct ModuleManager {
     /// Linked configuration cache: name → (bitstream, expected state).
     cache: HashMap<String, (Bitstream, ConfigMemory)>,
     loaded: Option<String>,
+    /// Per-module health counters.
+    health: HashMap<String, ModuleHealth>,
+    /// Retry/repair policy applied by [`ModuleManager::load`].
+    pub retry: RetryPolicy,
     /// Cumulative time spent reconfiguring.
     pub total_reconfig_time: SimTime,
     /// Number of reconfigurations performed.
@@ -113,6 +172,8 @@ impl ModuleManager {
             modules: HashMap::new(),
             cache: HashMap::new(),
             loaded: None,
+            health: HashMap::new(),
+            retry: RetryPolicy::default(),
             total_reconfig_time: SimTime::ZERO,
             reconfigurations: 0,
         }
@@ -154,12 +215,27 @@ impl ModuleManager {
         self.loaded.as_deref()
     }
 
+    /// Health counters for a registered module (None until its first load).
+    pub fn module_health(&self, name: &str) -> Option<&ModuleHealth> {
+        self.health.get(name)
+    }
+
     /// Slices a registered module occupies (reports).
     pub fn module_slices(&self, name: &str) -> Option<usize> {
         self.modules.get(name).map(|m| m.component.slices_used())
     }
 
     /// Loads `name` into the dynamic region (no-op if already resident).
+    ///
+    /// On a readback mismatch the manager climbs a retry ladder instead of
+    /// failing: first it re-writes only the mismatched frames with a
+    /// targeted partial bitstream (the differential fast path — a handful
+    /// of frames instead of the full region), re-verifying after each
+    /// pass; if that does not converge it backs off in simulated time and
+    /// re-feeds the complete stream; once [`RetryPolicy::max_attempts`] is
+    /// spent it returns [`LoadOutcome::Degraded`] with the dock unbound so
+    /// the caller can fall back to software. A clean load is untouched by
+    /// any of this: one feed, one verify, no back-off.
     pub fn load(&mut self, m: &mut Machine, name: &str) -> Result<LoadOutcome, LoadError> {
         if self.loaded.as_deref() == Some(name) {
             return Ok(LoadOutcome::AlreadyLoaded);
@@ -172,39 +248,92 @@ impl ModuleManager {
             .cache
             .get(name)
             .expect("registration always fills the cache");
+        let region_frames = self.linker.region_frames();
+        let idcode = vp2_bitstream::idcode_for(m.platform.device.kind);
+        let policy = self.retry;
+        // The incumbent's configuration is about to be overwritten; until a
+        // verified load completes, nothing is resident.
+        self.loaded = None;
 
         // Feed every word to the HWICAP data register over the bus, then
         // hit the control register. This is the paper's configuration path:
-        // CPU → OPB → HWICAP → ICAP.
-        let start = m.cpu.now();
-        let mut t = start;
-        for &w in &bs.words {
+        // CPU → OPB → HWICAP → ICAP. The CPU then waits for the ICAP to
+        // finish shifting.
+        fn feed(m: &mut Machine, bs: &Bitstream) -> Result<(), LoadError> {
+            let mut t = m.cpu.now();
+            for &w in &bs.words {
+                t += m
+                    .platform
+                    .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
+            }
             t += m
                 .platform
-                .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
-        }
-        t += m.platform.write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
-        if m.platform.icap.error() {
-            return Err(LoadError::Icap("commit failed".to_string()));
-        }
-        // The CPU waits for the ICAP to finish shifting.
-        let done = t.max(m.platform.icap.busy_until());
-        m.cpu.advance_time_to(done);
-
-        // Readback verification over the region's frames.
-        let differing = self
-            .linker
-            .region_frames()
-            .iter()
-            .filter(|&&a| m.platform.config.frame(a) != expected.frame(a))
-            .count();
-        if differing > 0 {
-            return Err(LoadError::VerifyFailed {
-                differing_frames: differing,
-            });
+                .write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
+            if m.platform.icap.error() {
+                return Err(LoadError::Icap("commit failed".to_string()));
+            }
+            let done = t.max(m.platform.icap.busy_until());
+            m.cpu.advance_time_to(done);
+            Ok(())
         }
 
-        // Bind the behavioural model.
+        let start = m.cpu.now();
+        let mut repaired_frames = 0usize;
+        let mut verify_failures = 0u64;
+        let mut attempts = 0u32;
+        let mut verified = false;
+
+        'attempt: while attempts < policy.max_attempts.max(1) {
+            attempts += 1;
+            if attempts > 1 {
+                let now = m.cpu.now();
+                m.cpu
+                    .advance_time_to(now + policy.backoff * u64::from(attempts - 1));
+            }
+            feed(m, bs)?;
+            let mut mismatched = m
+                .platform
+                .config
+                .mismatched_frames(expected, &region_frames);
+            if mismatched.is_empty() {
+                verified = true;
+                break;
+            }
+            verify_failures += 1;
+            for _ in 0..policy.max_repairs_per_attempt {
+                let patch = vp2_bitstream::partial_bitstream(expected, &mismatched, idcode);
+                feed(m, &patch)?;
+                repaired_frames += mismatched.len();
+                mismatched = m
+                    .platform
+                    .config
+                    .mismatched_frames(expected, &region_frames);
+                if mismatched.is_empty() {
+                    verified = true;
+                    break 'attempt;
+                }
+                verify_failures += 1;
+            }
+        }
+
+        let health = self.health.entry(name.to_string()).or_default();
+        health.verify_failures += verify_failures;
+        health.repaired_frames += repaired_frames as u64;
+
+        if !verified {
+            // Scrap the region: unbind whatever model was attached so no
+            // request ever runs on an unverified configuration.
+            match &mut m.platform.dock {
+                Docks::Opb(d) => d.unbind(),
+                Docks::Plb(d) => d.unbind(),
+            }
+            health.degraded += 1;
+            return Ok(LoadOutcome::Degraded { attempts });
+        }
+
+        // Bind the behavioural model: readback proved the gate-level state
+        // is the module's own.
+        health.loads += 1;
         let model = (reg.factory)();
         match &mut m.platform.dock {
             Docks::Opb(d) => {
@@ -215,13 +344,15 @@ impl ModuleManager {
             }
         }
         self.loaded = Some(name.to_string());
-        let reconfig_time = done - start;
+        let reconfig_time = m.cpu.now() - start;
         self.total_reconfig_time += reconfig_time;
         self.reconfigurations += 1;
         Ok(LoadOutcome::Loaded {
             reconfig_time,
             words: bs.word_count(),
-            frames: self.linker.region_frames().len(),
+            frames: region_frames.len(),
+            repaired_frames,
+            attempts,
         })
     }
 
@@ -235,7 +366,9 @@ impl ModuleManager {
                 .platform
                 .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
         }
-        t += m.platform.write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
+        t += m
+            .platform
+            .write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
         let done = t.max(m.platform.icap.busy_until());
         m.cpu.advance_time_to(done);
         match &mut m.platform.dock {
@@ -328,14 +461,23 @@ mod tests {
             reconfig_time,
             words,
             frames,
+            repaired_frames,
+            attempts,
         } = out
         else {
             panic!("expected a real load");
         };
-        assert!(reconfig_time > SimTime::from_us(100), "tens of thousands of words take real time: {reconfig_time}");
+        assert!(
+            reconfig_time > SimTime::from_us(100),
+            "tens of thousands of words take real time: {reconfig_time}"
+        );
         assert!(words > 10_000);
         assert_eq!(frames, 28 * 22 + 3 * 68);
+        assert_eq!(repaired_frames, 0, "clean load needs no repairs");
+        assert_eq!(attempts, 1);
         assert_eq!(mgr.loaded(), Some("inv1"));
+        let h = mgr.module_health("inv1").unwrap();
+        assert_eq!((h.loads, h.verify_failures, h.degraded), (1, 0, 0));
 
         // Idempotent fast path.
         assert_eq!(
@@ -378,6 +520,84 @@ mod tests {
             mgr.load(&mut machine, "ghost"),
             Err(LoadError::Unknown(_))
         ));
+    }
+
+    #[test]
+    fn faulty_load_repairs_mismatched_frames() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        // ~1% of frames arrive corrupted: the full stream lands a few bad
+        // frames, the targeted repair pass re-writes just those.
+        machine
+            .platform
+            .icap
+            .set_fault_plan(Some(vp2_bitstream::FaultPlan::new(42, 1e-2)));
+        let mut mgr = ModuleManager::new(kind);
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        let out = mgr.load(&mut machine, "inv1").unwrap();
+        let LoadOutcome::Loaded {
+            repaired_frames,
+            attempts,
+            ..
+        } = out
+        else {
+            panic!("1% corruption must be repairable, got {out:?}");
+        };
+        assert!(repaired_frames > 0, "seed 42 corrupts at least one frame");
+        assert!(attempts <= mgr.retry.max_attempts);
+        assert_eq!(mgr.loaded(), Some("inv1"));
+        let h = mgr.module_health("inv1").unwrap();
+        assert_eq!(h.loads, 1);
+        assert!(h.verify_failures >= 1);
+        assert_eq!(h.repaired_frames, repaired_frames as u64);
+        // The bound model really works despite the bumpy load.
+        let t = machine.cpu.now();
+        let t2 = t + machine.platform.write(t, map::DOCK_BASE, 4, 0x0000_00FF);
+        let (v, _) = machine.platform.read(t2, map::DOCK_BASE, 4);
+        assert_eq!(v, 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn hopeless_corruption_degrades_and_unbinds() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        // Every written frame is corrupted: no amount of repair converges.
+        machine
+            .platform
+            .icap
+            .set_fault_plan(Some(vp2_bitstream::FaultPlan::new(7, 1.0)));
+        let mut mgr = ModuleManager::new(kind);
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        let out = mgr.load(&mut machine, "inv1").unwrap();
+        assert_eq!(
+            out,
+            LoadOutcome::Degraded {
+                attempts: mgr.retry.max_attempts
+            }
+        );
+        assert_eq!(mgr.loaded(), None, "nothing verified, nothing resident");
+        let Docks::Opb(d) = &machine.platform.dock else {
+            panic!()
+        };
+        assert_eq!(d.module_name(), NullModule.name(), "dock must be unbound");
+        let h = mgr.module_health("inv1").unwrap();
+        assert_eq!(h.degraded, 1);
+        assert_eq!(h.loads, 0);
+        // Every attempt burned its verify plus all repair passes.
+        assert_eq!(
+            h.verify_failures,
+            u64::from(mgr.retry.max_attempts * (1 + mgr.retry.max_repairs_per_attempt))
+        );
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub fn program_transfer_time(m: &mut Machine, kind: TransferKind, n: u32) -> Sim
     bind_echo(m);
     // Source data in external memory.
     for i in 0..n {
-        m.platform.poke_mem(map::EXTMEM_BASE + 4 * i, 0xA000_0000 | i);
+        m.platform
+            .poke_mem(map::EXTMEM_BASE + 4 * i, 0xA000_0000 | i);
     }
     let body = match kind {
         TransferKind::Write => {
@@ -165,9 +166,9 @@ pub fn dma_transfer_time(m: &mut Machine, kind: TransferKind, n: u32) -> SimTime
     // Output buffer for read-back placed after the source region.
     let out_base = map::EXTMEM_BASE + bytes.next_multiple_of(64);
     let ctl = match kind {
-        TransferKind::Write => 0b001u32,        // start, mem→dock
-        TransferKind::Read => 0b011,            // start, dock→mem
-        TransferKind::WriteRead => 0b101,       // start, mem→dock, interleaved
+        TransferKind::Write => 0b001u32,  // start, mem→dock
+        TransferKind::Read => 0b011,      // start, dock→mem
+        TransferKind::WriteRead => 0b101, // start, mem→dock, interleaved
     };
     let src = format!(
         r#"
@@ -222,7 +223,10 @@ mod tests {
         let w = program_transfer_time(&mut m, TransferKind::Write, 256);
         let mut m = build_system(SystemKind::Bit32);
         let wr = program_transfer_time(&mut m, TransferKind::WriteRead, 256);
-        assert!(wr > w, "a write+read pair costs more than a write: {wr} vs {w}");
+        assert!(
+            wr > w,
+            "a write+read pair costs more than a write: {wr} vs {w}"
+        );
     }
 
     #[test]
@@ -284,7 +288,11 @@ mod tests {
         assert!(done > t - m.cpu.now() + m.cpu.now() || done > SimTime::ZERO);
         // The destination buffer received the echo value in the low words.
         for i in [0u32, 31, 63] {
-            assert_eq!(m.platform.peek_mem(out_base + 8 * i + 4), 0x7777_7777, "entry {i}");
+            assert_eq!(
+                m.platform.peek_mem(out_base + 8 * i + 4),
+                0x7777_7777,
+                "entry {i}"
+            );
         }
         // Completion raised the dock interrupt through the controller.
         assert!(m.platform.intc.pending() & (1 << map::IRQ_DOCK_DMA) != 0);
@@ -317,6 +325,9 @@ mod tests {
         let t_wr = dma_transfer_time(&mut m, TransferKind::Write, 2048);
         let mut m2 = build_system(SystemKind::Bit64);
         let t_il = dma_transfer_time(&mut m2, TransferKind::WriteRead, 2048);
-        assert!(t_il > t_wr, "interleaved moves twice the data: {t_il} vs {t_wr}");
+        assert!(
+            t_il > t_wr,
+            "interleaved moves twice the data: {t_il} vs {t_wr}"
+        );
     }
 }

@@ -28,33 +28,121 @@ pub fn inventory(kind: SystemKind) -> Vec<ResourceRow> {
         // Paper (section 3.1): memory controllers, PLB-OPB bridge, serial
         // port, GPIO, reset block, JTAGPPC, OPB HWICAP, OPB Dock.
         SystemKind::Bit32 => vec![
-            ResourceRow { module: "PLB bus infrastructure", slices: 310, brams: 0 },
-            ResourceRow { module: "OPB bus infrastructure", slices: 130, brams: 0 },
-            ResourceRow { module: "PLB-OPB bridge", slices: 250, brams: 0 },
-            ResourceRow { module: "On-chip memory controller (PLB)", slices: 220, brams: 16 },
-            ResourceRow { module: "External SRAM controller (OPB)", slices: 180, brams: 0 },
-            ResourceRow { module: "OPB HWICAP", slices: 150, brams: 1 },
-            ResourceRow { module: "UART (OPB)", slices: 100, brams: 0 },
-            ResourceRow { module: "GPIO (OPB)", slices: 50, brams: 0 },
-            ResourceRow { module: "Reset block + JTAGPPC", slices: 60, brams: 0 },
-            ResourceRow { module: "OPB Dock (wrapper)", slices: 210, brams: 0 },
-            ResourceRow { module: "Dynamic region (reserved)", slices: 1232, brams: 6 },
+            ResourceRow {
+                module: "PLB bus infrastructure",
+                slices: 310,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "OPB bus infrastructure",
+                slices: 130,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "PLB-OPB bridge",
+                slices: 250,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "On-chip memory controller (PLB)",
+                slices: 220,
+                brams: 16,
+            },
+            ResourceRow {
+                module: "External SRAM controller (OPB)",
+                slices: 180,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "OPB HWICAP",
+                slices: 150,
+                brams: 1,
+            },
+            ResourceRow {
+                module: "UART (OPB)",
+                slices: 100,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "GPIO (OPB)",
+                slices: 50,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "Reset block + JTAGPPC",
+                slices: 60,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "OPB Dock (wrapper)",
+                slices: 210,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "Dynamic region (reserved)",
+                slices: 1232,
+                brams: 6,
+            },
         ],
         // Paper (section 4.1): external memory controller on the PLB, PLB
         // dock with DMA + FIFO + interrupt generator, interrupt controller
         // on the OPB, no GPIO.
         SystemKind::Bit64 => vec![
-            ResourceRow { module: "PLB bus infrastructure", slices: 420, brams: 0 },
-            ResourceRow { module: "OPB bus infrastructure", slices: 130, brams: 0 },
-            ResourceRow { module: "PLB-OPB bridge", slices: 250, brams: 0 },
-            ResourceRow { module: "On-chip memory controller (PLB)", slices: 220, brams: 16 },
-            ResourceRow { module: "DDR controller (PLB)", slices: 900, brams: 0 },
-            ResourceRow { module: "OPB HWICAP", slices: 150, brams: 1 },
-            ResourceRow { module: "UART (OPB)", slices: 100, brams: 0 },
-            ResourceRow { module: "Interrupt controller (OPB)", slices: 90, brams: 0 },
-            ResourceRow { module: "Reset block + JTAGPPC", slices: 60, brams: 0 },
-            ResourceRow { module: "PLB Dock (DMA + FIFO + IRQ)", slices: 780, brams: 8 },
-            ResourceRow { module: "Dynamic region (reserved)", slices: 3072, brams: 22 },
+            ResourceRow {
+                module: "PLB bus infrastructure",
+                slices: 420,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "OPB bus infrastructure",
+                slices: 130,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "PLB-OPB bridge",
+                slices: 250,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "On-chip memory controller (PLB)",
+                slices: 220,
+                brams: 16,
+            },
+            ResourceRow {
+                module: "DDR controller (PLB)",
+                slices: 900,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "OPB HWICAP",
+                slices: 150,
+                brams: 1,
+            },
+            ResourceRow {
+                module: "UART (OPB)",
+                slices: 100,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "Interrupt controller (OPB)",
+                slices: 90,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "Reset block + JTAGPPC",
+                slices: 60,
+                brams: 0,
+            },
+            ResourceRow {
+                module: "PLB Dock (DMA + FIFO + IRQ)",
+                slices: 780,
+                brams: 8,
+            },
+            ResourceRow {
+                module: "Dynamic region (reserved)",
+                slices: 3072,
+                brams: 22,
+            },
         ],
     }
 }
@@ -76,7 +164,10 @@ pub fn resource_table(kind: SystemKind) -> TextTable {
         t.row(&[
             r.module.to_string(),
             r.slices.to_string(),
-            format!("{:.1}", 100.0 * f64::from(r.slices) / f64::from(device.slice_count())),
+            format!(
+                "{:.1}",
+                100.0 * f64::from(r.slices) / f64::from(device.slice_count())
+            ),
             r.brams.to_string(),
         ]);
     }
@@ -155,10 +246,14 @@ mod tests {
     fn system_specific_modules() {
         let r32 = inventory(SystemKind::Bit32);
         assert!(r32.iter().any(|r| r.module.contains("GPIO")));
-        assert!(!r32.iter().any(|r| r.module.contains("Interrupt controller")));
+        assert!(!r32
+            .iter()
+            .any(|r| r.module.contains("Interrupt controller")));
         let r64 = inventory(SystemKind::Bit64);
         assert!(!r64.iter().any(|r| r.module.contains("GPIO")));
-        assert!(r64.iter().any(|r| r.module.contains("Interrupt controller")));
+        assert!(r64
+            .iter()
+            .any(|r| r.module.contains("Interrupt controller")));
         assert!(r64.iter().any(|r| r.module.contains("DDR")));
     }
 }

@@ -78,10 +78,9 @@ pub fn static_base(kind: SystemKind) -> ConfigMemory {
                 continue;
             }
             if device.is_usable_clb(c) {
-                let digest = row
-                    .module
-                    .bytes()
-                    .fold(0x811C_9DC5u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x0100_0193));
+                let digest = row.module.bytes().fold(0x811C_9DC5u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x0100_0193)
+                });
                 mem.set_routing_word(c, (i as u16) % 4, digest ^ u64::from(r));
             }
         }

@@ -8,7 +8,7 @@
 //! differential ones) "have the side effect of increasing the configuration
 //! time", a trade-off one of the benches quantifies.
 
-use vp2_bitstream::{apply_bitstream, ApplyError, ApplyReport, Bitstream};
+use vp2_bitstream::{apply_bitstream_faulty, ApplyError, ApplyReport, Bitstream, FaultPlan};
 use vp2_fabric::ConfigMemory;
 use vp2_sim::{ClockDomain, SimTime};
 
@@ -29,6 +29,8 @@ pub struct HwIcap {
     pub words_shifted: u64,
     /// Completed reconfigurations.
     pub reconfigurations: u64,
+    /// Optional fault injection at the FDRI → configuration-cell boundary.
+    fault: Option<FaultPlan>,
 }
 
 impl HwIcap {
@@ -42,7 +44,20 @@ impl HwIcap {
             error: false,
             words_shifted: 0,
             reconfigurations: 0,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) a fault-injection plan. Commits made while a
+    /// plan is active may silently corrupt frames after the CRC check;
+    /// only readback verification can detect them.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan, for inspecting its corruption counters.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// MMIO write to the data FIFO.
@@ -84,7 +99,7 @@ impl HwIcap {
         let start = self.icap_clock.next_edge(now.max(self.busy_until));
         self.busy_until = start + self.icap_clock.cycles(nwords as u64);
         self.words_shifted += nwords as u64;
-        match apply_bitstream(&bs, mem, self.idcode) {
+        match apply_bitstream_faulty(&bs, mem, self.idcode, self.fault.as_mut()) {
             Ok(report) => {
                 self.error = false;
                 self.reconfigurations += 1;
@@ -167,6 +182,29 @@ mod tests {
         let err = port.commit(SimTime::ZERO, &mut mem);
         assert!(err.is_err());
         assert!(port.error());
+    }
+
+    #[test]
+    fn fault_plan_corrupts_silently_until_readback() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut src = ConfigMemory::new(&dev);
+        src.set_lut(ClbCoord::new(1, 2), SliceIndex::new(3), LutIndex::G, 0xABCD);
+        let bs = full_bitstream(&src, IDCODE_XC2VP7);
+        let mut dst = ConfigMemory::new(&dev);
+        let mut port = icap();
+        port.set_fault_plan(Some(vp2_bitstream::FaultPlan::new(1, 1.0)));
+        // The commit reports success — no sticky error, CRC verified.
+        let (_, report) = port.load_bitstream(SimTime::ZERO, &bs, &mut dst).unwrap();
+        assert!(!port.error());
+        assert_eq!(report.frames_written, src.frame_count());
+        // Yet the fabric holds the wrong bits; readback sees them all.
+        let plan = port.fault_plan().expect("plan installed");
+        assert_eq!(plan.frames_corrupted as usize, src.frame_count());
+        let frames: Vec<_> = src.frame_addresses().collect();
+        assert_eq!(
+            dst.mismatched_frames(&src, &frames).len(),
+            src.frame_count()
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! into the CPU's external-interrupt input, the handler reads the pending
 //! set and acknowledges.
 
-
 /// A simple 32-line interrupt controller.
 #[derive(Debug, Clone, Default)]
 pub struct InterruptController {

@@ -11,7 +11,6 @@
 //! * DDR on the 64-bit system's PLB: row activation + CAS on the first beat
 //!   (5 wait states), then streaming beats.
 
-
 /// Backing store with byte/half/word/doubleword access (big-endian, like
 /// the PowerPC).
 #[derive(Debug, Clone)]

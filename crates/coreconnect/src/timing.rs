@@ -85,7 +85,11 @@ impl Bus {
     /// `now`; returns the completion time. The bus is occupied until then.
     pub fn transfer(&mut self, now: SimTime, beats: u64, wait_states: u64) -> SimTime {
         let start = self.earliest_start(now);
-        let end = start + self.timing.clock.cycles(self.timing.cycles(beats, wait_states));
+        let end = start
+            + self
+                .timing
+                .clock
+                .cycles(self.timing.cycles(beats, wait_states));
         self.busy_until = end;
         self.transactions += 1;
         self.beats += beats;
@@ -101,7 +105,11 @@ impl Bus {
         wait_states: u64,
     ) -> (SimTime, SimTime) {
         let start = self.earliest_start(now);
-        let end = start + self.timing.clock.cycles(self.timing.cycles(beats, wait_states));
+        let end = start
+            + self
+                .timing
+                .clock
+                .cycles(self.timing.cycles(beats, wait_states));
         self.busy_until = end;
         self.transactions += 1;
         self.beats += beats;
@@ -174,7 +182,13 @@ mod tests {
     fn earliest_start_respects_edges_and_busy() {
         let mut bus = opb50();
         bus.transfer(SimTime::ZERO, 1, 0); // busy until 60ns
-        assert_eq!(bus.earliest_start(SimTime::from_ns(10)), SimTime::from_ns(60));
-        assert_eq!(bus.earliest_start(SimTime::from_ns(70)), SimTime::from_ns(80));
+        assert_eq!(
+            bus.earliest_start(SimTime::from_ns(10)),
+            SimTime::from_ns(60)
+        );
+        assert_eq!(
+            bus.earliest_start(SimTime::from_ns(70)),
+            SimTime::from_ns(80)
+        );
     }
 }

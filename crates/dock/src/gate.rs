@@ -151,7 +151,11 @@ mod tests {
         let q: Vec<_> = d.iter().map(|&di| nl.ff(di, false, Some(wr))).collect();
         let sum = components::add_mod(&mut nl, &q, &din);
         for (i, &s) in sum.iter().enumerate() {
-            nl.lut_into(components::truth4(|a, _, _, _| a), [Some(s), None, None, None], d[i]);
+            nl.lut_into(
+                components::truth4(|a, _, _, _| a),
+                [Some(s), None, None, None],
+                d[i],
+            );
         }
         nl.output_bus("dout", &q);
         nl

@@ -216,10 +216,7 @@ mod tests {
         }
         fn poke(&mut self, data: u64) -> ModuleOutput {
             self.0 = data;
-            ModuleOutput {
-                data,
-                valid: true,
-            }
+            ModuleOutput { data, valid: true }
         }
         fn peek(&self) -> u64 {
             self.0

@@ -146,26 +146,23 @@ impl ConfigMemory {
         let clb_frames = self.clb_cols as usize * MINORS_PER_CLB_COL as usize;
         let bri_frames = self.bram_cols as usize * MINORS_PER_BRAM_INTERCONNECT as usize;
         match addr.block {
-            FrameBlock::Clb { col } => {
-                (col < self.clb_cols && addr.minor < MINORS_PER_CLB_COL).then(|| {
-                    col as usize * MINORS_PER_CLB_COL as usize + addr.minor as usize
-                })
-            }
-            FrameBlock::BramInterconnect { col } => (col < self.bram_cols
-                && addr.minor < MINORS_PER_BRAM_INTERCONNECT)
-                .then(|| {
+            FrameBlock::Clb { col } => (col < self.clb_cols && addr.minor < MINORS_PER_CLB_COL)
+                .then(|| col as usize * MINORS_PER_CLB_COL as usize + addr.minor as usize),
+            FrameBlock::BramInterconnect { col } => {
+                (col < self.bram_cols && addr.minor < MINORS_PER_BRAM_INTERCONNECT).then(|| {
                     clb_frames
                         + col as usize * MINORS_PER_BRAM_INTERCONNECT as usize
                         + addr.minor as usize
-                }),
-            FrameBlock::BramContent { col } => (col < self.bram_cols
-                && addr.minor < MINORS_PER_BRAM_CONTENT)
-                .then(|| {
+                })
+            }
+            FrameBlock::BramContent { col } => {
+                (col < self.bram_cols && addr.minor < MINORS_PER_BRAM_CONTENT).then(|| {
                     clb_frames
                         + bri_frames
                         + col as usize * MINORS_PER_BRAM_CONTENT as usize
                         + addr.minor as usize
-                }),
+                })
+            }
         }
     }
 
@@ -225,6 +222,24 @@ impl ConfigMemory {
             .linear_index(addr)
             .unwrap_or_else(|| panic!("invalid frame address {addr}"));
         &mut self.frames[idx]
+    }
+
+    /// Readback verification over an explicit frame set: addresses in
+    /// `frames` whose live contents differ from `expected`.
+    ///
+    /// This is the post-load check the paper performs through ICAP
+    /// readback — the returned addresses are exactly the frames a targeted
+    /// repair (a partial bitstream of only those frames) must re-write.
+    pub fn mismatched_frames(
+        &self,
+        expected: &ConfigMemory,
+        frames: &[FrameAddress],
+    ) -> Vec<FrameAddress> {
+        frames
+            .iter()
+            .copied()
+            .filter(|&a| self.frame(a) != expected.frame(a))
+            .collect()
     }
 
     /// Addresses of every frame whose contents differ from `other`.
@@ -439,7 +454,10 @@ mod tests {
         let mut m = mem();
         let clb = ClbCoord::new(0, 43);
         m.set_ff_config(clb, SliceIndex::new(3), FfIndex::new(1), 0b1011);
-        assert_eq!(m.ff_config(clb, SliceIndex::new(3), FfIndex::new(1)), 0b1011);
+        assert_eq!(
+            m.ff_config(clb, SliceIndex::new(3), FfIndex::new(1)),
+            0b1011
+        );
         assert_eq!(m.ff_config(clb, SliceIndex::new(3), FfIndex::new(0)), 0);
         assert_eq!(m.ff_config(clb, SliceIndex::new(0), FfIndex::new(1)), 0);
     }
@@ -472,6 +490,30 @@ mod tests {
         b.set_lut(ClbCoord::new(10, 1), SliceIndex::new(0), LutIndex::F, 1);
         let d = b.diff(&a);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_frames_reports_only_watched_differences() {
+        let expected = mem();
+        let mut live = mem();
+        // One corruption inside the watched set, one outside it.
+        live.set_lut(ClbCoord::new(2, 5), SliceIndex::new(0), LutIndex::F, 0xDEAD);
+        live.set_lut(ClbCoord::new(9, 5), SliceIndex::new(0), LutIndex::F, 0xBEEF);
+        let watched: Vec<FrameAddress> = (0..MINORS_PER_CLB_COL)
+            .map(|minor| FrameAddress {
+                block: FrameBlock::Clb { col: 2 },
+                minor,
+            })
+            .collect();
+        let bad = live.mismatched_frames(&expected, &watched);
+        assert_eq!(
+            bad,
+            vec![FrameAddress {
+                block: FrameBlock::Clb { col: 2 },
+                minor: 0
+            }]
+        );
+        assert!(expected.mismatched_frames(&expected, &watched).is_empty());
     }
 
     #[test]

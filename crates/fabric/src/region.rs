@@ -7,7 +7,10 @@
 //! bands, and every partial configuration must preserve the configuration of
 //! the rows above and below the band — which this type makes checkable.
 
-use crate::config::{FrameAddress, FrameBlock, MINORS_PER_BRAM_CONTENT, MINORS_PER_BRAM_INTERCONNECT, MINORS_PER_CLB_COL};
+use crate::config::{
+    FrameAddress, FrameBlock, MINORS_PER_BRAM_CONTENT, MINORS_PER_BRAM_INTERCONNECT,
+    MINORS_PER_CLB_COL,
+};
 use crate::coords::{ClbCoord, SLICES_PER_CLB};
 use crate::device::Device;
 use std::ops::Range;
@@ -208,7 +211,10 @@ mod tests {
         assert_eq!(r.slice_count(), 1232);
         assert_eq!(r.bram_count(), 6, "paper: 6 RAM blocks");
         let frac = r.slice_fraction(&dev);
-        assert!((0.24..0.26).contains(&frac), "paper: 25% of slices, got {frac}");
+        assert!(
+            (0.24..0.26).contains(&frac),
+            "paper: 25% of slices, got {frac}"
+        );
     }
 
     #[test]
@@ -274,10 +280,9 @@ mod tests {
         let frames = r.writable_frames();
         // 28 CLB columns * 22 minors + 3 BRAM columns * 68 frames
         assert_eq!(frames.len(), 28 * 22 + 3 * 68);
-        assert!(frames.iter().any(|f| matches!(
-            f.block,
-            FrameBlock::Clb { col: 27 }
-        )));
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f.block, FrameBlock::Clb { col: 27 })));
     }
 
     #[test]

@@ -99,7 +99,12 @@ pub fn const_bus(nl: &mut Netlist, width: usize, value: u64) -> Bus {
 }
 
 /// Bitwise map over two equal-width buses.
-fn zip_map(nl: &mut Netlist, a: &[NetId], b: &[NetId], f: fn(&mut Netlist, NetId, NetId) -> NetId) -> Bus {
+fn zip_map(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    f: fn(&mut Netlist, NetId, NetId) -> NetId,
+) -> Bus {
     assert_eq!(a.len(), b.len(), "bus width mismatch");
     a.iter().zip(b).map(|(&x, &y)| f(nl, x, y)).collect()
 }
@@ -186,19 +191,14 @@ pub fn register(nl: &mut Netlist, d: &[NetId], ce: Option<NetId>) -> Bus {
 /// output bit — the trick real technology mappers use).
 fn popcount4_direct(nl: &mut Netlist, bits: &[NetId]) -> Bus {
     debug_assert!((1..=4).contains(&bits.len()));
-    let inputs: [Option<NetId>; 4] =
-        std::array::from_fn(|i| bits.get(i).copied());
+    let inputs: [Option<NetId>; 4] = std::array::from_fn(|i| bits.get(i).copied());
     let n = bits.len() as u32;
     // Width needed to count n bits: values 0..=n → ceil(log2(n+1)).
     let width = (u32::BITS - n.leading_zeros()) as usize;
     (0..width.max(1))
         .map(|k| {
             let t = truth4(|a, b, c, d| {
-                let cnt = [a, b, c, d]
-                    .iter()
-                    .take(bits.len())
-                    .filter(|&&x| x)
-                    .count();
+                let cnt = [a, b, c, d].iter().take(bits.len()).filter(|&&x| x).count();
                 (cnt >> k) & 1 == 1
             });
             nl.lut(t, inputs)
@@ -235,13 +235,7 @@ pub fn eq_const(nl: &mut Netlist, bus: &[NetId], value: u64) -> NetId {
     let matches: Vec<NetId> = bus
         .iter()
         .enumerate()
-        .map(|(i, &b)| {
-            if (value >> i) & 1 == 1 {
-                b
-            } else {
-                not(nl, b)
-            }
-        })
+        .map(|(i, &b)| if (value >> i) & 1 == 1 { b } else { not(nl, b) })
         .collect();
     and_tree(nl, &matches)
 }
@@ -376,10 +370,7 @@ mod tests {
     use crate::simulate::Simulator;
 
     /// Builds a 2-input combinational fixture with `w`-bit ports a, b → o.
-    fn harness2(
-        w: u16,
-        f: impl Fn(&mut Netlist, &[NetId], &[NetId]) -> Bus,
-    ) -> Simulator {
+    fn harness2(w: u16, f: impl Fn(&mut Netlist, &[NetId], &[NetId]) -> Bus) -> Simulator {
         let mut nl = Netlist::new("fixture");
         let a = nl.input_bus("a", w);
         let b = nl.input_bus("b", w);
@@ -456,7 +447,14 @@ mod tests {
     #[test]
     fn multiplier_8x8_samples() {
         let mut sim = harness2(8, multiplier);
-        for (a, b) in [(0u64, 0u64), (1, 255), (255, 255), (17, 13), (200, 3), (128, 2)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 255),
+            (255, 255),
+            (17, 13),
+            (200, 3),
+            (128, 2),
+        ] {
             sim.set_input("a", a);
             sim.set_input("b", b);
             assert_eq!(sim.output("o"), a * b, "a={a} b={b}");
@@ -482,7 +480,14 @@ mod tests {
         let o = saturating_add_signed(&mut nl, &a, &b);
         nl.output_bus("o", &o);
         let mut sim = Simulator::new(&nl).unwrap();
-        for (px, adj) in [(0u64, 10i64), (250, 10), (5, -10), (128, -128), (255, 255), (0, -256)] {
+        for (px, adj) in [
+            (0u64, 10i64),
+            (250, 10),
+            (5, -10),
+            (128, -128),
+            (255, 255),
+            (0, -256),
+        ] {
             sim.set_input("a", px);
             sim.set_input("b", (adj as u64) & 0x1FF);
             let want = (px as i64 + adj).clamp(0, 255) as u64;

@@ -74,10 +74,7 @@ pub fn encode_placement(
     let mut routing: HashMap<ClbCoord, Vec<u64>> = HashMap::new();
 
     for (cell_id, &(slice, lut)) in &placement.luts {
-        if let CellKind::Lut4 {
-            truth, inputs, ..
-        } = &nl.cells()[cell_id.0 as usize]
-        {
+        if let CellKind::Lut4 { truth, inputs, .. } = &nl.cells()[cell_id.0 as usize] {
             let dev = translate(slice.clb)?;
             mem.set_lut(dev, slice.slice, lut, *truth);
             let mut words = vec![
@@ -201,7 +198,8 @@ mod tests {
         // At least one LUT truth table is non-zero.
         let nonzero = p.luts.iter().any(|(cid, &(sc, lut))| {
             if let CellKind::Lut4 { truth, .. } = nl.cells()[cid.0 as usize] {
-                truth != 0 && readback_lut(&mem, ClbCoord::new(0, 30), sc.clb, sc.slice, lut) == truth
+                truth != 0
+                    && readback_lut(&mem, ClbCoord::new(0, 30), sc.clb, sc.slice, lut) == truth
             } else {
                 false
             }
@@ -281,7 +279,10 @@ mod tests {
         };
         let m1 = build(false);
         let m2 = build(true);
-        assert!(!m1.diff(&m2).is_empty(), "different circuits, different bits");
+        assert!(
+            !m1.diff(&m2).is_empty(),
+            "different circuits, different bits"
+        );
     }
 
     #[test]
@@ -332,7 +333,10 @@ mod tests {
         // (out = in0): truth4 gives 0b1010...? Verify actual value survives.
         let mut nl = Netlist::new("id");
         let a = nl.input("a", 0);
-        let o = nl.lut(components::truth4(|x, _, _, _| x), [Some(a), None, None, None]);
+        let o = nl.lut(
+            components::truth4(|x, _, _, _| x),
+            [Some(a), None, None, None],
+        );
         nl.output("o", 0, o);
         let p = AutoPlacer::new().place(&nl, 1, 1).unwrap();
         let dev = Device::new(DeviceKind::Xc2vp7);

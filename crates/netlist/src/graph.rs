@@ -251,10 +251,16 @@ impl Netlist {
         let mut map: HashMap<(String, PortDir), Vec<(u16, NetId)>> = HashMap::new();
         for cell in &self.cells {
             if let CellKind::Port {
-                name, bit, dir, net, ..
+                name,
+                bit,
+                dir,
+                net,
+                ..
             } = cell
             {
-                map.entry((name.clone(), *dir)).or_default().push((*bit, *net));
+                map.entry((name.clone(), *dir))
+                    .or_default()
+                    .push((*bit, *net));
             }
         }
         for bits in map.values_mut() {
@@ -345,7 +351,12 @@ impl Netlist {
                     check_used(*ce)?;
                 }
                 CellKind::Const { .. } => {}
-                CellKind::Port { name, bit, dir, net } => {
+                CellKind::Port {
+                    name,
+                    bit,
+                    dir,
+                    net,
+                } => {
                     if !seen_ports.insert((name.clone(), *bit, *dir as u8 as char)) {
                         return Err(NetlistError::DuplicatePort(name.clone(), *bit));
                     }

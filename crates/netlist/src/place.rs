@@ -175,8 +175,7 @@ impl AutoPlacer {
             }
         }
 
-        let lut_capacity =
-            width as usize * height as usize * SLICES_PER_CLB * LUTS_PER_SLICE;
+        let lut_capacity = width as usize * height as usize * SLICES_PER_CLB * LUTS_PER_SLICE;
         if lut_cells.len() > lut_capacity {
             return Err(PlaceError::OutOfLutCapacity {
                 needed: lut_cells.len(),
@@ -248,8 +247,7 @@ impl AutoPlacer {
         (0..width).flat_map(move |col| {
             (0..height).flat_map(move |row| {
                 (0..SLICES_PER_CLB as u8).flat_map(move |s| {
-                    (0..LUTS_PER_SLICE as u8)
-                        .map(move |l| (SliceCoord::new(col, row, s), l))
+                    (0..LUTS_PER_SLICE as u8).map(move |l| (SliceCoord::new(col, row, s), l))
                 })
             })
         })

@@ -40,7 +40,12 @@ impl Simulator {
                 CellKind::Const { value, output } => {
                     values[output.0 as usize] = *value;
                 }
-                CellKind::Port { name, bit, dir, net } => {
+                CellKind::Port {
+                    name,
+                    bit,
+                    dir,
+                    net,
+                } => {
                     let map = match dir {
                         PortDir::Input => &mut inputs,
                         PortDir::Output => &mut outputs,
@@ -115,11 +120,9 @@ impl Simulator {
             .get(name)
             .unwrap_or_else(|| panic!("no output port '{name}'"));
         assert!(nets.len() <= 64, "output wider than 64 bits");
-        nets.iter()
-            .enumerate()
-            .fold(0u64, |acc, (b, net)| {
-                acc | (u64::from(self.values[net.0 as usize]) << b)
-            })
+        nets.iter().enumerate().fold(0u64, |acc, (b, net)| {
+            acc | (u64::from(self.values[net.0 as usize]) << b)
+        })
     }
 
     /// Width of an input port (0 if absent).

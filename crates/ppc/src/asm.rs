@@ -78,7 +78,11 @@ fn err(line: usize, message: impl Into<String>) -> AsmError {
 /// One statement after lexing.
 #[derive(Debug)]
 enum Stmt {
-    Instr { mnemonic: String, operands: Vec<String>, line: usize },
+    Instr {
+        mnemonic: String,
+        operands: Vec<String>,
+        line: usize,
+    },
     Word(u32),
 }
 
@@ -469,17 +473,17 @@ mod tests {
 
     #[test]
     fn basic_program() {
-        let p = assemble(
-            "start:\n  li r3, 5\n  addi r3, r3, 1\n  halt\n",
-            0x100,
-        )
-        .unwrap();
+        let p = assemble("start:\n  li r3, 5\n  addi r3, r3, 1\n  halt\n", 0x100).unwrap();
         assert_eq!(p.base, 0x100);
         assert_eq!(p.words.len(), 3);
         assert_eq!(p.label("start"), 0x100);
         assert_eq!(
             decode(p.words[0]),
-            Some(Instr::Addi { rd: 3, ra: 0, imm: 5 })
+            Some(Instr::Addi {
+                rd: 3,
+                ra: 0,
+                imm: 5
+            })
         );
     }
 
@@ -512,15 +516,27 @@ mod tests {
         let p = assemble("  lwz r3, 8(r4)\n  stw r3, -4(r5)\n  lwz r6, (r7)\n", 0).unwrap();
         assert_eq!(
             decode(p.words[0]),
-            Some(Instr::Lwz { rd: 3, ra: 4, imm: 8 })
+            Some(Instr::Lwz {
+                rd: 3,
+                ra: 4,
+                imm: 8
+            })
         );
         assert_eq!(
             decode(p.words[1]),
-            Some(Instr::Stw { rd: 3, ra: 5, imm: -4 })
+            Some(Instr::Stw {
+                rd: 3,
+                ra: 5,
+                imm: -4
+            })
         );
         assert_eq!(
             decode(p.words[2]),
-            Some(Instr::Lwz { rd: 6, ra: 7, imm: 0 })
+            Some(Instr::Lwz {
+                rd: 6,
+                ra: 7,
+                imm: 0
+            })
         );
     }
 
@@ -529,11 +545,19 @@ mod tests {
         let p = assemble("  li r3, 0xFF\n  li r4, -1\n  andi r5, r3, 0xF0F0\n", 0).unwrap();
         assert_eq!(
             decode(p.words[2]),
-            Some(Instr::Andi { rd: 5, ra: 3, imm: 0xF0F0 })
+            Some(Instr::Andi {
+                rd: 5,
+                ra: 3,
+                imm: 0xF0F0
+            })
         );
         assert_eq!(
             decode(p.words[1]),
-            Some(Instr::Addi { rd: 4, ra: 0, imm: -1 })
+            Some(Instr::Addi {
+                rd: 4,
+                ra: 0,
+                imm: -1
+            })
         );
     }
 
@@ -574,11 +598,19 @@ mod tests {
         let p = assemble("  mr r3, r4\n  lis r5, 0x1000\n", 0).unwrap();
         assert_eq!(
             decode(p.words[0]),
-            Some(Instr::Or { rd: 3, ra: 4, rb: 4 })
+            Some(Instr::Or {
+                rd: 3,
+                ra: 4,
+                rb: 4
+            })
         );
         assert_eq!(
             decode(p.words[1]),
-            Some(Instr::Addis { rd: 5, ra: 0, imm: 0x1000 })
+            Some(Instr::Addis {
+                rd: 5,
+                ra: 0,
+                imm: 0x1000
+            })
         );
     }
 

@@ -132,8 +132,8 @@ impl Cache {
         if self.sets[set][way].valid && self.sets[set][way].dirty {
             self.stats.writebacks += 1;
             let victim_tag = self.sets[set][way].tag;
-            let victim_addr =
-                (victim_tag << (self.set_shift + nsets.trailing_zeros())) | ((set as u32) << self.set_shift);
+            let victim_addr = (victim_tag << (self.set_shift + nsets.trailing_zeros()))
+                | ((set as u32) << self.set_shift);
             let data = self.sets[set][way].data;
             spent += mem.write_line(now + spent, victim_addr, &data);
         }
@@ -274,7 +274,7 @@ mod tests {
         c.read(SimTime::ZERO, 128, 4, &mut m); // way B ← line 128
         c.read(SimTime::ZERO, 0, 4, &mut m); // touch line 0
         c.read(SimTime::ZERO, 256, 4, &mut m); // must evict line 128
-        // line 0 still resident:
+                                               // line 0 still resident:
         let (_, t) = c.read(SimTime::ZERO, 0, 4, &mut m);
         assert_eq!(t, SimTime::ZERO);
         // line 128 was evicted:

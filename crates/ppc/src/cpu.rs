@@ -260,10 +260,7 @@ impl Cpu {
             self.pc = self.pc.wrapping_add((i32::from(off) * 4) as u32);
             self.stats.taken_branches += 1;
             // Pipeline refill penalty.
-            self.now += self
-                .cfg
-                .clock
-                .cycles(crate::isa::TAKEN_BRANCH_PENALTY);
+            self.now += self.cfg.clock.cycles(crate::isa::TAKEN_BRANCH_PENALTY);
         } else {
             self.pc = self.pc.wrapping_add(4);
         }
@@ -286,9 +283,8 @@ impl Cpu {
         }
 
         let word = self.fetch(mem);
-        let instr = decode(word).unwrap_or_else(|| {
-            panic!("illegal instruction {word:#010x} at {:#010x}", self.pc)
-        });
+        let instr = decode(word)
+            .unwrap_or_else(|| panic!("illegal instruction {word:#010x} at {:#010x}", self.pc));
         self.stats.retired += 1;
         self.charge(base_cycles(instr), SimTime::ZERO);
 
@@ -478,10 +474,7 @@ impl Cpu {
             Blr => {
                 self.pc = self.lr;
                 self.stats.taken_branches += 1;
-                self.now += self
-                    .cfg
-                    .clock
-                    .cycles(crate::isa::TAKEN_BRANCH_PENALTY);
+                self.now += self.cfg.clock.cycles(crate::isa::TAKEN_BRANCH_PENALTY);
             }
             Beq { off } => self.branch(off, self.cr.eq),
             Bne { off } => self.branch(off, !self.cr.eq),
@@ -577,9 +570,21 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: 40 },
-                Instr::Addi { rd: 4, ra: 0, imm: 2 },
-                Instr::Add { rd: 5, ra: 3, rb: 4 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 40,
+                },
+                Instr::Addi {
+                    rd: 4,
+                    ra: 0,
+                    imm: 2,
+                },
+                Instr::Add {
+                    rd: 5,
+                    ra: 3,
+                    rb: 4,
+                },
                 Instr::Halt,
             ],
         );
@@ -596,8 +601,16 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 0, ra: 0, imm: 99 },
-                Instr::Add { rd: 3, ra: 0, rb: 0 },
+                Instr::Addi {
+                    rd: 0,
+                    ra: 0,
+                    imm: 99,
+                },
+                Instr::Add {
+                    rd: 3,
+                    ra: 0,
+                    rb: 0,
+                },
                 Instr::Halt,
             ],
         );
@@ -615,11 +628,31 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: 256 },
-                Instr::Lwz { rd: 4, ra: 3, imm: 0 },
-                Instr::Stw { rd: 4, ra: 3, imm: 4 },
-                Instr::Lbz { rd: 5, ra: 3, imm: 1 },
-                Instr::Lhz { rd: 6, ra: 3, imm: 2 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 256,
+                },
+                Instr::Lwz {
+                    rd: 4,
+                    ra: 3,
+                    imm: 0,
+                },
+                Instr::Stw {
+                    rd: 4,
+                    ra: 3,
+                    imm: 4,
+                },
+                Instr::Lbz {
+                    rd: 5,
+                    ra: 3,
+                    imm: 1,
+                },
+                Instr::Lhz {
+                    rd: 6,
+                    ra: 3,
+                    imm: 2,
+                },
                 Instr::Halt,
             ],
         );
@@ -641,9 +674,21 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: 10 },
-                Instr::Add { rd: 4, ra: 4, rb: 3 },
-                Instr::Addi { rd: 3, ra: 3, imm: -1 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 10,
+                },
+                Instr::Add {
+                    rd: 4,
+                    ra: 4,
+                    rb: 3,
+                },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 3,
+                    imm: -1,
+                },
                 Instr::Cmpwi { ra: 3, imm: 0 },
                 Instr::Bne { off: -3 },
                 Instr::Halt,
@@ -665,7 +710,11 @@ mod tests {
             &[
                 Instr::Bl { off: 2 },
                 Instr::Halt,
-                Instr::Addi { rd: 3, ra: 0, imm: 7 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 7,
+                },
                 Instr::Blr,
             ],
         );
@@ -681,14 +730,22 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: -1 }, // 0xFFFF_FFFF
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: -1,
+                }, // 0xFFFF_FFFF
                 Instr::Cmpwi { ra: 3, imm: 0 },
                 Instr::Blt { off: 2 }, // signed: -1 < 0, taken
                 Instr::Halt,
                 Instr::Cmplwi { ra: 3, imm: 0 },
                 Instr::Bgt { off: 2 }, // unsigned: max > 0, taken
                 Instr::Halt,
-                Instr::Addi { rd: 4, ra: 0, imm: 1 },
+                Instr::Addi {
+                    rd: 4,
+                    ra: 0,
+                    imm: 1,
+                },
                 Instr::Halt,
             ],
         );
@@ -704,8 +761,16 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: 1 },
-                Instr::Mullw { rd: 3, ra: 3, rb: 3 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 1,
+                },
+                Instr::Mullw {
+                    rd: 3,
+                    ra: 3,
+                    rb: 3,
+                },
                 Instr::Halt,
             ],
         );
@@ -725,11 +790,31 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addis { rd: 3, ra: 0, imm: 0 },
-                Instr::Ori { rd: 3, ra: 3, imm: 0x1000 },
-                Instr::Addi { rd: 4, ra: 0, imm: 0x5A },
-                Instr::Stw { rd: 4, ra: 3, imm: 0 },
-                Instr::Lwz { rd: 5, ra: 3, imm: 0 },
+                Instr::Addis {
+                    rd: 3,
+                    ra: 0,
+                    imm: 0,
+                },
+                Instr::Ori {
+                    rd: 3,
+                    ra: 3,
+                    imm: 0x1000,
+                },
+                Instr::Addi {
+                    rd: 4,
+                    ra: 0,
+                    imm: 0x5A,
+                },
+                Instr::Stw {
+                    rd: 4,
+                    ra: 3,
+                    imm: 0,
+                },
+                Instr::Lwz {
+                    rd: 5,
+                    ra: 3,
+                    imm: 0,
+                },
                 Instr::Halt,
             ],
         );
@@ -749,7 +834,11 @@ mod tests {
             0,
             &[
                 Instr::Wrteei { imm: 1 },
-                Instr::Addi { rd: 3, ra: 3, imm: 1 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 3,
+                    imm: 1,
+                },
                 Instr::Cmpwi { ra: 4, imm: 1 },
                 Instr::Bne { off: -2 },
                 Instr::Halt,
@@ -759,7 +848,14 @@ mod tests {
         load_program(
             &mut mem,
             0x500,
-            &[Instr::Addi { rd: 4, ra: 0, imm: 1 }, Instr::Rfi],
+            &[
+                Instr::Addi {
+                    rd: 4,
+                    ra: 0,
+                    imm: 1,
+                },
+                Instr::Rfi,
+            ],
         );
         let mut cpu = cpu200();
         // Run a few instructions, then raise the line.
@@ -782,8 +878,16 @@ mod tests {
             &mut mem,
             0,
             &[
-                Instr::Addi { rd: 3, ra: 0, imm: 5 },
-                Instr::Addi { rd: 3, ra: 3, imm: -1 },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 0,
+                    imm: 5,
+                },
+                Instr::Addi {
+                    rd: 3,
+                    ra: 3,
+                    imm: -1,
+                },
                 Instr::Cmpwi { ra: 3, imm: 0 },
                 Instr::Bne { off: -2 },
                 Instr::Halt,

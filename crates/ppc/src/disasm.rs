@@ -87,8 +87,24 @@ mod tests {
 
     #[test]
     fn renders_known_forms() {
-        assert_eq!(disassemble(encode(Instr::Addi { rd: 3, ra: 0, imm: -7 })).unwrap(), "addi r3, r0, -7");
-        assert_eq!(disassemble(encode(Instr::Lwz { rd: 4, ra: 5, imm: 8 })).unwrap(), "lwz r4, 8(r5)");
+        assert_eq!(
+            disassemble(encode(Instr::Addi {
+                rd: 3,
+                ra: 0,
+                imm: -7
+            }))
+            .unwrap(),
+            "addi r3, r0, -7"
+        );
+        assert_eq!(
+            disassemble(encode(Instr::Lwz {
+                rd: 4,
+                ra: 5,
+                imm: 8
+            }))
+            .unwrap(),
+            "lwz r4, 8(r5)"
+        );
         assert_eq!(disassemble(encode(Instr::Blr)).unwrap(), "blr");
         assert_eq!(disassemble(63 << 26), None, "illegal encoding");
     }
@@ -111,10 +127,26 @@ mod tests {
     #[test]
     fn roundtrip_through_the_assembler() {
         let samples = [
-            Instr::Addi { rd: 1, ra: 2, imm: -32768 },
-            Instr::Slwi { rd: 7, ra: 8, sh: 31 },
-            Instr::Stw { rd: 9, ra: 10, imm: -4 },
-            Instr::Lhzx { rd: 1, ra: 2, rb: 3 },
+            Instr::Addi {
+                rd: 1,
+                ra: 2,
+                imm: -32768,
+            },
+            Instr::Slwi {
+                rd: 7,
+                ra: 8,
+                sh: 31,
+            },
+            Instr::Stw {
+                rd: 9,
+                ra: 10,
+                imm: -4,
+            },
+            Instr::Lhzx {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
             Instr::Cmplwi { ra: 6, imm: 65535 },
             Instr::Bne { off: -100 },
             Instr::Dcbf { ra: 3, imm: 32 },
@@ -123,9 +155,8 @@ mod tests {
         ];
         for i in samples {
             let text = render(i);
-            let prog = assemble(&format!("  {text}\n"), 0).unwrap_or_else(|e| {
-                panic!("'{text}' failed to reassemble: {e}")
-            });
+            let prog = assemble(&format!("  {text}\n"), 0)
+                .unwrap_or_else(|e| panic!("'{text}' failed to reassemble: {e}"));
             assert_eq!(prog.words[0], encode(i), "'{text}'");
         }
     }
@@ -140,8 +171,8 @@ mod tests {
             if let Some(text) = disassemble(w) {
                 // Branch offsets render numerically; negative offsets are
                 // legal operands for the assembler.
-                let prog = assemble(&format!("  {text}\n"), 0)
-                    .unwrap_or_else(|e| panic!("'{text}': {e}"));
+                let prog =
+                    assemble(&format!("  {text}\n"), 0).unwrap_or_else(|e| panic!("'{text}': {e}"));
                 // Re-encoding must produce a word that decodes identically
                 // (unused encoding bits may differ).
                 assert_eq!(crate::isa::decode(prog.words[0]), crate::isa::decode(w));

@@ -5,7 +5,6 @@
 //! displacements are signed word offsets relative to the branch's own
 //! address.
 
-
 /// A register index (0..32). `r0` reads as zero.
 pub type Reg = u8;
 
@@ -303,35 +302,151 @@ mod tests {
     fn all_samples() -> Vec<Instr> {
         vec![
             Instr::Halt,
-            Instr::Addi { rd: 3, ra: 4, imm: -7 },
-            Instr::Addis { rd: 31, ra: 0, imm: 0x7FFF },
-            Instr::Add { rd: 1, ra: 2, rb: 3 },
-            Instr::Sub { rd: 4, ra: 5, rb: 6 },
-            Instr::Mullw { rd: 7, ra: 8, rb: 9 },
-            Instr::And { rd: 10, ra: 11, rb: 12 },
-            Instr::Or { rd: 13, ra: 14, rb: 15 },
-            Instr::Xor { rd: 16, ra: 17, rb: 18 },
-            Instr::Nor { rd: 19, ra: 20, rb: 21 },
-            Instr::Andi { rd: 1, ra: 2, imm: 0xFFFF },
-            Instr::Ori { rd: 3, ra: 4, imm: 0x00FF },
-            Instr::Xori { rd: 5, ra: 6, imm: 0xA5A5 },
-            Instr::Slw { rd: 1, ra: 2, rb: 3 },
-            Instr::Srw { rd: 4, ra: 5, rb: 6 },
-            Instr::Slwi { rd: 7, ra: 8, sh: 31 },
-            Instr::Srwi { rd: 9, ra: 10, sh: 1 },
-            Instr::Srawi { rd: 11, ra: 12, sh: 16 },
-            Instr::Rotlwi { rd: 13, ra: 14, sh: 5 },
-            Instr::Lwz { rd: 3, ra: 4, imm: 1024 },
-            Instr::Lbz { rd: 5, ra: 6, imm: -1 },
-            Instr::Lhz { rd: 7, ra: 8, imm: 2 },
-            Instr::Stw { rd: 9, ra: 10, imm: -4 },
-            Instr::Stb { rd: 11, ra: 12, imm: 0 },
-            Instr::Sth { rd: 13, ra: 14, imm: 6 },
-            Instr::Lwzx { rd: 1, ra: 2, rb: 3 },
-            Instr::Stwx { rd: 4, ra: 5, rb: 6 },
-            Instr::Lbzx { rd: 7, ra: 8, rb: 9 },
-            Instr::Lhzx { rd: 1, ra: 2, rb: 3 },
-            Instr::Stbx { rd: 10, ra: 11, rb: 12 },
+            Instr::Addi {
+                rd: 3,
+                ra: 4,
+                imm: -7,
+            },
+            Instr::Addis {
+                rd: 31,
+                ra: 0,
+                imm: 0x7FFF,
+            },
+            Instr::Add {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::Sub {
+                rd: 4,
+                ra: 5,
+                rb: 6,
+            },
+            Instr::Mullw {
+                rd: 7,
+                ra: 8,
+                rb: 9,
+            },
+            Instr::And {
+                rd: 10,
+                ra: 11,
+                rb: 12,
+            },
+            Instr::Or {
+                rd: 13,
+                ra: 14,
+                rb: 15,
+            },
+            Instr::Xor {
+                rd: 16,
+                ra: 17,
+                rb: 18,
+            },
+            Instr::Nor {
+                rd: 19,
+                ra: 20,
+                rb: 21,
+            },
+            Instr::Andi {
+                rd: 1,
+                ra: 2,
+                imm: 0xFFFF,
+            },
+            Instr::Ori {
+                rd: 3,
+                ra: 4,
+                imm: 0x00FF,
+            },
+            Instr::Xori {
+                rd: 5,
+                ra: 6,
+                imm: 0xA5A5,
+            },
+            Instr::Slw {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::Srw {
+                rd: 4,
+                ra: 5,
+                rb: 6,
+            },
+            Instr::Slwi {
+                rd: 7,
+                ra: 8,
+                sh: 31,
+            },
+            Instr::Srwi {
+                rd: 9,
+                ra: 10,
+                sh: 1,
+            },
+            Instr::Srawi {
+                rd: 11,
+                ra: 12,
+                sh: 16,
+            },
+            Instr::Rotlwi {
+                rd: 13,
+                ra: 14,
+                sh: 5,
+            },
+            Instr::Lwz {
+                rd: 3,
+                ra: 4,
+                imm: 1024,
+            },
+            Instr::Lbz {
+                rd: 5,
+                ra: 6,
+                imm: -1,
+            },
+            Instr::Lhz {
+                rd: 7,
+                ra: 8,
+                imm: 2,
+            },
+            Instr::Stw {
+                rd: 9,
+                ra: 10,
+                imm: -4,
+            },
+            Instr::Stb {
+                rd: 11,
+                ra: 12,
+                imm: 0,
+            },
+            Instr::Sth {
+                rd: 13,
+                ra: 14,
+                imm: 6,
+            },
+            Instr::Lwzx {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::Stwx {
+                rd: 4,
+                ra: 5,
+                rb: 6,
+            },
+            Instr::Lbzx {
+                rd: 7,
+                ra: 8,
+                rb: 9,
+            },
+            Instr::Lhzx {
+                rd: 1,
+                ra: 2,
+                rb: 3,
+            },
+            Instr::Stbx {
+                rd: 10,
+                ra: 11,
+                rb: 12,
+            },
             Instr::Cmpw { ra: 1, rb: 2 },
             Instr::Cmplw { ra: 3, rb: 4 },
             Instr::Cmpwi { ra: 5, imm: -100 },
@@ -380,13 +495,31 @@ mod tests {
 
     #[test]
     fn cycle_costs() {
-        assert_eq!(base_cycles(Instr::Mullw { rd: 0, ra: 0, rb: 0 }), 4);
-        assert_eq!(base_cycles(Instr::Add { rd: 0, ra: 0, rb: 0 }), 1);
+        assert_eq!(
+            base_cycles(Instr::Mullw {
+                rd: 0,
+                ra: 0,
+                rb: 0
+            }),
+            4
+        );
+        assert_eq!(
+            base_cycles(Instr::Add {
+                rd: 0,
+                ra: 0,
+                rb: 0
+            }),
+            1
+        );
     }
 
     #[test]
     fn negative_immediates_survive() {
-        let i = Instr::Addi { rd: 1, ra: 2, imm: -32768 };
+        let i = Instr::Addi {
+            rd: 1,
+            ra: 2,
+            imm: -32768,
+        };
         assert_eq!(decode(encode(i)), Some(i));
         let b = Instr::B { off: -32768 };
         assert_eq!(decode(encode(b)), Some(b));

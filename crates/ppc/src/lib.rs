@@ -21,14 +21,14 @@
 
 pub mod asm;
 pub mod cache;
-pub mod disasm;
 pub mod cpu;
+pub mod disasm;
 pub mod isa;
 pub mod mem;
 
 pub use asm::{assemble, AsmError, Program};
 pub use cache::Cache;
-pub use disasm::{disassemble, disassemble_block};
 pub use cpu::{Cpu, CpuConfig, StepOutcome};
+pub use disasm::{disassemble, disassemble_block};
 pub use isa::{decode, encode, Instr};
 pub use mem::{FlatMem, MemoryPort};

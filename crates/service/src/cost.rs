@@ -9,8 +9,8 @@
 //! partial configurations cover the whole region, so the cost is nearly
 //! constant per system and one probe is already a good estimate.
 
-use rtr_apps::request::{factory_for, Driver, Kernel, Request};
 use rtr_apps::harness;
+use rtr_apps::request::{factory_for, Driver, Kernel, Request};
 use rtr_core::{build_system, SystemKind};
 use vp2_sim::{SimTime, SplitMix64};
 
@@ -34,7 +34,11 @@ impl PathEstimate {
     fn fit(s1: usize, t1: SimTime, s2: usize, t2: SimTime) -> PathEstimate {
         let (s1f, s2f) = (s1 as f64, s2 as f64);
         let (t1f, t2f) = (t1.as_ps() as f64, t2.as_ps() as f64);
-        let per_byte_ps = if s2 > s1 { (t2f - t1f) / (s2f - s1f) } else { 0.0 };
+        let per_byte_ps = if s2 > s1 {
+            (t2f - t1f) / (s2f - s1f)
+        } else {
+            0.0
+        };
         let per_byte_ps = per_byte_ps.max(0.0);
         PathEstimate {
             base_ps: (t1f - per_byte_ps * s1f).max(0.0),
@@ -154,8 +158,16 @@ impl CostModel {
 
     /// Smallest batch size (of `bytes`-sized items) at which a swap to
     /// hardware pays off — the break-even depth the metrics report.
+    ///
+    /// `None` until a reconfiguration has actually been observed: with no
+    /// measurement the swap cost is unknown, and claiming a depth of 1
+    /// would tell schedulers to reconfigure for single items on pure
+    /// speculation.
     pub fn break_even_depth(&self, kernel: Kernel, bytes: usize) -> Option<usize> {
         let hw = self.hw[kernel.index()]?;
+        if self.reconfig_ps == 0.0 {
+            return None;
+        }
         let sw_item = self.sw[kernel.index()].estimate(bytes).as_ps() as f64;
         let hw_item = hw.estimate(bytes).as_ps() as f64;
         if hw_item >= sw_item {
@@ -204,6 +216,27 @@ mod tests {
     }
 
     #[test]
+    fn break_even_is_unknown_until_reconfig_observed() {
+        let model = CostModel {
+            sw: [PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 100.0,
+            }; Kernel::ALL.len()],
+            hw: [Some(PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 10.0,
+            }); Kernel::ALL.len()],
+            reconfig_ps: 0.0,
+        };
+        // Hardware is 10× faster per item, but the swap cost is still a
+        // guess — the model must not claim a break-even depth of 1.
+        assert_eq!(model.break_even_depth(Kernel::Jenkins, 100), None);
+        let mut calibrated = model.clone();
+        calibrated.observe_reconfig(SimTime::from_ps(90_000));
+        assert_eq!(calibrated.break_even_depth(Kernel::Jenkins, 100), Some(10));
+    }
+
+    #[test]
     fn decision_respects_break_even() {
         let mut model = CostModel {
             sw: [PathEstimate {
@@ -235,10 +268,7 @@ mod tests {
         let model = CostModel::calibrate(SystemKind::Bit32, &[Kernel::PatMatch]);
         let sw = model.sw_estimate(Kernel::PatMatch, 1024);
         let hw = model.hw_estimate(Kernel::PatMatch, 1024).unwrap();
-        assert!(
-            sw.as_ps() > 3 * hw.as_ps(),
-            "sw {sw} should dwarf hw {hw}"
-        );
+        assert!(sw.as_ps() > 3 * hw.as_ps(), "sw {sw} should dwarf hw {hw}");
         // SHA-1 has no hardware estimate on the 32-bit system.
         let m32 = CostModel::calibrate(SystemKind::Bit32, &[Kernel::Sha1]);
         assert!(m32.hw_estimate(Kernel::Sha1, 1024).is_none());

@@ -32,5 +32,5 @@ pub mod traffic;
 pub use cost::{CostModel, PathEstimate};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{AdmissionQueues, Pending};
-pub use service::{Policy, Service, ServiceConfig};
+pub use service::{Policy, Service, ServiceConfig, ServiceError};
 pub use traffic::TrafficConfig;

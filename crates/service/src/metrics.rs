@@ -23,6 +23,12 @@ pub struct Metrics {
     hw_busy: SimTime,
     sw_busy: SimTime,
     verify_failures: u64,
+    load_retries: u64,
+    repaired_frames: u64,
+    degraded_loads: u64,
+    hw_fallback_items: u64,
+    quarantines: u64,
+    quarantined_batches: u64,
 }
 
 impl Metrics {
@@ -63,6 +69,57 @@ impl Metrics {
         self.verify_failures += 1;
     }
 
+    /// Records the fault-tolerance cost of one verified load: extra
+    /// full-stream attempts beyond the first, and frames re-written by
+    /// targeted repair passes.
+    pub fn record_load_recovery(&mut self, attempts: u32, repaired_frames: usize) {
+        self.load_retries += u64::from(attempts.saturating_sub(1));
+        self.repaired_frames += repaired_frames as u64;
+    }
+
+    /// Records a load abandoned after exhausting the retry policy.
+    pub fn record_degraded_load(&mut self, attempts: u32) {
+        self.load_retries += u64::from(attempts.saturating_sub(1));
+        self.degraded_loads += 1;
+    }
+
+    /// Records a hardware response that failed verification and was
+    /// recomputed on the software path.
+    pub fn record_hw_fallback(&mut self) {
+        self.hw_fallback_items += 1;
+    }
+
+    /// Records a kernel entering quarantine.
+    pub fn record_quarantine(&mut self) {
+        self.quarantines += 1;
+    }
+
+    /// Records a batch denied the hardware path by an active quarantine.
+    pub fn record_quarantined_batch(&mut self) {
+        self.quarantined_batches += 1;
+    }
+
+    /// Folds another accumulator into this one (used to roll a completed
+    /// observation window into the service-lifetime totals).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.latencies_ps.extend_from_slice(&other.latencies_ps);
+        self.hw_items += other.hw_items;
+        self.sw_items += other.sw_items;
+        self.hw_batches += other.hw_batches;
+        self.sw_batches += other.sw_batches;
+        self.swaps += other.swaps;
+        self.reconfig_time += other.reconfig_time;
+        self.hw_busy += other.hw_busy;
+        self.sw_busy += other.sw_busy;
+        self.verify_failures += other.verify_failures;
+        self.load_retries += other.load_retries;
+        self.repaired_frames += other.repaired_frames;
+        self.degraded_loads += other.degraded_loads;
+        self.hw_fallback_items += other.hw_fallback_items;
+        self.quarantines += other.quarantines;
+        self.quarantined_batches += other.quarantined_batches;
+    }
+
     /// Completed request count so far.
     pub fn completed(&self) -> u64 {
         self.hw_items + self.sw_items
@@ -93,6 +150,12 @@ impl Metrics {
             sw_batches: self.sw_batches,
             swaps: self.swaps,
             verify_failures: self.verify_failures,
+            load_retries: self.load_retries,
+            repaired_frames: self.repaired_frames,
+            degraded_loads: self.degraded_loads,
+            hw_fallback_items: self.hw_fallback_items,
+            quarantines: self.quarantines,
+            quarantined_batches: self.quarantined_batches,
             elapsed,
             throughput_per_s: if secs > 0.0 {
                 self.completed() as f64 / secs
@@ -118,7 +181,7 @@ fn ratio(num: SimTime, den: SimTime) -> f64 {
 }
 
 /// Point-in-time summary of a service run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests completed.
     pub completed: u64,
@@ -134,6 +197,19 @@ pub struct MetricsSnapshot {
     pub swaps: u64,
     /// Responses that failed verification against the software reference.
     pub verify_failures: u64,
+    /// Extra full-stream load attempts beyond the first.
+    pub load_retries: u64,
+    /// Configuration frames re-written by targeted repair passes.
+    pub repaired_frames: u64,
+    /// Loads abandoned after exhausting the retry policy.
+    pub degraded_loads: u64,
+    /// Hardware responses recomputed on the software path after failing
+    /// verification.
+    pub hw_fallback_items: u64,
+    /// Times a kernel entered quarantine.
+    pub quarantines: u64,
+    /// Batches denied the hardware path by an active quarantine.
+    pub quarantined_batches: u64,
     /// Simulated observation window.
     pub elapsed: SimTime,
     /// Completed requests per simulated second.
@@ -163,6 +239,12 @@ impl MetricsSnapshot {
             .field("sw_batches", self.sw_batches)
             .field("swaps", self.swaps)
             .field("verify_failures", self.verify_failures)
+            .field("load_retries", self.load_retries)
+            .field("repaired_frames", self.repaired_frames)
+            .field("degraded_loads", self.degraded_loads)
+            .field("hw_fallback_items", self.hw_fallback_items)
+            .field("quarantines", self.quarantines)
+            .field("quarantined_batches", self.quarantined_batches)
             .field("elapsed_us", self.elapsed.as_us_f64())
             .field("throughput_per_s", self.throughput_per_s)
             .field("latency_mean_us", self.latency_mean.as_us_f64())
@@ -206,7 +288,28 @@ impl fmt::Display for MetricsSnapshot {
             self.hw_utilization * 100.0,
             self.reconfig_time,
             self.sw_utilization * 100.0
-        )
+        )?;
+        // Fault-tolerance counters only appear once something went wrong,
+        // so a clean run renders exactly as it always has.
+        let faults = self.load_retries
+            + self.repaired_frames
+            + self.degraded_loads
+            + self.hw_fallback_items
+            + self.quarantines
+            + self.quarantined_batches;
+        if faults > 0 {
+            write!(
+                f,
+                "\n  faults    retries {}, repaired frames {}, degraded loads {}, sw fallbacks {}, quarantines {} ({} batches held)",
+                self.load_retries,
+                self.repaired_frames,
+                self.degraded_loads,
+                self.hw_fallback_items,
+                self.quarantines,
+                self.quarantined_batches
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -237,6 +340,40 @@ mod tests {
         assert!((s.throughput_per_s - 100_000.0).abs() < 1.0);
         assert!((s.hw_utilization - 0.05).abs() < 1e-9);
         assert!((s.sw_utilization - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_sums_windows_and_fault_counters() {
+        let mut w1 = Metrics::new();
+        w1.record_item(SimTime::from_us(10), true);
+        w1.record_swap(SimTime::from_us(30));
+        w1.record_load_recovery(3, 17);
+        w1.record_hw_fallback();
+        let mut w2 = Metrics::new();
+        w2.record_item(SimTime::from_us(20), false);
+        w2.record_degraded_load(3);
+        w2.record_quarantine();
+        w2.record_quarantined_batch();
+
+        let mut life = Metrics::new();
+        life.absorb(&w1);
+        life.absorb(&w2);
+        let s = life.snapshot(SimTime::from_us(100));
+        assert_eq!(s.completed, 2);
+        assert_eq!((s.hw_items, s.sw_items, s.swaps), (1, 1, 1));
+        assert_eq!(s.load_retries, 2 + 2, "both windows' extra attempts");
+        assert_eq!(s.repaired_frames, 17);
+        assert_eq!(s.degraded_loads, 1);
+        assert_eq!(s.hw_fallback_items, 1);
+        assert_eq!((s.quarantines, s.quarantined_batches), (1, 1));
+        // The fault counters survive JSON and only then show in Display.
+        assert!(s.to_json().render().contains("\"degraded_loads\":1"));
+        assert!(s.to_string().contains("faults"));
+        let clean = Metrics::new().snapshot(SimTime::from_us(1));
+        assert!(
+            !clean.to_string().contains("faults"),
+            "clean runs must render exactly as before"
+        );
     }
 
     #[test]

@@ -67,11 +67,7 @@ impl AdmissionQueues {
         Kernel::ALL
             .iter()
             .copied()
-            .filter_map(|k| {
-                self.queues[k.index()]
-                    .front()
-                    .map(|p| (p.arrival, p.id, k))
-            })
+            .filter_map(|k| self.queues[k.index()].front().map(|p| (p.arrival, p.id, k)))
             .min_by_key(|&(arrival, id, _)| (arrival, id))
             .map(|(_, _, k)| k)
     }

@@ -9,7 +9,7 @@
 //! over the queued work.
 
 use rtr_apps::request::{component_for, factory_for, Driver, Kernel, Request};
-use rtr_core::{build_system, LoadOutcome, Machine, ModuleManager, SystemKind};
+use rtr_core::{build_system, FaultPlan, LoadOutcome, Machine, ModuleManager, SystemKind};
 use vp2_sim::SimTime;
 
 use crate::cost::CostModel;
@@ -36,18 +36,75 @@ pub struct ServiceConfig {
     pub kernels: Vec<Kernel>,
     /// Check every response against the Rust reference implementation.
     pub verify: bool,
+    /// Per-frame configuration-corruption probability (0 disables fault
+    /// injection entirely — the simulation is then bit-identical to a
+    /// build without the fault plane).
+    pub fault_rate: f64,
+    /// Seed for the deterministic fault plan.
+    pub fault_seed: u64,
+    /// How long a kernel stays quarantined from the hardware path after
+    /// repeated load failures.
+    pub quarantine_cooldown: SimTime,
 }
 
 impl ServiceConfig {
-    /// Cost-model scheduling over all kernels, with verification on.
+    /// Cost-model scheduling over all kernels, with verification on and
+    /// fault injection off.
     pub fn new(kind: SystemKind) -> Self {
         ServiceConfig {
             kind,
             policy: Policy::CostModel,
             kernels: Vec::new(),
             verify: true,
+            fault_rate: 0.0,
+            fault_seed: 0x5EED_FA57,
+            quarantine_cooldown: SimTime::from_ms(5),
         }
     }
+
+    /// Same, with configuration-plane fault injection enabled.
+    pub fn with_faults(kind: SystemKind, rate: f64, seed: u64) -> Self {
+        ServiceConfig {
+            fault_rate: rate,
+            fault_seed: seed,
+            ..ServiceConfig::new(kind)
+        }
+    }
+}
+
+/// Errors the scheduler reports instead of processing garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The schedule's arrival times are not sorted ascending.
+    UnsortedSchedule {
+        /// Index of the first entry arriving before its predecessor.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnsortedSchedule { index } => {
+                write!(f, "schedule arrival times must be sorted ascending (entry {index} arrives before its predecessor)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Load failures needed before a kernel is quarantined from hardware.
+const QUARANTINE_STRIKES: u32 = 2;
+
+/// Hardware-path health of one kernel.
+#[derive(Debug, Clone, Copy, Default)]
+struct Quarantine {
+    /// Consecutive load failures (degraded loads or mis-executing
+    /// hardware) since the last verified success.
+    strikes: u32,
+    /// Quarantined until this instant, if set.
+    until: Option<SimTime>,
 }
 
 /// The scheduler and the platform it drives.
@@ -60,7 +117,10 @@ pub struct Service {
     queues: AdmissionQueues,
     cost: CostModel,
     metrics: Metrics,
+    lifetime: Metrics,
     hw_ready: [bool; Kernel::ALL.len()],
+    quarantine: [Quarantine; Kernel::ALL.len()],
+    boot_origin: SimTime,
     submitted: u64,
 }
 
@@ -78,6 +138,12 @@ impl Service {
             config.kernels.clone()
         };
         let mut machine = build_system(config.kind);
+        if config.fault_rate > 0.0 {
+            machine
+                .platform
+                .icap
+                .set_fault_plan(Some(FaultPlan::new(config.fault_seed, config.fault_rate)));
+        }
         let mut manager = ModuleManager::new(config.kind);
         let mut hw_ready = [false; Kernel::ALL.len()];
         for &kernel in &kernels {
@@ -91,16 +157,21 @@ impl Service {
         let mut driver = Driver::new();
         driver.preload_all(&mut machine);
         let mut cost = CostModel::calibrate(config.kind, &kernels);
+        let mut warmup_degraded = None;
         if let Some(&first_hw) = kernels.iter().find(|&&k| hw_ready[k.index()]) {
             match manager.load(&mut machine, first_hw.module_name()) {
                 Ok(LoadOutcome::Loaded { reconfig_time, .. }) => {
                     cost.observe_reconfig(reconfig_time)
                 }
                 Ok(LoadOutcome::AlreadyLoaded) => unreachable!("nothing loaded at boot"),
+                // A hostile configuration plane at boot is not fatal: the
+                // service comes up software-only for this kernel.
+                Ok(LoadOutcome::Degraded { .. }) => warmup_degraded = Some(first_hw),
                 Err(e) => panic!("warm-up load of {first_hw}: {e}"),
             }
         }
-        Service {
+        let boot_origin = machine.now();
+        let mut svc = Service {
             config,
             kernels,
             machine,
@@ -109,9 +180,16 @@ impl Service {
             queues: AdmissionQueues::new(),
             cost,
             metrics: Metrics::new(),
+            lifetime: Metrics::new(),
             hw_ready,
+            quarantine: [Quarantine::default(); Kernel::ALL.len()],
+            boot_origin,
             submitted: 0,
+        };
+        if let Some(kernel) = warmup_degraded {
+            svc.strike(kernel, boot_origin);
         }
+        svc
     }
 
     /// The calibrated cost model.
@@ -136,9 +214,19 @@ impl Service {
 
     /// Runs an open-loop schedule of `(arrival, request)` pairs (arrival
     /// times relative to the call; must be sorted ascending) to
-    /// completion and returns the metrics over exactly that window.
-    pub fn process(&mut self, schedule: &[(SimTime, Request)]) -> MetricsSnapshot {
-        debug_assert!(schedule.windows(2).all(|w| w[0].0 <= w[1].0));
+    /// completion and returns the metrics over exactly that window —
+    /// each call starts a fresh window; [`Service::lifetime`] keeps the
+    /// running totals.
+    pub fn process(
+        &mut self,
+        schedule: &[(SimTime, Request)],
+    ) -> Result<MetricsSnapshot, ServiceError> {
+        // An unsorted schedule would silently reorder admissions (the
+        // arrival scan assumes monotone times), so reject it outright
+        // rather than only in debug builds.
+        if let Some(i) = (1..schedule.len()).find(|&i| schedule[i].0 < schedule[i - 1].0) {
+            return Err(ServiceError::UnsortedSchedule { index: i });
+        }
         let origin = self.machine.now();
         let mut next = 0;
         while next < schedule.len() || !self.queues.is_empty() {
@@ -157,7 +245,20 @@ impl Service {
                 None => self.machine.idle_until(origin + schedule[next].0),
             }
         }
-        self.metrics.snapshot(self.machine.now() - origin)
+        let window = std::mem::take(&mut self.metrics);
+        let snap = window.snapshot(self.machine.now() - origin);
+        self.lifetime.absorb(&window);
+        Ok(snap)
+    }
+
+    /// Metrics over the service's whole life (every completed window plus
+    /// whatever the current one has accumulated), with `elapsed` measured
+    /// from the end of boot.
+    pub fn lifetime(&self) -> MetricsSnapshot {
+        let mut all = Metrics::new();
+        all.absorb(&self.lifetime);
+        all.absorb(&self.metrics);
+        all.snapshot(self.machine.now() - self.boot_origin)
     }
 
     /// Queues one request that arrived at absolute time `arrival`.
@@ -171,25 +272,50 @@ impl Service {
         self.queues.push(arrival, request);
     }
 
-    /// Runs one batch, choosing the path per policy and cost model.
+    /// Runs one batch, choosing the path per policy, cost model and
+    /// quarantine state. Whatever the configuration plane does, every
+    /// request in the batch is answered — a failed or distrusted hardware
+    /// path degrades to the PPC405 software implementation.
     fn dispatch(&mut self, kernel: Kernel, batch: Vec<Pending>) {
         let bytes: Vec<usize> = batch.iter().map(|p| p.request.payload_bytes()).collect();
         let swap_needed = self.manager.loaded() != Some(kernel.module_name());
-        let use_hw = match self.config.policy {
+        let now = self.machine.now();
+        let quarantined = self.quarantine_active(kernel, now);
+        let mut use_hw = match self.config.policy {
             Policy::SwOnly => false,
             Policy::CostModel => {
                 self.hw_ready[kernel.index()]
+                    && !quarantined
                     && self.cost.hardware_pays_off(kernel, &bytes, swap_needed)
             }
         };
+        if quarantined && self.config.policy == Policy::CostModel && self.hw_ready[kernel.index()] {
+            self.metrics.record_quarantined_batch();
+        }
         let batch_start = self.machine.now();
+        let mut struck = false;
         if use_hw && swap_needed {
             match self.manager.load(&mut self.machine, kernel.module_name()) {
-                Ok(LoadOutcome::Loaded { reconfig_time, .. }) => {
+                Ok(LoadOutcome::Loaded {
+                    reconfig_time,
+                    repaired_frames,
+                    attempts,
+                    ..
+                }) => {
                     self.cost.observe_reconfig(reconfig_time);
                     self.metrics.record_swap(reconfig_time);
+                    self.metrics.record_load_recovery(attempts, repaired_frames);
+                    // A verified load clears the kernel's record.
+                    self.quarantine[kernel.index()].strikes = 0;
                 }
                 Ok(LoadOutcome::AlreadyLoaded) => {}
+                Ok(LoadOutcome::Degraded { attempts }) => {
+                    // The region never verified: run this batch in
+                    // software and count a strike against the kernel.
+                    self.metrics.record_degraded_load(attempts);
+                    struck = true;
+                    use_hw = false;
+                }
                 Err(e) => panic!("load {kernel}: {e}"),
             }
         }
@@ -199,16 +325,70 @@ impl Service {
             } else {
                 self.driver.run_sw(&mut self.machine, &pending.request)
             };
+            let mut served_hw = use_hw;
+            let mut final_response = response;
+            if self.config.verify {
+                let reference = pending.request.reference();
+                if final_response != reference && use_hw {
+                    // Mis-executing hardware: recompute on the PPC405 so
+                    // the client still gets the right answer, and stop
+                    // trusting this kernel's hardware.
+                    self.metrics.record_hw_fallback();
+                    struck = true;
+                    let (_, sw_response) = self.driver.run_sw(&mut self.machine, &pending.request);
+                    final_response = sw_response;
+                    served_hw = false;
+                }
+                if final_response != reference {
+                    self.metrics.record_verify_failure();
+                }
+            }
             // Latency is wall time on the simulated clock — it includes
             // queueing, the swap and the execution, not just the call.
             let latency = self.machine.now().saturating_sub(pending.arrival);
-            self.metrics.record_item(latency, use_hw);
-            if self.config.verify && response != pending.request.reference() {
-                self.metrics.record_verify_failure();
-            }
+            self.metrics.record_item(latency, served_hw);
         }
         self.metrics
             .record_batch(use_hw, self.machine.now() - batch_start);
+        if struck {
+            let now = self.machine.now();
+            self.strike(kernel, now);
+        }
+    }
+
+    /// Counts a hardware-path failure against the kernel; after
+    /// [`QUARANTINE_STRIKES`] of them the kernel is barred from hardware
+    /// for the configured cooldown.
+    fn strike(&mut self, kernel: Kernel, now: SimTime) {
+        let q = &mut self.quarantine[kernel.index()];
+        q.strikes += 1;
+        if q.strikes >= QUARANTINE_STRIKES {
+            q.strikes = 0;
+            q.until = Some(now + self.config.quarantine_cooldown);
+            self.metrics.record_quarantine();
+        }
+    }
+
+    /// Is the kernel's hardware path quarantined at `now`? (The cooldown
+    /// is half-open: once it expires the next batch may try hardware
+    /// again.)
+    fn quarantine_active(&mut self, kernel: Kernel, now: SimTime) -> bool {
+        let q = &mut self.quarantine[kernel.index()];
+        match q.until {
+            Some(until) if now < until => true,
+            Some(_) => {
+                q.until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Is the kernel currently barred from the hardware path?
+    pub fn quarantined(&self, kernel: Kernel) -> bool {
+        self.quarantine[kernel.index()]
+            .until
+            .is_some_and(|until| self.machine.now() < until)
     }
 
     /// True when the kernel can run in the dynamic region of this service.
@@ -238,13 +418,12 @@ mod tests {
     #[test]
     fn sw_only_policy_never_reconfigures_after_boot() {
         let mut svc = Service::new(ServiceConfig {
-            kind: SystemKind::Bit32,
             policy: Policy::SwOnly,
             kernels: vec![Kernel::Jenkins],
-            verify: true,
+            ..ServiceConfig::new(SystemKind::Bit32)
         });
         let boot_reconfigs = svc.manager().reconfigurations;
-        let snap = svc.process(&burst(Kernel::Jenkins, 4, 192));
+        let snap = svc.process(&burst(Kernel::Jenkins, 4, 192)).unwrap();
         assert_eq!(snap.completed, 4);
         assert_eq!(snap.sw_items, 4);
         assert_eq!(snap.hw_items, 0);
@@ -256,13 +435,58 @@ mod tests {
     #[test]
     fn registration_mirrors_hardware_fit() {
         let svc32 = Service::new(ServiceConfig {
-            kind: SystemKind::Bit32,
             policy: Policy::SwOnly,
             kernels: vec![Kernel::Sha1, Kernel::PatMatch],
             verify: false,
+            ..ServiceConfig::new(SystemKind::Bit32)
         });
         assert!(!svc32.hardware_available(Kernel::Sha1));
         assert!(svc32.hardware_available(Kernel::PatMatch));
         assert!(kernel_has_hw(Kernel::Sha1, SystemKind::Bit64));
+    }
+
+    #[test]
+    fn unsorted_schedule_is_rejected_up_front() {
+        let mut svc = Service::new(ServiceConfig {
+            policy: Policy::SwOnly,
+            kernels: vec![Kernel::Jenkins],
+            ..ServiceConfig::new(SystemKind::Bit32)
+        });
+        let mut rng = SplitMix64::new(1);
+        let schedule = vec![
+            (
+                SimTime::from_us(5),
+                Request::synthetic(Kernel::Jenkins, 64, &mut rng),
+            ),
+            (
+                SimTime::from_us(1),
+                Request::synthetic(Kernel::Jenkins, 64, &mut rng),
+            ),
+        ];
+        assert_eq!(
+            svc.process(&schedule),
+            Err(ServiceError::UnsortedSchedule { index: 1 })
+        );
+        assert_eq!(svc.submitted(), 0, "nothing admitted from a bad schedule");
+    }
+
+    #[test]
+    fn window_metrics_reset_per_call_and_lifetime_accumulates() {
+        let mut svc = Service::new(ServiceConfig {
+            policy: Policy::SwOnly,
+            kernels: vec![Kernel::Jenkins],
+            ..ServiceConfig::new(SystemKind::Bit32)
+        });
+        let first = svc.process(&burst(Kernel::Jenkins, 3, 128)).unwrap();
+        let second = svc.process(&burst(Kernel::Jenkins, 2, 128)).unwrap();
+        // The regression this guards: the second window used to report the
+        // cumulative totals (5) instead of its own 2.
+        assert_eq!(first.completed, 3);
+        assert_eq!(second.completed, 2);
+        assert!(second.sw_batches >= 1);
+        let life = svc.lifetime();
+        assert_eq!(life.completed, 5);
+        assert_eq!(life.sw_items, 5);
+        assert!(life.elapsed >= first.elapsed + second.elapsed);
     }
 }

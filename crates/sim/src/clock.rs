@@ -100,8 +100,7 @@ impl ClockDomain {
     /// The first clock edge strictly after `t`.
     #[inline]
     pub fn edge_after(&self, t: SimTime) -> SimTime {
-        SimTime(self.next_edge(t).as_ps().max(t.as_ps() + 1))
-            .pipe_align(self)
+        SimTime(self.next_edge(t).as_ps().max(t.as_ps() + 1)).pipe_align(self)
     }
 
     /// Time to wait from `t` until the next edge (zero if `t` is on an edge).

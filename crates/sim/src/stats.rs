@@ -111,6 +111,7 @@ pub struct Histogram {
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    rejected: u64,
 }
 
 impl Histogram {
@@ -126,12 +127,18 @@ impl Histogram {
             buckets: vec![0; n],
             underflow: 0,
             overflow: 0,
+            rejected: 0,
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Non-finite values (NaN, ±∞) carry no
+    /// ordering information, so they land in a separate rejected counter
+    /// instead of silently polluting bucket 0 (NaN fails both range
+    /// comparisons and `as usize` saturates it to index 0).
     pub fn record(&mut self, x: f64) {
-        if x < self.lo {
+        if !x.is_finite() {
+            self.rejected += 1;
+        } else if x < self.lo {
             self.underflow += 1;
         } else if x >= self.hi {
             self.overflow += 1;
@@ -158,9 +165,15 @@ impl Histogram {
         self.overflow
     }
 
-    /// Total recorded observations, including out-of-range ones.
+    /// Non-finite observations rejected outright.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total recorded observations, including out-of-range and rejected
+    /// ones.
     pub fn total(&self) -> u64 {
-        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow + self.rejected
     }
 }
 
@@ -238,6 +251,25 @@ mod tests {
         assert_eq!(h.buckets()[9], 1);
         assert_eq!(h.buckets()[5], 1);
         assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_rejects_non_finite_instead_of_bucketing_them() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        // The regression this guards: NaN failed both range checks and the
+        // `as usize` cast saturated it into bucket 0.
+        assert_eq!(h.buckets()[0], 0, "no phantom observation in bucket 0");
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.rejected(), 3);
+        assert_eq!(h.total(), 3);
+        // Finite values keep working exactly as before.
+        h.record(0.5);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.total(), 4);
     }
 
     #[test]

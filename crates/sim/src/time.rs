@@ -243,9 +243,6 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert!(SimTime(u64::MAX).checked_add(SimTime(1)).is_none());
-        assert_eq!(
-            SimTime(1).checked_add(SimTime(2)),
-            Some(SimTime(3))
-        );
+        assert_eq!(SimTime(1).checked_add(SimTime(2)), Some(SimTime(3)));
     }
 }

@@ -26,7 +26,11 @@ fn main() {
     let mut rng = SplitMix64::new(123);
     let mut requests = Vec::new();
     for burst in 0..6 {
-        let algo = if burst % 2 == 0 { Algo::Lookup2 } else { Algo::Sha1 };
+        let algo = if burst % 2 == 0 {
+            Algo::Lookup2
+        } else {
+            Algo::Sha1
+        };
         for _ in 0..4 {
             let len = 64 + (rng.next_u64() % 1024) as usize;
             requests.push((algo, len));

@@ -74,5 +74,8 @@ fn main() {
     use vp2_repro::dock::DynamicModule;
     module.poke_at(4, 25);
     let out = module.poke_at(0, 0x0102_0304_0506_0708);
-    println!("\none 64-bit beat through the brightness module: {:#018x}", out.data);
+    println!(
+        "\none 64-bit beat through the brightness module: {:#018x}",
+        out.data
+    );
 }

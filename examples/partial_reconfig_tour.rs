@@ -59,7 +59,8 @@ fn main() {
     // 4. Order-independence of complete configurations, shown by readback.
     let comp_b = {
         // A second, different component (the brightness module).
-        let nl = vp2_repro::apps::imaging::imaging_netlist(vp2_repro::apps::imaging::Task::Brightness);
+        let nl =
+            vp2_repro::apps::imaging::imaging_netlist(vp2_repro::apps::imaging::Task::Brightness);
         patmatch::build_component(nl, 32, region.width(), region.height())
     };
     let (complete_b, _) = linker.link(&comp_b, (0, 0)).expect("links");

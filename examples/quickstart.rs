@@ -28,7 +28,11 @@ fn main() {
         100 * component.slices_used() as u32 / region.slice_count()
     );
     manager
-        .register(component, (0, 0), Box::new(|| Box::new(PatMatchModule::new())))
+        .register(
+            component,
+            (0, 0),
+            Box::new(|| Box::new(PatMatchModule::new())),
+        )
         .expect("BitLinker accepts the component");
 
     // Load = feed the partial bitstream through the OPB HWICAP, verify by
@@ -38,10 +42,11 @@ fn main() {
             reconfig_time,
             words,
             frames,
+            ..
         } => println!(
             "reconfigured the dynamic region: {frames} frames, {words} bitstream words, {reconfig_time}"
         ),
-        LoadOutcome::AlreadyLoaded => unreachable!("first load"),
+        other => unreachable!("first load with no faults: {other:?}"),
     }
 
     // Run the task: hardware vs software.
@@ -56,7 +61,10 @@ fn main() {
     let (sw_time, sw_counts) = patmatch::sw_run(&mut machine_sw, &image, &pattern);
     assert_eq!(sw_counts, reference, "software result verified");
 
-    println!("\n128x64 image, 8x8 pattern, {} window positions:", (128 - 7) * (64 - 7));
+    println!(
+        "\n128x64 image, 8x8 pattern, {} window positions:",
+        (128 - 7) * (64 - 7)
+    );
     println!("  software on the PowerPC : {sw_time}");
     println!("  hardware in the region  : {hw_time}");
     println!(

@@ -47,10 +47,8 @@ fn main() {
         let mut results = Vec::new();
         for policy in [Policy::SwOnly, Policy::CostModel] {
             let mut svc = Service::new(ServiceConfig {
-                kind,
                 policy,
-                kernels: Vec::new(),
-                verify: true,
+                ..ServiceConfig::new(kind)
             });
             if policy == Policy::CostModel {
                 println!("cost model ({kind:?}):");
@@ -61,15 +59,15 @@ fn main() {
                 for kernel in Kernel::ALL {
                     let name = kernel.to_string();
                     match svc.cost_model().break_even_depth(kernel, 1024) {
-                        Some(depth) => println!(
-                            "  {name:<16} break-even at {depth:>4} queued 1 KB items"
-                        ),
+                        Some(depth) => {
+                            println!("  {name:<16} break-even at {depth:>4} queued 1 KB items")
+                        }
                         None => println!("  {name:<16} software only (no hardware form)"),
                     }
                 }
                 println!();
             }
-            let snap = svc.process(&traffic);
+            let snap = svc.process(&traffic).expect("generated traffic is sorted");
             assert_eq!(snap.completed as usize, requests, "all requests served");
             assert_eq!(snap.verify_failures, 0, "every response verified");
             println!("policy {policy:?}:");

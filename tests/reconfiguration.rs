@@ -28,8 +28,12 @@ fn full_swap_cycle_with_verification() {
         region.width(),
         region.height(),
     );
-    mgr.register(bright, (0, 0), Box::new(|| Box::new(ImagingModule::new(Task::Brightness))))
-        .expect("brightness registers");
+    mgr.register(
+        bright,
+        (0, 0),
+        Box::new(|| Box::new(ImagingModule::new(Task::Brightness))),
+    )
+    .expect("brightness registers");
 
     // Load A, use it, swap to B, use it, swap back.
     let out = mgr.load(&mut machine, "patmatch8x8").expect("loads A");
@@ -40,7 +44,10 @@ fn full_swap_cycle_with_verification() {
     let LoadOutcome::Loaded { reconfig_time, .. } = out else {
         panic!("swap must reconfigure");
     };
-    assert!(reconfig_time.as_us_f64() > 100.0, "reconfiguration takes real time");
+    assert!(
+        reconfig_time.as_us_f64() > 100.0,
+        "reconfiguration takes real time"
+    );
 
     // Drive the brightness module through the dock with real MMIO.
     let mut t = machine.cpu.now();
@@ -50,7 +57,9 @@ fn full_swap_cycle_with_verification() {
     assert_eq!(v, 0x35_45_55_65, "each pixel lane gained 37");
 
     // Swap back; the fast path must not fire across different modules.
-    let out = mgr.load(&mut machine, "patmatch8x8").expect("loads A again");
+    let out = mgr
+        .load(&mut machine, "patmatch8x8")
+        .expect("loads A again");
     assert!(matches!(out, LoadOutcome::Loaded { .. }));
     assert_eq!(mgr.reconfigurations, 3);
 }
@@ -125,6 +134,8 @@ fn icap_rejects_corrupted_stream_and_machine_survives() {
         .platform
         .write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
     // Status register reports the error.
-    let (status, _) = machine.platform.read(t, map::HWICAP_BASE + map::HWICAP_STATUS, 4);
+    let (status, _) = machine
+        .platform
+        .read(t, map::HWICAP_BASE + map::HWICAP_STATUS, 4);
     assert_eq!(status & 0b10, 0b10, "error bit set");
 }

@@ -6,7 +6,7 @@
 
 use vp2_repro::apps::request::{Kernel, Request};
 use vp2_repro::rtr::SystemKind;
-use vp2_repro::service::{Policy, Service, ServiceConfig, TrafficConfig};
+use vp2_repro::service::{Service, ServiceConfig, TrafficConfig};
 use vp2_repro::sim::{SimTime, SplitMix64};
 
 /// N identical requests, 1 ns apart — one long same-kernel burst.
@@ -27,10 +27,8 @@ fn burst_of_identical_requests_reconfigures_at_most_once() {
     // Jenkins listed first, so the boot warm-up leaves its module
     // resident; the pattern-matching burst then needs exactly one swap.
     let mut svc = Service::new(ServiceConfig {
-        kind: SystemKind::Bit32,
-        policy: Policy::CostModel,
         kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
-        verify: true,
+        ..ServiceConfig::new(SystemKind::Bit32)
     });
     let boot_reconfigs = svc.manager().reconfigurations;
     assert_eq!(svc.manager().loaded(), Some("jenkins-lookup2"));
@@ -42,7 +40,7 @@ fn burst_of_identical_requests_reconfigures_at_most_once() {
     );
 
     let n = 6;
-    let snap = svc.process(&burst(Kernel::PatMatch, n, 256));
+    let snap = svc.process(&burst(Kernel::PatMatch, n, 256)).unwrap();
 
     assert_eq!(snap.swaps, 1, "one burst, one reconfiguration");
     assert_eq!(
@@ -62,10 +60,8 @@ fn below_break_even_the_scheduler_stays_software_only() {
     // far below lookup2's break-even depth, so swapping would cost more
     // than it saves and every item must run on the PPC405.
     let mut svc = Service::new(ServiceConfig {
-        kind: SystemKind::Bit32,
-        policy: Policy::CostModel,
         kernels: vec![Kernel::PatMatch, Kernel::Jenkins],
-        verify: true,
+        ..ServiceConfig::new(SystemKind::Bit32)
     });
     let boot_reconfigs = svc.manager().reconfigurations;
     assert_eq!(svc.manager().loaded(), Some("patmatch8x8"));
@@ -74,9 +70,12 @@ fn below_break_even_the_scheduler_stays_software_only() {
         .cost_model()
         .break_even_depth(Kernel::Jenkins, 512)
         .expect("jenkins has a hardware form on Bit32");
-    assert!(depth > n, "test premise: burst of {n} is below break-even {depth}");
+    assert!(
+        depth > n,
+        "test premise: burst of {n} is below break-even {depth}"
+    );
 
-    let snap = svc.process(&burst(Kernel::Jenkins, n, 512));
+    let snap = svc.process(&burst(Kernel::Jenkins, n, 512)).unwrap();
 
     assert_eq!(snap.swaps, 0, "no batch amortized a swap");
     assert_eq!(svc.manager().reconfigurations, boot_reconfigs);
@@ -93,10 +92,8 @@ fn below_break_even_the_scheduler_stays_software_only() {
 #[test]
 fn metrics_counters_reconcile_with_completed_requests() {
     let mut svc = Service::new(ServiceConfig {
-        kind: SystemKind::Bit32,
-        policy: Policy::CostModel,
         kernels: vec![Kernel::Jenkins, Kernel::Brightness],
-        verify: true,
+        ..ServiceConfig::new(SystemKind::Bit32)
     });
     let traffic = TrafficConfig {
         seed: 9,
@@ -109,13 +106,16 @@ fn metrics_counters_reconcile_with_completed_requests() {
     }
     .generate();
 
-    let snap = svc.process(&traffic);
+    let snap = svc.process(&traffic).unwrap();
 
     assert_eq!(snap.completed, 16);
     assert_eq!(snap.completed, svc.submitted());
     assert_eq!(snap.completed, snap.hw_items + snap.sw_items);
     assert!(snap.hw_batches + snap.sw_batches >= 1);
-    assert!(snap.swaps <= snap.hw_batches, "every swap belongs to a hw batch");
+    assert!(
+        snap.swaps <= snap.hw_batches,
+        "every swap belongs to a hw batch"
+    );
     assert_eq!(snap.verify_failures, 0);
     assert!(snap.latency_p50 <= snap.latency_p99);
     assert!(snap.latency_p99 <= snap.elapsed);
@@ -123,4 +123,45 @@ fn metrics_counters_reconcile_with_completed_requests() {
     // The JSON view carries the same counters.
     let json = snap.to_json().render();
     assert!(json.contains("\"completed\":16"));
+}
+
+#[test]
+fn mid_batch_arrivals_on_the_dma_system_are_never_lost() {
+    // 64-bit system: hardware batches move data through the PLB dock's
+    // scatter-gather DMA and FIFO. A dense mixed-kernel schedule lands
+    // new arrivals while earlier batches (and their reconfigurations)
+    // are still executing; the admission scan must pick every one of
+    // them up on the next dispatch, whatever path the batch took.
+    let mut svc = Service::new(ServiceConfig {
+        kernels: vec![Kernel::PatMatch, Kernel::Jenkins, Kernel::Sha1],
+        ..ServiceConfig::new(SystemKind::Bit64)
+    });
+    let mut rng = SplitMix64::new(0xD3A);
+    let kinds = [Kernel::PatMatch, Kernel::Jenkins, Kernel::Sha1];
+    let n = 18;
+    // 2 µs apart — far shorter than a single reconfiguration (hundreds
+    // of µs), so almost every arrival lands mid-batch.
+    let schedule: Vec<(SimTime, Request)> = (0..n)
+        .map(|i| {
+            (
+                SimTime::from_us(2 * i as u64),
+                Request::synthetic(kinds[i % kinds.len()], 512, &mut rng),
+            )
+        })
+        .collect();
+
+    let snap = svc.process(&schedule).unwrap();
+
+    assert_eq!(snap.completed as usize, n, "no arrival may be dropped");
+    assert_eq!(snap.completed, svc.submitted());
+    assert_eq!(snap.completed, snap.hw_items + snap.sw_items);
+    assert_eq!(snap.verify_failures, 0, "DMA path responses all verify");
+    assert!(
+        snap.hw_items > 0,
+        "the 64-bit system must serve some of this in hardware"
+    );
+    assert!(
+        snap.hw_batches + snap.sw_batches < n as u64,
+        "mid-batch arrivals must coalesce into shared batches"
+    );
 }

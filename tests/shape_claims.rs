@@ -96,8 +96,14 @@ fn jenkins_speedup_is_modest_and_improves_slightly() {
 fn sha1_fits_only_the_64bit_region() {
     use vp2_repro::netlist::AutoPlacer;
     let nl = sha1::sha1_netlist();
-    assert!(AutoPlacer::new().place(&nl, 28, 11).is_err(), "must not fit 308 CLBs");
-    assert!(AutoPlacer::new().place(&nl, 32, 24).is_ok(), "must fit 768 CLBs");
+    assert!(
+        AutoPlacer::new().place(&nl, 28, 11).is_err(),
+        "must not fit 308 CLBs"
+    );
+    assert!(
+        AutoPlacer::new().place(&nl, 32, 24).is_ok(),
+        "must fit 768 CLBs"
+    );
 }
 
 /// "The results of table 11 show a considerable performance gain for the
