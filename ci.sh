@@ -18,5 +18,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== example smoke runs =="
 cargo run --release --example service_traffic > /dev/null
 cargo run --release --example fault_tolerance > /dev/null
+cargo run --release --example cluster_traffic > /dev/null
 
 echo "CI OK"

@@ -9,29 +9,19 @@
 //! fault_scenario --json out.json    # write the summary to a file
 //! ```
 
+use rtr_bench::scenario::{self, ScenarioArgs};
 use rtr_core::SystemKind;
 use rtr_service::{Service, ServiceConfig, TrafficConfig};
-use std::io::Write as _;
 use vp2_sim::{Json, SimTime};
 
 /// Corruption rates the paper-style comparison sweeps.
 const RATES: [f64; 3] = [0.0, 1e-3, 1e-2];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_of = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let requests: usize = value_of("--requests")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(48);
-    let seed: u64 = value_of("--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0x0007_AF1C_2026);
-    let json_path = value_of("--json");
+    let args = ScenarioArgs::parse();
+    let requests: usize = args.parsed_or("--requests", 48);
+    let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
+    let json_path = args.json_path();
 
     let mut systems = Vec::new();
     for kind in [SystemKind::Bit32, SystemKind::Bit64] {
@@ -78,14 +68,5 @@ fn main() {
     }
 
     let summary = Json::obj().field("fault_scenarios", Json::Arr(systems));
-    let rendered = summary.render_pretty();
-    match json_path {
-        Some(path) => {
-            let mut f =
-                std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
-            f.write_all(rendered.as_bytes()).expect("write json");
-            eprintln!("[fault] wrote {path}");
-        }
-        None => print!("{rendered}"),
-    }
+    scenario::emit("fault", json_path.as_deref(), &summary);
 }

@@ -8,26 +8,16 @@
 //! service_scenario --json out.json   # write the summary to a file
 //! ```
 
+use rtr_bench::scenario::{self, ScenarioArgs};
 use rtr_core::SystemKind;
 use rtr_service::{Policy, Service, ServiceConfig, TrafficConfig};
-use std::io::Write as _;
 use vp2_sim::{Json, SimTime};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_of = |name: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
-    let requests: usize = value_of("--requests")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(48);
-    let seed: u64 = value_of("--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0x0007_AF1C_2026);
-    let json_path = value_of("--json");
+    let args = ScenarioArgs::parse();
+    let requests: usize = args.parsed_or("--requests", 48);
+    let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
+    let json_path = args.json_path();
 
     let mut systems = Vec::new();
     for kind in [SystemKind::Bit32, SystemKind::Bit64] {
@@ -73,14 +63,5 @@ fn main() {
     }
 
     let summary = Json::obj().field("service_scenarios", Json::Arr(systems));
-    let rendered = summary.render_pretty();
-    match json_path {
-        Some(path) => {
-            let mut f =
-                std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
-            f.write_all(rendered.as_bytes()).expect("write json");
-            eprintln!("[service] wrote {path}");
-        }
-        None => print!("{rendered}"),
-    }
+    scenario::emit("service", json_path.as_deref(), &summary);
 }

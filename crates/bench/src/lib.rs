@@ -13,6 +13,8 @@
 //!   own throughput (how fast the reproduction runs), which is the
 //!   conventional meaning of `cargo bench`.
 
+pub mod scenario;
+
 use rtr_apps::harness::Comparison;
 use rtr_apps::{imaging, jenkins, patmatch, sha1};
 use rtr_core::measure::{self, TransferKind};

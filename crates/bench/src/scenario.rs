@@ -1,0 +1,92 @@
+//! Shared plumbing for the scenario binaries.
+//!
+//! `service_scenario`, `fault_scenario` and `cluster_scenario` all parse
+//! the same `--flag value` arguments and emit a JSON summary either to
+//! stdout or to the file `--json` names. The duplicated copies used to
+//! live in each binary; they live here once now.
+
+use std::io::Write as _;
+use std::str::FromStr;
+
+use vp2_sim::Json;
+
+/// Parsed command-line arguments of a scenario binary.
+pub struct ScenarioArgs {
+    args: Vec<String>,
+}
+
+impl ScenarioArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> ScenarioArgs {
+        ScenarioArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// The value following `name`, if present.
+    pub fn value_of(&self, name: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .cloned()
+    }
+
+    /// The value following `name` parsed as `T`, or `default` when the
+    /// flag is absent or unparsable.
+    pub fn parsed_or<T: FromStr>(&self, name: &str, default: T) -> T {
+        self.value_of(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The `--json` output path, if requested.
+    pub fn json_path(&self) -> Option<String> {
+        self.value_of("--json")
+    }
+}
+
+impl Default for ScenarioArgs {
+    fn default() -> Self {
+        ScenarioArgs::parse()
+    }
+}
+
+/// Writes the summary to the `--json` path (if any) or stdout. `tag` is
+/// the binary's log prefix (`[service]`, `[fault]`, `[cluster]`).
+pub fn emit(tag: &str, json_path: Option<&str>, summary: &Json) {
+    let rendered = summary.render_pretty();
+    match json_path {
+        Some(path) => {
+            let mut f =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+            f.write_all(rendered.as_bytes()).expect("write json");
+            eprintln!("[{tag}] wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing_covers_present_absent_and_garbage() {
+        let args = ScenarioArgs {
+            args: vec![
+                "--requests".into(),
+                "96".into(),
+                "--seed".into(),
+                "junk".into(),
+                "--json".into(),
+                "out.json".into(),
+            ],
+        };
+        assert_eq!(args.parsed_or("--requests", 48usize), 96);
+        assert_eq!(args.parsed_or("--seed", 7u64), 7, "garbage falls back");
+        assert_eq!(args.parsed_or("--missing", 5u64), 5);
+        assert_eq!(args.json_path().as_deref(), Some("out.json"));
+        assert_eq!(args.value_of("--nope"), None);
+    }
+}

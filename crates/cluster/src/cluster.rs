@@ -1,0 +1,273 @@
+//! The cluster front-end: streaming admission over a shard pool.
+
+use rtr_apps::request::{Kernel, Request};
+use rtr_core::SystemKind;
+use rtr_service::{Service, ServiceConfig};
+use vp2_sim::SimTime;
+
+use crate::route::{RoutePolicy, Router};
+use crate::shard::Shard;
+use crate::snapshot::ClusterSnapshot;
+
+/// How to build one shard of the pool.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Which of the paper's two systems this shard simulates.
+    pub kind: SystemKind,
+    /// Per-frame configuration-corruption probability on this shard
+    /// (0 disables fault injection).
+    pub fault_rate: f64,
+    /// Seed for the shard's deterministic fault plan.
+    pub fault_seed: u64,
+}
+
+impl ShardSpec {
+    /// A fault-free shard of the given system.
+    pub fn new(kind: SystemKind) -> ShardSpec {
+        ShardSpec {
+            kind,
+            fault_rate: 0.0,
+            fault_seed: 0x5EED_FA57,
+        }
+    }
+
+    /// Same shard with a hostile configuration plane.
+    pub fn with_faults(kind: SystemKind, rate: f64, seed: u64) -> ShardSpec {
+        ShardSpec {
+            kind,
+            fault_rate: rate,
+            fault_seed: seed,
+        }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// One spec per shard (mixing 32- and 64-bit profiles is fine).
+    pub shards: Vec<ShardSpec>,
+    /// Routing policy.
+    pub policy: RoutePolicy,
+    /// Kernels the cluster accepts (empty defaults to all six). Shards
+    /// only calibrate and register what is listed, so a narrow workload
+    /// boots a narrow — and cheaper — pool.
+    pub kernels: Vec<Kernel>,
+    /// Admission-buffer bound per shard: a shard flushes its buffer into
+    /// its machine once this many requests are waiting. Peak resident
+    /// work is `shards × flush_depth` regardless of stream length.
+    pub flush_depth: usize,
+    /// Check every response against the Rust reference implementation.
+    pub verify: bool,
+    /// How long a kernel stays quarantined from a shard's hardware path
+    /// after repeated load failures.
+    pub quarantine_cooldown: SimTime,
+}
+
+impl ClusterConfig {
+    /// `n` identical fault-free shards under the given policy.
+    pub fn uniform(kind: SystemKind, n: usize, policy: RoutePolicy) -> ClusterConfig {
+        ClusterConfig {
+            shards: vec![ShardSpec::new(kind); n],
+            policy,
+            kernels: Vec::new(),
+            flush_depth: 8,
+            verify: true,
+            quarantine_cooldown: SimTime::from_ms(5),
+        }
+    }
+}
+
+/// A pool of independent simulated machines behind one admission layer.
+pub struct Cluster {
+    shards: Vec<Shard>,
+    router: Router,
+    flush_depth: usize,
+    peak_buffered: usize,
+    admitted: u64,
+}
+
+impl Cluster {
+    /// Boots every shard (each builds, calibrates and warms up its own
+    /// machine) and an empty front-end.
+    ///
+    /// # Panics
+    /// Panics if `config.shards` is empty or `flush_depth` is zero.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        assert!(
+            !config.shards.is_empty(),
+            "a cluster needs at least one shard"
+        );
+        assert!(config.flush_depth > 0, "flush_depth must be positive");
+        let shards: Vec<Shard> = config
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| {
+                let service = Service::new(ServiceConfig {
+                    verify: config.verify,
+                    kernels: config.kernels.clone(),
+                    quarantine_cooldown: config.quarantine_cooldown,
+                    ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
+                });
+                Shard::new(id, service)
+            })
+            .collect();
+        Cluster {
+            shards,
+            router: Router::new(config.policy),
+            flush_depth: config.flush_depth,
+            peak_buffered: 0,
+            admitted: 0,
+        }
+    }
+
+    /// The shard pool.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The active routing policy.
+    pub fn policy(&self) -> RoutePolicy {
+        self.router.policy()
+    }
+
+    /// Requests admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Largest number of requests ever resident in admission buffers at
+    /// once — bounded by `shards × flush_depth` however long the stream.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Routes one request into a shard's buffer and returns the shard id;
+    /// flushes that shard if its buffer hit the bound.
+    pub fn admit(&mut self, arrival: SimTime, request: Request) -> usize {
+        let id = self.router.pick(&self.shards, request.kernel());
+        self.shards[id].admit(arrival, request);
+        self.admitted += 1;
+        let resident: usize = self.shards.iter().map(Shard::buffered).sum();
+        self.peak_buffered = self.peak_buffered.max(resident);
+        if self.shards[id].buffered() >= self.flush_depth {
+            self.shards[id].flush();
+        }
+        id
+    }
+
+    /// Flushes every shard's buffer into its machine.
+    pub fn flush_all(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush();
+        }
+    }
+
+    /// Consumes an arrival stream to completion — the streaming admission
+    /// path: requests are routed as they are pulled, so the schedule is
+    /// never materialised — and returns the cluster snapshot.
+    ///
+    /// Arrival times must be nondecreasing (as [`TrafficStream`] yields
+    /// them); each shard rejects out-of-order sub-schedules.
+    ///
+    /// [`TrafficStream`]: rtr_service::TrafficStream
+    pub fn run(&mut self, stream: impl IntoIterator<Item = (SimTime, Request)>) -> ClusterSnapshot {
+        for (arrival, request) in stream {
+            self.admit(arrival, request);
+        }
+        self.flush_all();
+        self.snapshot()
+    }
+
+    /// Aggregates per-shard windows into the cluster-level snapshot.
+    /// Buffered-but-unflushed requests are not yet in any window; call
+    /// [`Cluster::flush_all`] first (or use [`Cluster::run`]).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot::aggregate(&self.shards, self.router.stats, self.peak_buffered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_apps::request::Kernel;
+    use rtr_service::TrafficConfig;
+
+    #[test]
+    fn round_robin_spreads_and_counts_reconcile() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            flush_depth: 4,
+            ..ClusterConfig::uniform(SystemKind::Bit32, 2, RoutePolicy::RoundRobin)
+        });
+        let cfg = TrafficConfig {
+            requests: 16,
+            kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+            burst_percent: 0,
+            ..TrafficConfig::default()
+        };
+        let snap = cluster.run(cfg.stream());
+        assert_eq!(cluster.admitted(), 16);
+        assert_eq!(snap.total.completed, 16);
+        assert_eq!(snap.shards.len(), 2);
+        // Round-robin alternates strictly when nothing is quarantined.
+        assert_eq!(snap.shards[0].admitted, 8);
+        assert_eq!(snap.shards[1].admitted, 8);
+        assert_eq!(
+            snap.total.completed,
+            snap.shards.iter().map(|s| s.metrics.completed).sum::<u64>()
+        );
+        assert_eq!(snap.total.verify_failures, 0);
+        assert!(snap.peak_buffered <= 2 * 4);
+        assert!(snap.makespan >= snap.shards[0].elapsed);
+        // JSON renders the whole breakdown.
+        let json = snap.to_json().render();
+        assert!(json.contains("\"shard_count\":2"));
+        assert!(json.contains("\"latency_histogram\""));
+    }
+
+    #[test]
+    fn affinity_pins_each_kernel_to_one_shard() {
+        let mut cluster = Cluster::new(ClusterConfig {
+            flush_depth: 4,
+            ..ClusterConfig::uniform(SystemKind::Bit32, 2, RoutePolicy::KernelAffinity)
+        });
+        let cfg = TrafficConfig {
+            requests: 24,
+            kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+            burst_percent: 0,
+            ..TrafficConfig::default()
+        };
+        let mut home: [Option<usize>; Kernel::ALL.len()] = [None; Kernel::ALL.len()];
+        for (t, req) in cfg.stream() {
+            let kernel = req.kernel();
+            let id = cluster.admit(t, req);
+            // Once a kernel has a home every later request follows it.
+            match home[kernel.index()] {
+                Some(expected) => assert_eq!(id, expected, "{kernel} moved shards"),
+                None => home[kernel.index()] = Some(id),
+            }
+        }
+        cluster.flush_all();
+        let snap = cluster.snapshot();
+        // Two kernels, two shards: each shard serves exactly one kernel,
+        // so neither ever swaps after its first (warm-up or batch) load.
+        for shard in &snap.shards {
+            assert!(
+                shard.metrics.swaps <= 1,
+                "shard {} swapped {} times under affinity",
+                shard.id,
+                shard.metrics.swaps
+            );
+        }
+        assert_eq!(snap.total.completed, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_cluster_is_rejected() {
+        let _ = Cluster::new(ClusterConfig {
+            shards: Vec::new(),
+            ..ClusterConfig::uniform(SystemKind::Bit32, 1, RoutePolicy::RoundRobin)
+        });
+    }
+}

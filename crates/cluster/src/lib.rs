@@ -1,0 +1,43 @@
+//! # rtr-cluster — sharded multi-machine reconfiguration service
+//!
+//! The paper's two systems are single-CPU, single-dynamic-region designs;
+//! this crate scales them out. A [`Cluster`] owns a pool of N independent
+//! simulated machines ([`Shard`]s — each a full [`rtr_service::Service`]
+//! with its own PPC405, buses, dock and dynamic region, built from either
+//! system profile or a mix), fronted by a streaming admission layer:
+//! requests are consumed from a lazy `Iterator` and routed one at a time,
+//! so the full schedule is never materialised — peak resident work is
+//! bounded by `shards × flush_depth`.
+//!
+//! Routing is pluggable ([`RoutePolicy`]):
+//!
+//! * **round-robin** — spray requests across shards in admission order;
+//! * **least-loaded** — route to the shard whose estimated ready time
+//!   (machine clock + cost-model estimate of its buffered work) is
+//!   earliest;
+//! * **kernel-affinity** — route to the shard whose dynamic region
+//!   already holds (or is about to hold) the request's kernel, falling
+//!   back to least-loaded for first-seen kernels. Keeping a kernel
+//!   resident on its home shard minimises ICAP swap traffic, which
+//!   dominates everything else the region does.
+//!
+//! Every policy is quarantine-aware: a shard whose hardware path for the
+//! kernel is quarantined (PR 2's `ModuleHealth` machinery) sheds that
+//! kernel's load to healthy shards until its half-open cooldown expires.
+//!
+//! Per-shard window metrics merge into a cluster-level
+//! [`ClusterSnapshot`] — makespan, total throughput, per-shard
+//! utilization and swap counts, and the cross-shard latency distribution
+//! (full percentile ladder + histogram buckets) — with JSON export.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod route;
+pub mod shard;
+pub mod snapshot;
+
+pub use cluster::{Cluster, ClusterConfig, ShardSpec};
+pub use route::{RoutePolicy, RoutingStats};
+pub use shard::Shard;
+pub use snapshot::{ClusterSnapshot, ShardSnapshot};

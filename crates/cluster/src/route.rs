@@ -1,0 +1,190 @@
+//! Routing policies for the cluster front-end.
+//!
+//! The router sees one request at a time (streaming admission) and picks
+//! a shard for it. All policies are quarantine-aware: shards whose
+//! hardware path for the request's kernel is quarantined are skipped
+//! while any healthy candidate exists, so faulted shards shed load
+//! instead of accumulating work they can only serve in software.
+
+use rtr_apps::request::Kernel;
+use vp2_sim::Json;
+
+use crate::shard::Shard;
+
+/// Which shard gets the next request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Spray requests across shards in admission order.
+    RoundRobin,
+    /// Route to the shard with the earliest estimated ready time
+    /// (machine clock + cost-model estimate of buffered work).
+    LeastLoaded,
+    /// Route to the shard whose dynamic region already holds (or is
+    /// about to hold) the kernel; first-seen kernels fall back to
+    /// least-loaded and become sticky. Minimises ICAP swap traffic.
+    KernelAffinity,
+}
+
+impl RoutePolicy {
+    /// Stable lowercase name (JSON, CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "round_robin",
+            RoutePolicy::LeastLoaded => "least_loaded",
+            RoutePolicy::KernelAffinity => "kernel_affinity",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the router's decisions broke down, for the cluster snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Requests placed by the base policy (rotation or load estimate).
+    pub base: u64,
+    /// Requests placed on a shard already holding their kernel.
+    pub affinity_hits: u64,
+    /// Requests diverted off their preferred shard by an active
+    /// quarantine.
+    pub shed: u64,
+}
+
+impl RoutingStats {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("base", self.base)
+            .field("affinity_hits", self.affinity_hits)
+            .field("shed", self.shed)
+    }
+}
+
+/// Per-cluster routing state: the policy plus whatever it remembers.
+#[derive(Debug)]
+pub(crate) struct Router {
+    policy: RoutePolicy,
+    rr_next: usize,
+    home: [Option<usize>; Kernel::ALL.len()],
+    pub(crate) stats: RoutingStats,
+}
+
+impl Router {
+    pub(crate) fn new(policy: RoutePolicy) -> Router {
+        Router {
+            policy,
+            rr_next: 0,
+            home: [None; Kernel::ALL.len()],
+            stats: RoutingStats::default(),
+        }
+    }
+
+    pub(crate) fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Picks the shard for one request. Deterministic: ties break on the
+    /// lowest shard id.
+    pub(crate) fn pick(&mut self, shards: &[Shard], kernel: Kernel) -> usize {
+        debug_assert!(!shards.is_empty());
+        let healthy = |s: &Shard| !s.sheds(kernel);
+        let any_healthy = shards.iter().any(healthy);
+        // With every shard quarantined for this kernel there is nothing
+        // to shed to — software-path service beats refusing the request.
+        let admissible = |s: &Shard| !any_healthy || healthy(s);
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                for step in 0..shards.len() {
+                    let id = (self.rr_next + step) % shards.len();
+                    if admissible(&shards[id]) {
+                        self.rr_next = (id + 1) % shards.len();
+                        if step == 0 {
+                            self.stats.base += 1;
+                        } else {
+                            self.stats.shed += 1;
+                        }
+                        return id;
+                    }
+                }
+                unreachable!("admissible() accepts every shard when none is healthy");
+            }
+            RoutePolicy::LeastLoaded => {
+                let id = least_loaded(shards, &admissible);
+                self.stats.base += 1;
+                id
+            }
+            RoutePolicy::KernelAffinity => {
+                // Sticky home first: once a kernel settles on a shard it
+                // stays there, so its module stays resident.
+                if let Some(id) = self.home[kernel.index()] {
+                    if admissible(&shards[id]) {
+                        self.stats.affinity_hits += 1;
+                        return id;
+                    }
+                    // Home quarantined: shed to the least-loaded healthy
+                    // shard without reassigning home — the shard gets its
+                    // kernel back once the cooldown expires.
+                    let id = least_loaded(shards, &admissible);
+                    self.stats.shed += 1;
+                    return id;
+                }
+                // No home yet: adopt a shard whose region already holds
+                // the kernel. Every shard boots with the same warm-up
+                // module resident, so prefer holders serving the fewest
+                // home kernels — that spreads first-seen kernels instead
+                // of piling them onto shard 0.
+                let homes = self.homes_per_shard(shards.len());
+                let adopted = shards
+                    .iter()
+                    .filter(|s| admissible(s) && s.holds(kernel))
+                    .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
+                    .map(Shard::id);
+                let id = match adopted {
+                    Some(id) => {
+                        self.stats.affinity_hits += 1;
+                        id
+                    }
+                    // First sight of a kernel nobody holds: the emptiest
+                    // (fewest homes, then least-loaded) shard takes it.
+                    None => {
+                        let id = shards
+                            .iter()
+                            .filter(|s| admissible(s))
+                            .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
+                            .expect("at least one admissible shard")
+                            .id();
+                        self.stats.base += 1;
+                        id
+                    }
+                };
+                self.home[kernel.index()] = Some(id);
+                id
+            }
+        }
+    }
+}
+
+impl Router {
+    /// How many kernels call each shard home.
+    fn homes_per_shard(&self, shard_count: usize) -> Vec<u64> {
+        let mut homes = vec![0u64; shard_count];
+        for id in self.home.iter().flatten() {
+            homes[*id] += 1;
+        }
+        homes
+    }
+}
+
+/// The admissible shard with the earliest ready time (lowest id on ties).
+fn least_loaded(shards: &[Shard], admissible: &impl Fn(&Shard) -> bool) -> usize {
+    shards
+        .iter()
+        .filter(|s| admissible(s))
+        .min_by_key(|s| (s.ready_at(), s.id()))
+        .expect("at least one admissible shard")
+        .id()
+}

@@ -1,0 +1,133 @@
+//! One simulated machine of the pool.
+//!
+//! A shard wraps a complete [`Service`] — its own PPC405, buses, dock,
+//! dynamic region and scheduler — behind a bounded admission buffer.
+//! The cluster front-end routes requests into the buffer; when it fills
+//! (or the stream ends) the shard flushes it as one open-loop schedule
+//! into the service and merges the resulting window metrics, so the
+//! full cluster workload never exists in memory at once.
+
+use rtr_apps::request::{Kernel, Request};
+use rtr_service::{Metrics, Service};
+use vp2_sim::SimTime;
+
+/// One machine of the cluster: a service plus its admission buffer.
+pub struct Shard {
+    id: usize,
+    service: Service,
+    origin: SimTime,
+    buffer: Vec<(SimTime, Request)>,
+    buffered_cost: SimTime,
+    window: Metrics,
+    admitted: u64,
+}
+
+impl Shard {
+    /// Wraps a freshly booted service as shard `id`.
+    pub(crate) fn new(id: usize, service: Service) -> Shard {
+        let origin = service.now();
+        Shard {
+            id,
+            service,
+            origin,
+            buffer: Vec::new(),
+            buffered_cost: SimTime::ZERO,
+            window: Metrics::new(),
+            admitted: 0,
+        }
+    }
+
+    /// Shard index within the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The underlying service (cost model, manager, quarantine state).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+
+    /// Requests routed to this shard so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests currently buffered (admitted but not yet flushed).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Simulated time this shard has spent serving since cluster boot.
+    pub fn elapsed(&self) -> SimTime {
+        self.service.now() - self.origin
+    }
+
+    /// Estimated instant this shard would finish everything it has been
+    /// given: its machine clock plus the cost-model estimate of the
+    /// buffered (not yet flushed) work. The least-loaded router compares
+    /// shards on this.
+    pub fn ready_at(&self) -> SimTime {
+        self.service.now() + self.buffered_cost
+    }
+
+    /// Does this shard's dynamic region already hold — or will it, once
+    /// the buffer flushes — the kernel's module?
+    pub fn holds(&self, kernel: Kernel) -> bool {
+        if self.service.manager().loaded() == Some(kernel.module_name()) {
+            return true;
+        }
+        // A buffered request of the same kernel means the region is
+        // about to be reconfigured for it (if hardware pays off), so
+        // joining it amortizes the same swap.
+        self.buffer.iter().any(|(_, r)| r.kernel() == kernel)
+    }
+
+    /// Is the kernel's hardware path on this shard currently barred by
+    /// an active quarantine?
+    pub fn sheds(&self, kernel: Kernel) -> bool {
+        self.service.quarantined(kernel)
+    }
+
+    /// Buffers one request that arrived at absolute time `arrival`.
+    pub(crate) fn admit(&mut self, arrival: SimTime, request: Request) {
+        let kernel = request.kernel();
+        let bytes = request.payload_bytes();
+        let cost = self.service.cost_model();
+        // Optimistic per-item cost: the cheaper path, ignoring swaps.
+        let sw = cost.sw_estimate(kernel, bytes);
+        let item = match cost.hw_estimate(kernel, bytes) {
+            Some(hw) => hw.min(sw),
+            None => sw,
+        };
+        self.buffered_cost += item;
+        self.buffer.push((arrival, request));
+        self.admitted += 1;
+    }
+
+    /// Flushes the buffer into the service as one open-loop schedule and
+    /// merges the window metrics. Arrivals earlier than the shard's
+    /// machine clock (it was busy) are served immediately; queueing shows
+    /// up as latency, exactly as on a single machine.
+    pub(crate) fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let origin = self.service.now();
+        let schedule: Vec<(SimTime, Request)> = self
+            .buffer
+            .drain(..)
+            .map(|(arrival, request)| (arrival.saturating_sub(origin), request))
+            .collect();
+        self.buffered_cost = SimTime::ZERO;
+        let window = self
+            .service
+            .process_window(&schedule)
+            .expect("stream arrivals are monotone");
+        self.window.absorb(&window);
+    }
+
+    /// The shard's merged window metrics since cluster boot.
+    pub(crate) fn window(&self) -> &Metrics {
+        &self.window
+    }
+}

@@ -1,0 +1,143 @@
+//! Cluster-level metrics aggregation.
+//!
+//! Each shard accumulates raw window [`Metrics`] (latency series merge;
+//! percentiles do not); the cluster folds them into one cross-shard
+//! snapshot plus a per-shard breakdown. Cluster makespan is the slowest
+//! shard's elapsed time — shards are independent machines running in
+//! parallel — and cluster throughput is total completions over that
+//! makespan.
+//!
+//! [`Metrics`]: rtr_service::Metrics
+
+use rtr_core::SystemKind;
+use rtr_service::{Metrics, MetricsSnapshot};
+use vp2_sim::{Json, SimTime};
+
+use crate::route::RoutingStats;
+use crate::shard::Shard;
+
+/// One shard's contribution.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub id: usize,
+    /// System profile the shard simulates.
+    pub kind: SystemKind,
+    /// Requests routed to this shard.
+    pub admitted: u64,
+    /// Simulated time the shard spent serving since cluster boot.
+    pub elapsed: SimTime,
+    /// The shard's merged service metrics over `elapsed`.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ShardSnapshot {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id)
+            .field("system", format!("{:?}", self.kind))
+            .field("admitted", self.admitted)
+            .field("elapsed_us", self.elapsed.as_us_f64())
+            .field("metrics", self.metrics.to_json())
+    }
+}
+
+/// Point-in-time summary of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardSnapshot>,
+    /// Merged metrics across every shard, over the makespan window —
+    /// the cross-shard latency distribution lives here.
+    pub total: MetricsSnapshot,
+    /// Slowest shard's elapsed time (the cluster finishes when its last
+    /// machine does).
+    pub makespan: SimTime,
+    /// Reconfigurations summed across shards.
+    pub total_swaps: u64,
+    /// How the router placed the traffic.
+    pub routing: RoutingStats,
+    /// Largest number of requests ever resident in admission buffers.
+    pub peak_buffered: usize,
+}
+
+impl ClusterSnapshot {
+    /// Folds the shard windows into one snapshot.
+    pub(crate) fn aggregate(
+        shards: &[Shard],
+        routing: RoutingStats,
+        peak_buffered: usize,
+    ) -> ClusterSnapshot {
+        let makespan = shards
+            .iter()
+            .map(Shard::elapsed)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut all = Metrics::new();
+        let mut per_shard = Vec::with_capacity(shards.len());
+        for shard in shards {
+            all.absorb(shard.window());
+            per_shard.push(ShardSnapshot {
+                id: shard.id(),
+                kind: shard.service().kind(),
+                admitted: shard.admitted(),
+                elapsed: shard.elapsed(),
+                metrics: shard.window().snapshot(shard.elapsed()),
+            });
+        }
+        let total = all.snapshot(makespan);
+        ClusterSnapshot {
+            total_swaps: total.swaps,
+            shards: per_shard,
+            total,
+            makespan,
+            routing,
+            peak_buffered,
+        }
+    }
+
+    /// Machine-readable form (what `cluster_scenario` writes).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("shard_count", self.shards.len())
+            .field("makespan_us", self.makespan.as_us_f64())
+            .field("total_swaps", self.total_swaps)
+            .field("peak_buffered", self.peak_buffered)
+            .field("routing", self.routing.to_json())
+            .field("total", self.total.to_json())
+            .field(
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardSnapshot::to_json).collect()),
+            )
+    }
+}
+
+impl std::fmt::Display for ClusterSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster: {} shards, makespan {}, {:.0} req/s, {} swaps, peak buffer {}",
+            self.shards.len(),
+            self.makespan,
+            self.total.throughput_per_s,
+            self.total_swaps,
+            self.peak_buffered
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {} ({:?}): {:>5} reqs, elapsed {:>12}, hw {:>4} / sw {:>4}, swaps {:>3}, region busy {:.1}%",
+                s.id,
+                s.kind,
+                s.admitted,
+                s.elapsed.to_string(),
+                s.metrics.hw_items,
+                s.metrics.sw_items,
+                s.metrics.swaps,
+                s.metrics.hw_utilization * 100.0
+            )?;
+        }
+        write!(f, "{}", self.total)
+    }
+}

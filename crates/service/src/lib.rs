@@ -33,4 +33,4 @@ pub use cost::{CostModel, PathEstimate};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{AdmissionQueues, Pending};
 pub use service::{Policy, Service, ServiceConfig, ServiceError};
-pub use traffic::TrafficConfig;
+pub use traffic::{TrafficConfig, TrafficStream};

@@ -8,7 +8,10 @@
 
 use std::fmt;
 
-use vp2_sim::{Json, SimTime};
+use vp2_sim::{Histogram, Json, SimTime};
+
+/// Buckets in the latency distribution a snapshot exports.
+const LATENCY_BUCKETS: usize = 16;
 
 /// Running accumulator owned by the service.
 #[derive(Debug, Default)]
@@ -141,6 +144,20 @@ impl Metrics {
         } else {
             SimTime::from_ps(sorted.iter().sum::<u64>() / sorted.len() as u64)
         };
+        // Full distribution: a fixed-bucket histogram spanning [0, max].
+        // The NaN-safe `Histogram` rejects non-finite samples, but every
+        // latency here comes off the picosecond clock, so nothing may
+        // land in the rejected bin.
+        let max = sorted.last().copied().unwrap_or(0);
+        let mut hist = Histogram::new(0.0, max.max(1) as f64, LATENCY_BUCKETS);
+        for &ps in &sorted {
+            hist.record(ps as f64);
+        }
+        debug_assert_eq!(hist.rejected(), 0, "latencies are always finite");
+        // The top of the range is the maximum itself; fold its overflow
+        // count into the last bucket so every sample is represented.
+        let mut latency_buckets: Vec<u64> = hist.buckets().to_vec();
+        *latency_buckets.last_mut().expect("≥1 bucket") += hist.overflow();
         let secs = elapsed.as_secs_f64();
         MetricsSnapshot {
             completed: self.completed(),
@@ -164,7 +181,11 @@ impl Metrics {
             },
             latency_mean: mean,
             latency_p50: pct(0.50),
+            latency_p90: pct(0.90),
             latency_p99: pct(0.99),
+            latency_p999: pct(0.999),
+            latency_max: SimTime::from_ps(max),
+            latency_buckets,
             reconfig_time: self.reconfig_time,
             hw_utilization: ratio(self.hw_busy, elapsed),
             sw_utilization: ratio(self.sw_busy, elapsed),
@@ -218,8 +239,17 @@ pub struct MetricsSnapshot {
     pub latency_mean: SimTime,
     /// Median latency.
     pub latency_p50: SimTime,
+    /// 90th-percentile latency.
+    pub latency_p90: SimTime,
     /// 99th-percentile latency.
     pub latency_p99: SimTime,
+    /// 99.9th-percentile latency.
+    pub latency_p999: SimTime,
+    /// Largest observed latency (the histogram's upper bound).
+    pub latency_max: SimTime,
+    /// Fixed-width latency histogram over `[0, latency_max]`: bucket
+    /// counts in latency order, every completed request represented.
+    pub latency_buckets: Vec<u64>,
     /// Total time spent shifting configuration frames.
     pub reconfig_time: SimTime,
     /// Fraction of the window the dynamic region was computing.
@@ -249,7 +279,24 @@ impl MetricsSnapshot {
             .field("throughput_per_s", self.throughput_per_s)
             .field("latency_mean_us", self.latency_mean.as_us_f64())
             .field("latency_p50_us", self.latency_p50.as_us_f64())
+            .field("latency_p90_us", self.latency_p90.as_us_f64())
             .field("latency_p99_us", self.latency_p99.as_us_f64())
+            .field("latency_p999_us", self.latency_p999.as_us_f64())
+            .field(
+                "latency_histogram",
+                Json::obj()
+                    .field("lo_us", 0.0)
+                    .field("hi_us", self.latency_max.as_us_f64())
+                    .field(
+                        "buckets",
+                        Json::Arr(
+                            self.latency_buckets
+                                .iter()
+                                .map(|&c| Json::from(c))
+                                .collect(),
+                        ),
+                    ),
+            )
             .field("reconfig_time_us", self.reconfig_time.as_us_f64())
             .field("hw_utilization", self.hw_utilization)
             .field("sw_utilization", self.sw_utilization)
@@ -279,8 +326,12 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "  latency   mean {} / p50 {} / p99 {}",
-            self.latency_mean, self.latency_p50, self.latency_p99
+            "  latency   mean {} / p50 {} / p90 {} / p99 {} / p99.9 {}",
+            self.latency_mean,
+            self.latency_p50,
+            self.latency_p90,
+            self.latency_p99,
+            self.latency_p999
         )?;
         write!(
             f,
@@ -382,7 +433,35 @@ mod tests {
         assert_eq!(s.completed, 0);
         assert_eq!(s.latency_p99, SimTime::ZERO);
         assert_eq!(s.throughput_per_s, 0.0);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 0);
         // JSON must render without panicking even when empty.
         assert!(s.to_json().render().contains("\"completed\":0"));
+    }
+
+    #[test]
+    fn snapshot_exports_the_full_latency_distribution() {
+        let mut m = Metrics::new();
+        for i in 1..=1000u64 {
+            m.record_item(SimTime::from_us(i), false);
+        }
+        let s = m.snapshot(SimTime::from_ms(10));
+        // Order and tails of the percentile ladder.
+        assert!(s.latency_p50 <= s.latency_p90);
+        assert!(s.latency_p90 <= s.latency_p99);
+        assert!(s.latency_p99 <= s.latency_p999);
+        assert!(s.latency_p999 <= s.latency_max);
+        assert_eq!(s.latency_max, SimTime::from_us(1000));
+        assert!(s.latency_p999 >= SimTime::from_us(998));
+        // Every sample lands in exactly one bucket (the max folds into
+        // the last one), and a uniform series spreads evenly.
+        assert_eq!(s.latency_buckets.len(), LATENCY_BUCKETS);
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 1000);
+        assert!(s.latency_buckets.iter().all(|&c| c > 0));
+        // The JSON export carries the whole distribution.
+        let json = s.to_json().render();
+        assert!(json.contains("\"latency_p90_us\""));
+        assert!(json.contains("\"latency_p999_us\""));
+        assert!(json.contains("\"latency_histogram\""));
+        assert!(json.contains("\"buckets\""));
     }
 }

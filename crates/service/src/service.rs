@@ -197,6 +197,11 @@ impl Service {
         &self.cost
     }
 
+    /// Which of the paper's two systems this service simulates.
+    pub fn kind(&self) -> SystemKind {
+        self.config.kind
+    }
+
     /// The module manager (reconfiguration counters, resident module).
     pub fn manager(&self) -> &ModuleManager {
         &self.manager
@@ -221,6 +226,22 @@ impl Service {
         &mut self,
         schedule: &[(SimTime, Request)],
     ) -> Result<MetricsSnapshot, ServiceError> {
+        let origin = self.machine.now();
+        let window = self.process_window(schedule)?;
+        let snap = window.snapshot(self.machine.now() - origin);
+        self.lifetime.absorb(&window);
+        Ok(snap)
+    }
+
+    /// Like [`Service::process`], but returns the raw window accumulator
+    /// instead of a folded snapshot — the hook a multi-shard front-end
+    /// needs to merge windows across machines (raw latency series merge;
+    /// percentiles do not). The caller owns the window: it is *not*
+    /// absorbed into [`Service::lifetime`].
+    pub fn process_window(
+        &mut self,
+        schedule: &[(SimTime, Request)],
+    ) -> Result<Metrics, ServiceError> {
         // An unsorted schedule would silently reorder admissions (the
         // arrival scan assumes monotone times), so reject it outright
         // rather than only in debug builds.
@@ -245,10 +266,7 @@ impl Service {
                 None => self.machine.idle_until(origin + schedule[next].0),
             }
         }
-        let window = std::mem::take(&mut self.metrics);
-        let snap = window.snapshot(self.machine.now() - origin);
-        self.lifetime.absorb(&window);
-        Ok(snap)
+        Ok(std::mem::take(&mut self.metrics))
     }
 
     /// Metrics over the service's whole life (every completed window plus

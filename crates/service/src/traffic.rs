@@ -45,31 +45,81 @@ impl Default for TrafficConfig {
 
 impl TrafficConfig {
     /// Generates the arrival schedule, sorted by arrival time.
+    ///
+    /// Thin wrapper over [`TrafficConfig::stream`]: both paths draw from
+    /// the same RNG sequence, so equal seeds give byte-identical traffic
+    /// whether it is materialised or consumed lazily.
     pub fn generate(&self) -> Vec<(SimTime, Request)> {
-        let kernels: &[Kernel] = if self.kernels.is_empty() {
-            &Kernel::ALL
+        self.stream().collect()
+    }
+
+    /// Lazily yields the arrival schedule, sorted by arrival time,
+    /// without ever materialising it — the admission path for workloads
+    /// too large to hold in memory.
+    pub fn stream(&self) -> TrafficStream {
+        let kernels = if self.kernels.is_empty() {
+            Kernel::ALL.to_vec()
         } else {
-            &self.kernels
+            self.kernels.clone()
         };
-        let mut rng = SplitMix64::new(self.seed);
-        let mut out = Vec::with_capacity(self.requests);
-        let mut t = SimTime::ZERO;
-        let mut prev = kernels[0];
-        for i in 0..self.requests {
-            t += SimTime::from_ps(rng.below(2 * self.mean_gap.as_ps().max(1) + 1));
-            let kernel = if i > 0 && rng.chance(self.burst_percent, 100) {
-                prev
-            } else {
-                kernels[rng.below(kernels.len() as u64) as usize]
-            };
-            prev = kernel;
-            let span = (self.max_payload - self.min_payload) as u64;
-            let payload = self.min_payload + rng.below(span + 1) as usize;
-            out.push((t, Request::synthetic(kernel, payload, &mut rng)));
+        let prev = kernels[0];
+        TrafficStream {
+            rng: SplitMix64::new(self.seed),
+            kernels,
+            remaining: self.requests,
+            emitted: 0,
+            t: SimTime::ZERO,
+            prev,
+            mean_gap: self.mean_gap,
+            burst_percent: self.burst_percent,
+            min_payload: self.min_payload,
+            max_payload: self.max_payload,
         }
-        out
     }
 }
+
+/// Lazy arrival stream produced by [`TrafficConfig::stream`].
+#[derive(Debug, Clone)]
+pub struct TrafficStream {
+    rng: SplitMix64,
+    kernels: Vec<Kernel>,
+    remaining: usize,
+    emitted: usize,
+    t: SimTime,
+    prev: Kernel,
+    mean_gap: SimTime,
+    burst_percent: u64,
+    min_payload: usize,
+    max_payload: usize,
+}
+
+impl Iterator for TrafficStream {
+    type Item = (SimTime, Request);
+
+    fn next(&mut self) -> Option<(SimTime, Request)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += SimTime::from_ps(self.rng.below(2 * self.mean_gap.as_ps().max(1) + 1));
+        let kernel = if self.emitted > 0 && self.rng.chance(self.burst_percent, 100) {
+            self.prev
+        } else {
+            self.kernels[self.rng.below(self.kernels.len() as u64) as usize]
+        };
+        self.emitted += 1;
+        self.prev = kernel;
+        let span = (self.max_payload - self.min_payload) as u64;
+        let payload = self.min_payload + self.rng.below(span + 1) as usize;
+        Some((self.t, Request::synthetic(kernel, payload, &mut self.rng)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TrafficStream {}
 
 #[cfg(test)]
 mod tests {
@@ -90,6 +140,26 @@ mod tests {
             assert_eq!(x.1.payload_bytes(), y.1.payload_bytes());
         }
         assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn stream_and_generate_are_byte_identical() {
+        let cfg = TrafficConfig {
+            requests: 128,
+            burst_percent: 60,
+            ..TrafficConfig::default()
+        };
+        let eager = cfg.generate();
+        let stream = cfg.stream();
+        assert_eq!(stream.len(), 128, "exact size hint");
+        let lazy: Vec<_> = stream.collect();
+        assert_eq!(eager.len(), lazy.len());
+        for ((ta, ra), (tb, rb)) in eager.iter().zip(&lazy) {
+            assert_eq!(ta, tb);
+            assert_eq!(ra.kernel(), rb.kernel());
+            assert_eq!(ra.payload_bytes(), rb.payload_bytes());
+            assert_eq!(ra.reference(), rb.reference(), "payload contents match");
+        }
     }
 
     #[test]

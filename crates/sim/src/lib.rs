@@ -24,5 +24,5 @@ pub use clock::ClockDomain;
 pub use events::{EventQueue, Scheduled};
 pub use json::Json;
 pub use rng::SplitMix64;
-pub use stats::OnlineStats;
+pub use stats::{Histogram, OnlineStats};
 pub use time::SimTime;

@@ -17,11 +17,13 @@
 //! * [`rtr`] — the run-time reconfiguration framework (the paper's core)
 //! * [`apps`] — the paper's six evaluation workloads
 //! * [`service`] — the request-driven reconfiguration scheduler
+//! * [`cluster`] — the sharded multi-machine service front-end
 
 pub use coreconnect_sim as coreconnect;
 pub use dock;
 pub use ppc405_sim as ppc;
 pub use rtr_apps as apps;
+pub use rtr_cluster as cluster;
 pub use rtr_core as rtr;
 pub use rtr_service as service;
 pub use vp2_bitstream as bitstream;
