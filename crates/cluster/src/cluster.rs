@@ -82,6 +82,10 @@ pub struct Cluster {
     shards: Vec<Shard>,
     router: Router,
     flush_depth: usize,
+    /// Requests currently resident across all admission buffers, kept
+    /// incrementally (+1 on admit, −buffered on flush) so tracking the
+    /// peak costs O(1) per request instead of a sum over every shard.
+    resident: usize,
     peak_buffered: usize,
     admitted: u64,
 }
@@ -116,6 +120,7 @@ impl Cluster {
             shards,
             router: Router::new(config.policy),
             flush_depth: config.flush_depth,
+            resident: 0,
             peak_buffered: 0,
             admitted: 0,
         }
@@ -148,9 +153,10 @@ impl Cluster {
         let id = self.router.pick(&self.shards, request.kernel());
         self.shards[id].admit(arrival, request);
         self.admitted += 1;
-        let resident: usize = self.shards.iter().map(Shard::buffered).sum();
-        self.peak_buffered = self.peak_buffered.max(resident);
+        self.resident += 1;
+        self.peak_buffered = self.peak_buffered.max(self.resident);
         if self.shards[id].buffered() >= self.flush_depth {
+            self.resident -= self.shards[id].buffered();
             self.shards[id].flush();
         }
         id
@@ -159,6 +165,7 @@ impl Cluster {
     /// Flushes every shard's buffer into its machine.
     pub fn flush_all(&mut self) {
         for shard in &mut self.shards {
+            self.resident -= shard.buffered();
             shard.flush();
         }
     }

@@ -114,7 +114,15 @@ impl Router {
             }
             RoutePolicy::LeastLoaded => {
                 let id = least_loaded(shards, &admissible);
-                self.stats.base += 1;
+                // If the unrestricted pick is a quarantined shard, this
+                // request was diverted by the quarantine — count it as
+                // shed, not as a plain load-estimate placement. (With no
+                // healthy shard at all nothing is diverted anywhere.)
+                if any_healthy && !healthy(&shards[least_loaded(shards, &|_| true)]) {
+                    self.stats.shed += 1;
+                } else {
+                    self.stats.base += 1;
+                }
                 id
             }
             RoutePolicy::KernelAffinity => {
@@ -138,6 +146,13 @@ impl Router {
                 // home kernels — that spreads first-seen kernels instead
                 // of piling them onto shard 0.
                 let homes = self.homes_per_shard(shards.len());
+                // The holder this kernel would adopt were no quarantine
+                // in play — the yardstick for counting diversions.
+                let unrestricted_holder = shards
+                    .iter()
+                    .filter(|s| s.holds(kernel))
+                    .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
+                    .map(Shard::id);
                 let adopted = shards
                     .iter()
                     .filter(|s| admissible(s) && s.holds(kernel))
@@ -145,11 +160,18 @@ impl Router {
                     .map(Shard::id);
                 let id = match adopted {
                     Some(id) => {
-                        self.stats.affinity_hits += 1;
+                        // Quarantine may have pushed the kernel off the
+                        // holder it would otherwise have adopted.
+                        if unrestricted_holder == Some(id) {
+                            self.stats.affinity_hits += 1;
+                        } else {
+                            self.stats.shed += 1;
+                        }
                         id
                     }
-                    // First sight of a kernel nobody holds: the emptiest
-                    // (fewest homes, then least-loaded) shard takes it.
+                    // First sight of a kernel no admissible shard holds:
+                    // the emptiest (fewest homes, then least-loaded)
+                    // shard takes it.
                     None => {
                         let id = shards
                             .iter()
@@ -157,7 +179,19 @@ impl Router {
                             .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
                             .expect("at least one admissible shard")
                             .id();
-                        self.stats.base += 1;
+                        let emptiest_unrestricted = shards
+                            .iter()
+                            .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
+                            .expect("at least one shard");
+                        // Shed if a quarantined holder existed, or the
+                        // emptiest shard was itself quarantined away.
+                        if unrestricted_holder.is_some()
+                            || (any_healthy && !healthy(emptiest_unrestricted))
+                        {
+                            self.stats.shed += 1;
+                        } else {
+                            self.stats.base += 1;
+                        }
                         id
                     }
                 };

@@ -105,23 +105,27 @@ impl Shard {
     }
 
     /// Flushes the buffer into the service as one open-loop schedule and
-    /// merges the window metrics. Arrivals earlier than the shard's
-    /// machine clock (it was busy) are served immediately; queueing shows
-    /// up as latency, exactly as on a single machine.
+    /// merges the window metrics. Stream time is mapped onto the machine
+    /// clock via the shard's boot origin (stream instant 0 is the moment
+    /// the shard finished booting), so open-loop pacing gaps survive the
+    /// flush: the machine idles between arrivals it has kept up with.
+    /// Arrivals the machine has already run past (it was busy, or they
+    /// sat in the admission buffer) are served immediately, and the wait
+    /// shows up as latency, exactly as on a single machine.
     pub(crate) fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
-        let origin = self.service.now();
+        let origin = self.origin;
         let schedule: Vec<(SimTime, Request)> = self
             .buffer
             .drain(..)
-            .map(|(arrival, request)| (arrival.saturating_sub(origin), request))
+            .map(|(arrival, request)| (origin + arrival, request))
             .collect();
         self.buffered_cost = SimTime::ZERO;
         let window = self
             .service
-            .process_window(&schedule)
+            .process_window_at(&schedule)
             .expect("stream arrivals are monotone");
         self.window.absorb(&window);
     }

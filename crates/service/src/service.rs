@@ -242,19 +242,42 @@ impl Service {
         &mut self,
         schedule: &[(SimTime, Request)],
     ) -> Result<Metrics, ServiceError> {
+        self.run_window(self.machine.now(), schedule)
+    }
+
+    /// Like [`Service::process_window`], but arrival times are absolute
+    /// machine-clock instants rather than offsets from the call. Arrivals
+    /// may lie in the past (a front-end buffered them while this machine
+    /// was busy); such requests are admitted immediately, and because the
+    /// true arrival is what latency is measured from, the time they spent
+    /// waiting outside the machine counts as queueing delay.
+    pub fn process_window_at(
+        &mut self,
+        schedule: &[(SimTime, Request)],
+    ) -> Result<Metrics, ServiceError> {
+        self.run_window(SimTime::ZERO, schedule)
+    }
+
+    /// Shared window loop: entry arrival is `base + offset`, with `base`
+    /// the call instant for the relative path and zero for the absolute
+    /// one.
+    fn run_window(
+        &mut self,
+        base: SimTime,
+        schedule: &[(SimTime, Request)],
+    ) -> Result<Metrics, ServiceError> {
         // An unsorted schedule would silently reorder admissions (the
         // arrival scan assumes monotone times), so reject it outright
         // rather than only in debug builds.
         if let Some(i) = (1..schedule.len()).find(|&i| schedule[i].0 < schedule[i - 1].0) {
             return Err(ServiceError::UnsortedSchedule { index: i });
         }
-        let origin = self.machine.now();
         let mut next = 0;
         while next < schedule.len() || !self.queues.is_empty() {
             let now = self.machine.now();
-            while next < schedule.len() && origin + schedule[next].0 <= now {
-                let (rel, req) = &schedule[next];
-                self.admit(origin + *rel, req.clone());
+            while next < schedule.len() && base + schedule[next].0 <= now {
+                let (arrival, req) = &schedule[next];
+                self.admit(base + *arrival, req.clone());
                 next += 1;
             }
             match self.queues.next_kernel() {
@@ -263,7 +286,7 @@ impl Service {
                     self.dispatch(kernel, batch);
                 }
                 // Nothing queued: idle forward to the next arrival.
-                None => self.machine.idle_until(origin + schedule[next].0),
+                None => self.machine.idle_until(base + schedule[next].0),
             }
         }
         Ok(std::mem::take(&mut self.metrics))

@@ -124,6 +124,131 @@ fn quarantined_shard_sheds_hardware_work_until_cooldown_expires() {
 }
 
 #[test]
+fn least_loaded_counts_quarantine_diversions_as_shed() {
+    // Shard 0's configuration plane corrupts every frame; two failed
+    // hardware loads quarantine pattern matching there. Least-loaded
+    // routing must then divert the kernel's work to shard 1 *and record
+    // the diversions as shed* whenever shard 0 — idle, with the older
+    // machine clock — is the shard the load estimate would have picked.
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards: vec![
+            ShardSpec::with_faults(SystemKind::Bit32, 1.0, 0xBAD),
+            ShardSpec::new(SystemKind::Bit32),
+        ],
+        kernels: vec![Kernel::PatMatch],
+        flush_depth: 1,
+        quarantine_cooldown: SimTime::from_ms(500),
+        ..ClusterConfig::uniform(SystemKind::Bit32, 2, RoutePolicy::LeastLoaded)
+    });
+    let mut rng = SplitMix64::new(13);
+    let mut t = SimTime::ZERO;
+    // Wide arrival spacing: each flush drags the serving shard's clock
+    // up to the arrival, so the load estimate alternates between the
+    // shards instead of avoiding the faulty one (whose degraded loads
+    // and software fallbacks leave its clock milliseconds ahead).
+    let mut tries = 0;
+    while !cluster.shards()[0].sheds(Kernel::PatMatch) {
+        tries += 1;
+        assert!(tries <= 16, "shard 0 never quarantined pattern matching");
+        t += SimTime::from_ms(10);
+        let req = Request::synthetic(Kernel::PatMatch, 1024, &mut rng);
+        cluster.admit(t, req);
+    }
+    let before = cluster.snapshot().routing;
+    // Shard 0's failed loads and software fallbacks left its clock far
+    // ahead, so at first shard 1 is genuinely the least-loaded pick and
+    // the placements count as base — nothing was diverted. Once shard
+    // 1's clock overtakes the frozen clock of the idle quarantined
+    // shard, shard 0 becomes the pick the load estimate would make, and
+    // every further placement must be recorded as shed.
+    for _ in 0..32 {
+        t += SimTime::from_ms(10);
+        let req = Request::synthetic(Kernel::PatMatch, 1024, &mut rng);
+        let placed = cluster.admit(t, req);
+        assert_eq!(placed, 1, "quarantined shard must not receive new work");
+    }
+    let after = cluster.snapshot().routing;
+    assert!(
+        after.base > before.base,
+        "placements shard 1 would have won anyway are base: \
+         before {before:?}, after {after:?}"
+    );
+    assert!(
+        after.shed >= before.shed + 5,
+        "diversions off the quarantined least-loaded pick must be shed: \
+         before {before:?}, after {after:?}"
+    );
+}
+
+#[test]
+fn flush_maps_stream_time_onto_the_machine_clock() {
+    // Sixteen cheap requests, one every millisecond, all buffered until a
+    // single final flush. The machine clock starts well past zero (boot,
+    // calibration, warm-up), so if the flush rebased arrivals against
+    // "now" instead of the shard's boot origin, every arrival would clamp
+    // to the flush instant: the machine would never idle between requests
+    // and the run would finish in a fraction of the stream's 15 ms span.
+    let gap = SimTime::from_ms(1);
+    let mut cluster = Cluster::new(ClusterConfig {
+        kernels: vec![Kernel::Jenkins],
+        flush_depth: 64,
+        ..ClusterConfig::uniform(SystemKind::Bit32, 1, RoutePolicy::RoundRobin)
+    });
+    let mut rng = SplitMix64::new(7);
+    for i in 0..16u64 {
+        let req = Request::synthetic(Kernel::Jenkins, 256, &mut rng);
+        cluster.admit(SimTime::from_ms(i), req);
+    }
+    let snap = cluster.run(std::iter::empty());
+    assert_eq!(snap.total.completed, 16);
+    assert!(
+        snap.makespan >= SimTime::from_ms(15),
+        "open-loop pacing erased: 1 ms arrival gaps compressed into a {} makespan",
+        snap.makespan
+    );
+    // The machine keeps up with this sparse stream, so a typical request
+    // is served on arrival and its latency is the bare service time, far
+    // below the gap. (The median, not the max: the first hardware run
+    // after boot carries a one-off multi-millisecond setup cost whose
+    // backlog takes a few arrivals to drain.) Were latency measured from
+    // the flush instant instead of the true arrival, every request would
+    // appear to queue behind all of its predecessors and the median
+    // would blow past the gap.
+    assert!(
+        snap.total.latency_p50 < gap,
+        "median latency {} measured from the flush instant, not the true arrival",
+        snap.total.latency_p50
+    );
+}
+
+#[test]
+fn latency_includes_admission_buffer_wait() {
+    // Sixteen requests all arriving at stream time zero on one shard,
+    // flushed four at a time. Requests in later flush windows spend most
+    // of the run waiting — first in the admission buffer, then behind a
+    // busy machine — and all of that wait must show up as latency: the
+    // last completion's latency is the whole makespan. Measuring from
+    // each flush instant instead would silently drop the buffered wait.
+    let mut cluster = Cluster::new(ClusterConfig {
+        kernels: vec![Kernel::Jenkins],
+        flush_depth: 4,
+        ..ClusterConfig::uniform(SystemKind::Bit32, 1, RoutePolicy::RoundRobin)
+    });
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..16 {
+        let req = Request::synthetic(Kernel::Jenkins, 4096, &mut rng);
+        cluster.admit(SimTime::ZERO, req);
+    }
+    let snap = cluster.run(std::iter::empty());
+    assert_eq!(snap.total.completed, 16);
+    assert_eq!(
+        snap.total.latency_max, snap.makespan,
+        "the last request arrived at time zero and finished last: its \
+         latency is the makespan, unless buffered wait was dropped"
+    );
+}
+
+#[test]
 fn streaming_admission_keeps_peak_residency_bounded() {
     let traffic = TrafficConfig {
         requests: 64,
