@@ -20,4 +20,17 @@ cargo run --release --example service_traffic > /dev/null
 cargo run --release --example fault_tolerance > /dev/null
 cargo run --release --example cluster_traffic > /dev/null
 
+echo "== observability smoke run =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release -p rtr-bench --bin service_scenario -- \
+    --requests 24 --json "$obs_dir/summary.json" \
+    --trace "$obs_dir/trace.json" --profile "$obs_dir/profile.json" \
+    2> /dev/null
+# The exports must parse as JSON, the Chrome slices/arrows must balance,
+# and every shard's busy/reconfig/idle/quarantined fractions must sum
+# to 1 — trace_lint exits non-zero otherwise.
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --trace "$obs_dir/trace.json" --profile "$obs_dir/profile.json"
+
 echo "CI OK"

@@ -41,6 +41,9 @@ fn main() {
     let requests: usize = args.parsed_or("--requests", 64);
     let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
     let json_path = args.json_path();
+    // The journal covers the kernel-affinity mixed run — the pool whose
+    // time accounting the scenario's headline claim is about.
+    let tracer = args.tracer();
 
     // Experiment 1: mixed-kernel workload, 4 shards, every policy. The
     // mix makes region residency the contended resource: every shard
@@ -68,8 +71,14 @@ fn main() {
         eprintln!(
             "[cluster] mixed-kernel / {policy}: {requests} requests on {shard_count} shards..."
         );
+        let trace = if policy == RoutePolicy::KernelAffinity {
+            tracer.clone()
+        } else {
+            rtr_trace::Tracer::disabled()
+        };
         let mut cluster = Cluster::new(ClusterConfig {
             kernels: mixed_kernels.clone(),
+            trace,
             ..ClusterConfig::uniform(SystemKind::Bit64, shard_count, policy)
         });
         let snap = cluster.run(mixed.stream());
@@ -174,4 +183,5 @@ fn main() {
             .field("scaling", scaling_json),
     );
     scenario::emit("cluster", json_path.as_deref(), &summary);
+    scenario::export_trace("cluster", &args, &tracer);
 }

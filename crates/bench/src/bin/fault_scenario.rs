@@ -22,9 +22,16 @@ fn main() {
     let requests: usize = args.parsed_or("--requests", 48);
     let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
     let json_path = args.json_path();
+    // One journal across the whole sweep: run (system, rate) is journaled
+    // as shard `system × rates + rate_index`, so the trace shows the
+    // fault plane's verify/repair ladder at every corruption level.
+    let tracer = args.tracer();
 
     let mut systems = Vec::new();
-    for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+    for (sys_index, kind) in [SystemKind::Bit32, SystemKind::Bit64]
+        .into_iter()
+        .enumerate()
+    {
         let traffic = TrafficConfig {
             seed,
             requests,
@@ -38,9 +45,13 @@ fn main() {
 
         let mut sweeps = Vec::new();
         let mut clean_elapsed = None;
-        for rate in RATES {
+        for (rate_index, rate) in RATES.into_iter().enumerate() {
             eprintln!("[fault] {kind:?} / rate {rate}: {requests} requests...");
-            let mut svc = Service::new(ServiceConfig::with_faults(kind, rate, seed ^ 0xFA17));
+            let shard = (sys_index * RATES.len() + rate_index) as u32;
+            let mut svc = Service::new(ServiceConfig {
+                trace: tracer.with_shard(shard),
+                ..ServiceConfig::with_faults(kind, rate, seed ^ 0xFA17)
+            });
             let snap = svc.process(&traffic).expect("generated traffic is sorted");
             assert_eq!(snap.completed as usize, requests, "all requests served");
             assert_eq!(snap.verify_failures, 0, "responses must verify at any rate");
@@ -69,4 +80,5 @@ fn main() {
 
     let summary = Json::obj().field("fault_scenarios", Json::Arr(systems));
     scenario::emit("fault", json_path.as_deref(), &summary);
+    scenario::export_trace("fault", &args, &tracer);
 }

@@ -18,9 +18,15 @@ fn main() {
     let requests: usize = args.parsed_or("--requests", 48);
     let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
     let json_path = args.json_path();
+    // One journal across both systems: the cost-model run of system i is
+    // journaled as shard i (tracing changes no result — sim clock only).
+    let tracer = args.tracer();
 
     let mut systems = Vec::new();
-    for kind in [SystemKind::Bit32, SystemKind::Bit64] {
+    for (sys_index, kind) in [SystemKind::Bit32, SystemKind::Bit64]
+        .into_iter()
+        .enumerate()
+    {
         let traffic = TrafficConfig {
             seed,
             requests,
@@ -36,8 +42,14 @@ fn main() {
         let mut makespans = Vec::new();
         for policy in [Policy::SwOnly, Policy::CostModel] {
             eprintln!("[service] {kind:?} / {policy:?}: {requests} requests...");
+            let trace = if policy == Policy::CostModel {
+                tracer.with_shard(sys_index as u32)
+            } else {
+                rtr_trace::Tracer::disabled()
+            };
             let mut svc = Service::new(ServiceConfig {
                 policy,
+                trace,
                 ..ServiceConfig::new(kind)
             });
             let snap = svc.process(&traffic).expect("generated traffic is sorted");
@@ -64,4 +76,5 @@ fn main() {
 
     let summary = Json::obj().field("service_scenarios", Json::Arr(systems));
     scenario::emit("service", json_path.as_deref(), &summary);
+    scenario::export_trace("service", &args, &tracer);
 }

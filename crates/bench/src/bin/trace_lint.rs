@@ -1,0 +1,159 @@
+//! Validates exported observability artifacts.
+//!
+//! * `--trace t.json` — the file must parse as JSON, hold a
+//!   `traceEvents` array whose entries all carry `name`/`ph`/`ts`/
+//!   `pid`/`tid`, with `B`/`E` duration slices balanced per
+//!   `(pid, tid)` track (never dipping negative) and async `b`/`e`
+//!   arrows paired per `id`.
+//! * `--profile p.json` — the file must parse as JSON and every
+//!   shard's `busy_frac + reconfig_frac + idle_frac + quarantined_frac`
+//!   must sum to 1 (±1e-9), or to 0 for an empty makespan.
+//!
+//! Exits non-zero with one line per violation; CI runs it after the
+//! scenario smoke runs so a malformed export fails the build.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rtr_bench::scenario::ScenarioArgs;
+use vp2_sim::Json;
+
+/// Tolerance on the per-shard fraction sum.
+const EPSILON: f64 = 1e-9;
+
+fn load(path: &str, problems: &mut Vec<String>) -> Option<Json> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            problems.push(format!("{path}: cannot read: {e}"));
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(json) => Some(json),
+        Err(e) => {
+            problems.push(format!("{path}: not valid JSON: {e}"));
+            None
+        }
+    }
+}
+
+/// Checks the Chrome trace-event invariants.
+fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        problems.push(format!("{path}: no traceEvents array"));
+        return;
+    };
+    // Open-slice depth per (pid, tid); open async arrows per id.
+    let mut depth: HashMap<(i64, i64), i64> = HashMap::new();
+    let mut arrows: HashMap<String, i64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev.get("name").and_then(Json::as_str);
+        let ph = ev.get("ph").and_then(Json::as_str);
+        let ts = ev.get("ts").and_then(Json::as_f64);
+        let pid = ev.get("pid").and_then(Json::as_f64);
+        let tid = ev.get("tid").and_then(Json::as_f64);
+        let (Some(_), Some(ph), Some(_), Some(pid), Some(tid)) = (name, ph, ts, pid, tid) else {
+            problems.push(format!(
+                "{path}: event {i} is missing one of name/ph/ts/pid/tid"
+            ));
+            continue;
+        };
+        let track = (pid as i64, tid as i64);
+        match ph {
+            "B" => *depth.entry(track).or_default() += 1,
+            "E" => {
+                let d = depth.entry(track).or_default();
+                *d -= 1;
+                if *d < 0 {
+                    problems.push(format!(
+                        "{path}: event {i}: E without a matching B on track {track:?}"
+                    ));
+                    *d = 0;
+                }
+            }
+            "b" | "e" => {
+                let Some(id) = ev.get("id").and_then(Json::as_str) else {
+                    problems.push(format!("{path}: event {i}: async {ph} without an id"));
+                    continue;
+                };
+                *arrows.entry(id.to_string()).or_default() += if ph == "b" { 1 } else { -1 };
+            }
+            _ => {}
+        }
+    }
+    for (track, d) in depth {
+        if d != 0 {
+            problems.push(format!(
+                "{path}: track {track:?} ends with {d} unclosed B slice(s)"
+            ));
+        }
+    }
+    for (id, d) in arrows {
+        if d != 0 {
+            problems.push(format!("{path}: async arrow {id} is unbalanced ({d:+})"));
+        }
+    }
+    eprintln!("[lint] {path}: {} events", events.len());
+}
+
+/// Checks that each shard's fractions partition its makespan.
+fn lint_profile(path: &str, doc: &Json, problems: &mut Vec<String>) {
+    let Some(shards) = doc.get("shards").and_then(Json::as_arr) else {
+        problems.push(format!("{path}: no shards array"));
+        return;
+    };
+    for (i, shard) in shards.iter().enumerate() {
+        let frac = |key: &str| shard.get(key).and_then(Json::as_f64);
+        let parts = [
+            frac("busy_frac"),
+            frac("reconfig_frac"),
+            frac("idle_frac"),
+            frac("quarantined_frac"),
+        ];
+        if parts.iter().any(Option::is_none) {
+            problems.push(format!("{path}: shard {i} is missing a *_frac field"));
+            continue;
+        }
+        let sum: f64 = parts.iter().map(|p| p.unwrap()).sum();
+        let makespan = frac("makespan_us").unwrap_or(0.0);
+        let expected = if makespan == 0.0 { 0.0 } else { 1.0 };
+        if (sum - expected).abs() > EPSILON {
+            problems.push(format!(
+                "{path}: shard {i} fractions sum to {sum} (expected {expected})"
+            ));
+        }
+    }
+    eprintln!("[lint] {path}: {} shard(s)", shards.len());
+}
+
+fn main() -> ExitCode {
+    let args = ScenarioArgs::parse();
+    let mut problems = Vec::new();
+    let mut checked = 0;
+    if let Some(path) = args.trace_path() {
+        checked += 1;
+        if let Some(doc) = load(&path, &mut problems) {
+            lint_trace(&path, &doc, &mut problems);
+        }
+    }
+    if let Some(path) = args.profile_path() {
+        checked += 1;
+        if let Some(doc) = load(&path, &mut problems) {
+            lint_profile(&path, &doc, &mut problems);
+        }
+    }
+    if checked == 0 {
+        eprintln!("usage: trace_lint [--trace chrome.json] [--profile profile.json]");
+        return ExitCode::from(2);
+    }
+    if problems.is_empty() {
+        eprintln!("[lint] ok");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("[lint] FAIL {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

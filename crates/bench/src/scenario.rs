@@ -8,6 +8,7 @@
 use std::io::Write as _;
 use std::str::FromStr;
 
+use rtr_trace::{chrome_trace, Profiler, Tracer};
 use vp2_sim::Json;
 
 /// Parsed command-line arguments of a scenario binary.
@@ -44,6 +45,27 @@ impl ScenarioArgs {
     pub fn json_path(&self) -> Option<String> {
         self.value_of("--json")
     }
+
+    /// The `--trace` output path (Chrome trace-event JSON), if requested.
+    pub fn trace_path(&self) -> Option<String> {
+        self.value_of("--trace")
+    }
+
+    /// The `--profile` output path (makespan-attribution JSON), if
+    /// requested.
+    pub fn profile_path(&self) -> Option<String> {
+        self.value_of("--profile")
+    }
+
+    /// A tracer for the scenario's designated run: enabled when `--trace`
+    /// or `--profile` was given, the free no-op handle otherwise.
+    pub fn tracer(&self) -> Tracer {
+        if self.trace_path().is_some() || self.profile_path().is_some() {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
+    }
 }
 
 impl Default for ScenarioArgs {
@@ -64,6 +86,31 @@ pub fn emit(tag: &str, json_path: Option<&str>, summary: &Json) {
             eprintln!("[{tag}] wrote {path}");
         }
         None => print!("{rendered}"),
+    }
+}
+
+/// Exports the journal the scenario's traced run accumulated: the Chrome
+/// trace to `--trace`, the makespan attribution to `--profile` (with the
+/// human-readable table echoed to stderr). No-op on a disabled tracer.
+pub fn export_trace(tag: &str, args: &ScenarioArgs, tracer: &Tracer) {
+    if !tracer.on() {
+        return;
+    }
+    if let Some(path) = args.trace_path() {
+        let rendered = chrome_trace(&tracer.events()).render();
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "[{tag}] wrote {path} ({} events, {} dropped)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
+    if let Some(path) = args.profile_path() {
+        let report = Profiler.fold(tracer);
+        std::fs::write(&path, report.to_json().render_pretty())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[{tag}] wrote {path}");
+        eprint!("{report}");
     }
 }
 

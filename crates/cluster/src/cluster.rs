@@ -3,6 +3,7 @@
 use rtr_apps::request::{Kernel, Request};
 use rtr_core::SystemKind;
 use rtr_service::{Service, ServiceConfig};
+use rtr_trace::Tracer;
 use vp2_sim::SimTime;
 
 use crate::route::{RoutePolicy, Router};
@@ -61,6 +62,9 @@ pub struct ClusterConfig {
     /// How long a kernel stays quarantined from a shard's hardware path
     /// after repeated load failures.
     pub quarantine_cooldown: SimTime,
+    /// Trace journal handle, fanned out to every shard (each shard's
+    /// events carry its id). Disabled by default.
+    pub trace: Tracer,
 }
 
 impl ClusterConfig {
@@ -73,6 +77,7 @@ impl ClusterConfig {
             flush_depth: 8,
             verify: true,
             quarantine_cooldown: SimTime::from_ms(5),
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -111,6 +116,7 @@ impl Cluster {
                     verify: config.verify,
                     kernels: config.kernels.clone(),
                     quarantine_cooldown: config.quarantine_cooldown,
+                    trace: config.trace.with_shard(id as u32),
                     ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
                 });
                 Shard::new(id, service)

@@ -9,6 +9,7 @@
 
 use rtr_apps::request::{Kernel, Request};
 use rtr_service::{Metrics, Service};
+use rtr_trace::EventKind;
 use vp2_sim::SimTime;
 
 /// One machine of the cluster: a service plus its admission buffer.
@@ -100,6 +101,21 @@ impl Shard {
             None => sw,
         };
         self.buffered_cost += item;
+        let tracer = self.service.tracer();
+        if tracer.on() {
+            // The id this request will receive when the buffer flushes
+            // into the service's queues (admission ids are monotone).
+            let id = self.service.submitted() + self.buffer.len() as u64;
+            let machine_arrival = self.origin + arrival;
+            tracer.emit(
+                machine_arrival,
+                EventKind::RequestBuffer {
+                    id,
+                    kernel: kernel.module_name(),
+                    arrival: machine_arrival,
+                },
+            );
+        }
         self.buffer.push((arrival, request));
         self.admitted += 1;
     }
@@ -123,6 +139,15 @@ impl Shard {
             .map(|(arrival, request)| (origin + arrival, request))
             .collect();
         self.buffered_cost = SimTime::ZERO;
+        let tracer = self.service.tracer();
+        if tracer.on() {
+            tracer.emit(
+                self.service.now(),
+                EventKind::BufferFlush {
+                    count: schedule.len() as u32,
+                },
+            );
+        }
         let window = self
             .service
             .process_window_at(&schedule)

@@ -16,6 +16,7 @@ use coreconnect_sim::{map, Bridge, Bus, BusTiming, HwIcap, InterruptController};
 use dock::{OpbDock, PlbDock};
 use ppc405_sim::mem::{MemoryPort, LINE_BYTES};
 use ppc405_sim::{Cpu, CpuConfig, Program, StepOutcome};
+use rtr_trace::{EventKind, Tracer};
 use vp2_fabric::{ConfigMemory, Device, DynamicRegion};
 use vp2_sim::SimTime;
 
@@ -113,6 +114,8 @@ pub struct Platform {
     dma_run: Option<DmaRun>,
     /// DMA CSR scratch registers (src, dst, len).
     csr_scratch: (u32, u32, u32),
+    /// Trace journal handle (disabled by default).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Platform {
@@ -176,7 +179,15 @@ impl Platform {
             jtag: JtagPpc::new(),
             dma_run: None,
             csr_scratch: (0, 0, 0),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer handle on the platform and its HWICAP. DMA
+    /// programming/completion and ICAP bursts then land in the journal.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.icap.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     // ------------------------------------------------------------------
@@ -296,6 +307,14 @@ impl Platform {
             DmaDirection::DockToMem => d.dma.program(dst, len, dir),
         }
         d.fifo_capture = interleaved;
+        self.tracer.emit(
+            now,
+            EventKind::DmaProgram {
+                bytes: len,
+                to_dock: dir == DmaDirection::MemToDock,
+                interleaved,
+            },
+        );
         self.dma_run = Some(DmaRun {
             interleaved,
             drain_cursor: dst,
@@ -453,6 +472,13 @@ impl Platform {
             return false;
         };
         dck.raise_irq();
+        if self.tracer.on() {
+            let moved = dck.dma.bytes_moved;
+            self.tracer.emit(
+                self.plb.busy_until(),
+                EventKind::DmaComplete { bytes_moved: moved },
+            );
+        }
         self.intc.raise(map::IRQ_DOCK_DMA);
         self.dma_run = None;
         false
@@ -831,6 +857,11 @@ impl Machine {
     /// point the whole machine has reached).
     pub fn now(&self) -> SimTime {
         self.cpu.now()
+    }
+
+    /// Installs a tracer on the platform (see [`Platform::set_tracer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.platform.set_tracer(tracer);
     }
 
     /// One CPU instruction plus platform catch-up and interrupt sampling.

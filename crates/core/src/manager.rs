@@ -21,6 +21,7 @@ use crate::system::{bitlinker_for, SystemKind};
 use coreconnect_sim::map;
 use dock::DynamicModule;
 use ppc405_sim::mem::MemoryPort;
+use rtr_trace::{EventKind, Tracer};
 use std::collections::HashMap;
 use vp2_bitstream::{AssembleError, BitLinker, Bitstream, Component};
 use vp2_fabric::ConfigMemory;
@@ -153,6 +154,8 @@ pub struct ModuleManager {
     pub total_reconfig_time: SimTime,
     /// Number of reconfigurations performed.
     pub reconfigurations: u64,
+    /// Trace journal handle (disabled by default).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for ModuleManager {
@@ -176,7 +179,14 @@ impl ModuleManager {
             retry: RetryPolicy::default(),
             total_reconfig_time: SimTime::ZERO,
             reconfigurations: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer handle; loads then journal the whole retry
+    /// ladder (swap begin/end, verify failures, repair passes).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Registers a module, eagerly linking its configuration (so placement
@@ -278,6 +288,14 @@ impl ModuleManager {
         }
 
         let start = m.cpu.now();
+        if self.tracer.on() {
+            self.tracer.emit(
+                start,
+                EventKind::SwapBegin {
+                    module: name.to_string(),
+                },
+            );
+        }
         let mut repaired_frames = 0usize;
         let mut verify_failures = 0u64;
         let mut attempts = 0u32;
@@ -300,10 +318,23 @@ impl ModuleManager {
                 break;
             }
             verify_failures += 1;
+            self.tracer.emit(
+                m.cpu.now(),
+                EventKind::VerifyFail {
+                    frames: mismatched.len() as u32,
+                },
+            );
             for _ in 0..policy.max_repairs_per_attempt {
                 let patch = vp2_bitstream::partial_bitstream(expected, &mismatched, idcode);
+                let patched = mismatched.len();
                 feed(m, &patch)?;
-                repaired_frames += mismatched.len();
+                repaired_frames += patched;
+                self.tracer.emit(
+                    m.cpu.now(),
+                    EventKind::Repair {
+                        frames: patched as u32,
+                    },
+                );
                 mismatched = m
                     .platform
                     .config
@@ -313,7 +344,27 @@ impl ModuleManager {
                     break 'attempt;
                 }
                 verify_failures += 1;
+                self.tracer.emit(
+                    m.cpu.now(),
+                    EventKind::VerifyFail {
+                        frames: mismatched.len() as u32,
+                    },
+                );
             }
+        }
+
+        if self.tracer.on() {
+            self.tracer.emit(
+                m.cpu.now(),
+                EventKind::SwapEnd {
+                    module: name.to_string(),
+                    frames: region_frames.len() as u32,
+                    words: bs.word_count() as u32,
+                    attempts,
+                    repaired_frames: repaired_frames as u32,
+                    verified,
+                },
+            );
         }
 
         let health = self.health.entry(name.to_string()).or_default();

@@ -8,6 +8,7 @@
 //! differential ones) "have the side effect of increasing the configuration
 //! time", a trade-off one of the benches quantifies.
 
+use rtr_trace::{EventKind, Tracer};
 use vp2_bitstream::{apply_bitstream_faulty, ApplyError, ApplyReport, Bitstream, FaultPlan};
 use vp2_fabric::ConfigMemory;
 use vp2_sim::{ClockDomain, SimTime};
@@ -31,6 +32,8 @@ pub struct HwIcap {
     pub reconfigurations: u64,
     /// Optional fault injection at the FDRI → configuration-cell boundary.
     fault: Option<FaultPlan>,
+    /// Trace journal (disabled by default; commits emit burst events).
+    tracer: Tracer,
 }
 
 impl HwIcap {
@@ -45,7 +48,14 @@ impl HwIcap {
             words_shifted: 0,
             reconfigurations: 0,
             fault: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a tracer handle; commits emit [`EventKind::IcapBurst`]
+    /// (and [`EventKind::FaultHit`] when the fault plane strikes).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Installs (or clears) a fault-injection plan. Commits made while a
@@ -99,7 +109,25 @@ impl HwIcap {
         let start = self.icap_clock.next_edge(now.max(self.busy_until));
         self.busy_until = start + self.icap_clock.cycles(nwords as u64);
         self.words_shifted += nwords as u64;
-        match apply_bitstream_faulty(&bs, mem, self.idcode, self.fault.as_mut()) {
+        if self.tracer.on() {
+            self.tracer.emit(
+                start,
+                EventKind::IcapBurst {
+                    words: nwords as u32,
+                    done: self.busy_until,
+                },
+            );
+        }
+        let corrupted_before = self.fault.as_ref().map_or(0, |p| p.frames_corrupted);
+        let result = apply_bitstream_faulty(&bs, mem, self.idcode, self.fault.as_mut());
+        if self.tracer.on() {
+            let hit = self.fault.as_ref().map_or(0, |p| p.frames_corrupted) - corrupted_before;
+            if hit > 0 {
+                self.tracer
+                    .emit(start, EventKind::FaultHit { frames: hit as u32 });
+            }
+        }
+        match result {
             Ok(report) => {
                 self.error = false;
                 self.reconfigurations += 1;

@@ -40,6 +40,12 @@ impl Metrics {
         Self::default()
     }
 
+    /// Raw per-request latencies in picoseconds, in completion order
+    /// (the series [`MetricsSnapshot`] percentiles are computed from).
+    pub fn latencies_ps(&self) -> &[u64] {
+        &self.latencies_ps
+    }
+
     /// Records one completed request.
     pub fn record_item(&mut self, latency: SimTime, hw: bool) {
         self.latencies_ps.push(latency.as_ps());
@@ -425,6 +431,63 @@ mod tests {
             !clean.to_string().contains("faults"),
             "clean runs must render exactly as before"
         );
+    }
+
+    #[test]
+    fn absorb_pools_the_raw_latency_series_across_windows() {
+        // Three windows with disjoint latency ranges. Percentiles do not
+        // merge — only the raw series does — so the pooled snapshot must
+        // re-rank the union, and its p99 dominates every window's p50.
+        let ranges = [(1u64, 100u64), (101, 200), (201, 300)];
+        let mut pooled = Metrics::new();
+        let mut window_p50s = Vec::new();
+        for (lo, hi) in ranges {
+            let mut w = Metrics::new();
+            for i in lo..=hi {
+                w.record_item(SimTime::from_us(i), false);
+            }
+            window_p50s.push(w.snapshot(SimTime::from_ms(1)).latency_p50);
+            pooled.absorb(&w);
+        }
+        assert_eq!(pooled.latencies_ps().len(), 300, "every sample pooled");
+        let s = pooled.snapshot(SimTime::from_ms(3));
+        assert_eq!(s.completed, 300);
+        // Every completed request lands in exactly one histogram bucket.
+        assert_eq!(s.latency_buckets.iter().sum::<u64>(), 300);
+        for p50 in window_p50s {
+            assert!(
+                s.latency_p99 >= p50,
+                "pooled p99 {} below a window's p50 {p50}",
+                s.latency_p99
+            );
+        }
+        // The pooled median sits in the middle window, not at a window
+        // boundary — evidence the union was re-ranked, not averaged.
+        assert!(s.latency_p50 >= SimTime::from_us(101));
+        assert!(s.latency_p50 <= SimTime::from_us(200));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let mut m = Metrics::new();
+        for i in 1..=50u64 {
+            m.record_item(SimTime::from_us(i), i % 2 == 0);
+        }
+        m.record_batch(true, SimTime::from_us(40));
+        m.record_swap(SimTime::from_us(12));
+        m.record_quarantine();
+        let json = m.snapshot(SimTime::from_us(777)).to_json();
+        let reparsed = Json::parse(&json.render()).expect("snapshot JSON parses");
+        assert_eq!(reparsed, json, "compact render round-trips exactly");
+        let pretty = Json::parse(&json.render_pretty()).expect("pretty form parses");
+        assert_eq!(pretty, json, "pretty render round-trips exactly");
+        // Spot-check typed access through the parsed form.
+        assert_eq!(reparsed.get("completed").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(reparsed.get("swaps").and_then(Json::as_f64), Some(1.0));
+        let hist = reparsed.get("latency_histogram").expect("histogram");
+        let buckets = hist.get("buckets").and_then(Json::as_arr).expect("buckets");
+        let total: f64 = buckets.iter().filter_map(Json::as_f64).sum();
+        assert_eq!(total as u64, 50, "histogram survives the round trip");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use rtr_apps::request::{component_for, factory_for, Driver, Kernel, Request};
 use rtr_core::{build_system, FaultPlan, LoadOutcome, Machine, ModuleManager, SystemKind};
+use rtr_trace::{EventKind, Tracer};
 use vp2_sim::SimTime;
 
 use crate::cost::CostModel;
@@ -45,6 +46,12 @@ pub struct ServiceConfig {
     /// How long a kernel stays quarantined from the hardware path after
     /// repeated load failures.
     pub quarantine_cooldown: SimTime,
+    /// Trace journal handle. The default ([`Tracer::disabled`]) records
+    /// nothing and costs one branch per instrumentation point; an enabled
+    /// handle journals the whole request/reconfiguration lifecycle.
+    /// Tracing never touches the simulated clock or any model state, so
+    /// results are bit-identical with it on or off.
+    pub trace: Tracer,
 }
 
 impl ServiceConfig {
@@ -59,6 +66,7 @@ impl ServiceConfig {
             fault_rate: 0.0,
             fault_seed: 0x5EED_FA57,
             quarantine_cooldown: SimTime::from_ms(5),
+            trace: Tracer::disabled(),
         }
     }
 
@@ -105,6 +113,8 @@ struct Quarantine {
     strikes: u32,
     /// Quarantined until this instant, if set.
     until: Option<SimTime>,
+    /// The cooldown expired but no hardware batch has succeeded yet.
+    half_open: bool,
 }
 
 /// The scheduler and the platform it drives.
@@ -122,6 +132,7 @@ pub struct Service {
     quarantine: [Quarantine; Kernel::ALL.len()],
     boot_origin: SimTime,
     submitted: u64,
+    tracer: Tracer,
 }
 
 impl Service {
@@ -156,6 +167,11 @@ impl Service {
         }
         let mut driver = Driver::new();
         driver.preload_all(&mut machine);
+        // Install the journal before the warm-up load so boot-time
+        // reconfiguration is captured too.
+        let tracer = config.trace.clone();
+        machine.set_tracer(tracer.clone());
+        manager.set_tracer(tracer.clone());
         let mut cost = CostModel::calibrate(config.kind, &kernels);
         let mut warmup_degraded = None;
         if let Some(&first_hw) = kernels.iter().find(|&&k| hw_ready[k.index()]) {
@@ -185,6 +201,7 @@ impl Service {
             quarantine: [Quarantine::default(); Kernel::ALL.len()],
             boot_origin,
             submitted: 0,
+            tracer,
         };
         if let Some(kernel) = warmup_degraded {
             svc.strike(kernel, boot_origin);
@@ -215,6 +232,11 @@ impl Service {
     /// Requests admitted so far.
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// The service's trace handle (disabled unless one was configured).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Runs an open-loop schedule of `(arrival, request)` pairs (arrival
@@ -310,7 +332,18 @@ impl Service {
             request.kernel()
         );
         self.submitted += 1;
-        self.queues.push(arrival, request);
+        let kernel = request.kernel();
+        let id = self.queues.push(arrival, request);
+        if self.tracer.on() {
+            self.tracer.emit(
+                self.machine.now(),
+                EventKind::RequestAdmit {
+                    id,
+                    kernel: kernel.module_name(),
+                    arrival,
+                },
+            );
+        }
     }
 
     /// Runs one batch, choosing the path per policy, cost model and
@@ -334,6 +367,20 @@ impl Service {
             self.metrics.record_quarantined_batch();
         }
         let batch_start = self.machine.now();
+        if self.tracer.on() {
+            self.tracer.emit(
+                batch_start,
+                EventKind::BatchBegin {
+                    kernel: kernel.module_name(),
+                    size: batch.len() as u32,
+                    hw: use_hw,
+                },
+            );
+            for p in &batch {
+                self.tracer
+                    .emit(batch_start, EventKind::RequestDequeue { id: p.id });
+            }
+        }
         let mut struck = false;
         if use_hw && swap_needed {
             match self.manager.load(&mut self.machine, kernel.module_name()) {
@@ -388,12 +435,39 @@ impl Service {
             // queueing, the swap and the execution, not just the call.
             let latency = self.machine.now().saturating_sub(pending.arrival);
             self.metrics.record_item(latency, served_hw);
+            if self.tracer.on() {
+                self.tracer.emit(
+                    self.machine.now(),
+                    EventKind::RequestComplete {
+                        id: pending.id,
+                        kernel: kernel.module_name(),
+                        hw: served_hw,
+                    },
+                );
+            }
         }
-        self.metrics
-            .record_batch(use_hw, self.machine.now() - batch_start);
+        let batch_end = self.machine.now();
+        self.metrics.record_batch(use_hw, batch_end - batch_start);
+        if self.tracer.on() {
+            self.tracer.emit(
+                batch_end,
+                EventKind::BatchEnd {
+                    kernel: kernel.module_name(),
+                    hw: use_hw,
+                },
+            );
+        }
         if struck {
-            let now = self.machine.now();
-            self.strike(kernel, now);
+            self.strike(kernel, batch_end);
+        } else if use_hw && self.quarantine[kernel.index()].half_open {
+            // A clean hardware batch while half-open: trusted again.
+            self.quarantine[kernel.index()].half_open = false;
+            self.tracer.emit(
+                batch_end,
+                EventKind::QuarantineExit {
+                    kernel: kernel.module_name(),
+                },
+            );
         }
     }
 
@@ -406,7 +480,14 @@ impl Service {
         if q.strikes >= QUARANTINE_STRIKES {
             q.strikes = 0;
             q.until = Some(now + self.config.quarantine_cooldown);
+            q.half_open = false;
             self.metrics.record_quarantine();
+            self.tracer.emit(
+                now,
+                EventKind::QuarantineEnter {
+                    kernel: kernel.module_name(),
+                },
+            );
         }
     }
 
@@ -418,7 +499,15 @@ impl Service {
         match q.until {
             Some(until) if now < until => true,
             Some(_) => {
+                // Cooldown over: half-open until a hardware batch succeeds.
                 q.until = None;
+                q.half_open = true;
+                self.tracer.emit(
+                    now,
+                    EventKind::QuarantineHalfOpen {
+                        kernel: kernel.module_name(),
+                    },
+                );
                 false
             }
             None => false,

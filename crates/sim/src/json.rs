@@ -1,10 +1,12 @@
-//! Minimal JSON writer.
+//! Minimal JSON writer and parser.
 //!
-//! The harness serialises results (tables, service metrics) for
+//! The harness serialises results (tables, service metrics, traces) for
 //! EXPERIMENTS.md and downstream tooling. A dependency-free value builder
 //! keeps the workspace buildable offline; the emitter covers exactly the
 //! subset the harness produces: objects, arrays, strings, numbers, bools
-//! and null.
+//! and null. [`Json::parse`] is the inverse — a strict recursive-descent
+//! reader used by round-trip tests and the trace lint tool, accepting
+//! standard JSON (no comments, no trailing commas).
 
 use std::fmt::Write as _;
 
@@ -39,6 +41,58 @@ impl Json {
         };
         fields.push((key.to_string(), value.into()));
         self
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Strict: exactly one value, standard escapes, no trailing commas
+    /// or garbage after the value. Errors carry a byte offset. Anything
+    /// [`Json::render`] produces parses back to an equal value (object
+    /// key order is preserved, so round-trips are exact).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up an object field by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Renders compactly.
@@ -141,6 +195,255 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes up to the next quote or escape.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so the run is valid UTF-8.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected a digit"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected a fraction digit"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected an exponent digit"));
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        lexeme
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Json {
         Json::Bool(v)
@@ -217,5 +520,84 @@ mod tests {
         assert_eq!(Json::Arr(vec![]).render(), "[]");
         assert_eq!(Json::obj().render(), "{}");
         assert_eq!(Json::Arr(vec![]).render_pretty(), "[]\n");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null"), Ok(Json::Null));
+        assert_eq!(Json::parse(" true "), Ok(Json::Bool(true)));
+        assert_eq!(Json::parse("false"), Ok(Json::Bool(false)));
+        assert_eq!(Json::parse("42"), Ok(Json::Num(42.0)));
+        assert_eq!(Json::parse("-0.5"), Ok(Json::Num(-0.5)));
+        assert_eq!(Json::parse("1e3"), Ok(Json::Num(1000.0)));
+        assert_eq!(Json::parse("6.25E-2"), Ok(Json::Num(0.0625)));
+        assert_eq!(Json::parse("\"hi\""), Ok(Json::from("hi")));
+    }
+
+    #[test]
+    fn parses_escapes_including_surrogate_pairs() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\ndAé""#),
+            Ok(Json::from("a\"b\\c\ndAé"))
+        );
+        assert_eq!(Json::parse(r#""😀""#), Ok(Json::from("😀")));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "bad escape");
+    }
+
+    #[test]
+    fn parses_nested_structures_preserving_key_order() {
+        let v = Json::parse(r#"{"b":[1,{"x":null}],"a":true}"#).unwrap();
+        assert_eq!(
+            v,
+            Json::obj()
+                .field(
+                    "b",
+                    Json::Arr(vec![Json::Num(1.0), Json::obj().field("x", Json::Null)])
+                )
+                .field("a", true)
+        );
+        assert_eq!(v.get("a"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "[1,",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "1 2",
+            "\"unterminated",
+            "{'a':1}",
+            "[1] trailing",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+        // Errors carry an offset and render readably.
+        let e = Json::parse("[1,]").unwrap_err();
+        assert_eq!(e.offset, 3);
+        assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn round_trips_everything_the_writer_produces() {
+        let v = Json::obj()
+            .field("name", "svc \"q\"\n")
+            .field("items", vec![1u64, 2, 3])
+            .field("frac", 0.125)
+            .field("big", 1e300)
+            .field("none", Json::Null)
+            .field("flag", false)
+            .field("empty_arr", Json::Arr(vec![]))
+            .field("empty_obj", Json::obj());
+        assert_eq!(Json::parse(&v.render()), Ok(v.clone()));
+        assert_eq!(Json::parse(&v.render_pretty()), Ok(v));
     }
 }

@@ -22,7 +22,7 @@ pub mod time;
 
 pub use clock::ClockDomain;
 pub use events::{EventQueue, Scheduled};
-pub use json::Json;
+pub use json::{Json, ParseError};
 pub use rng::SplitMix64;
 pub use stats::{Histogram, OnlineStats};
 pub use time::SimTime;

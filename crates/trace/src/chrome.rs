@@ -1,0 +1,349 @@
+//! Chrome trace-event JSON export.
+//!
+//! Emits the [trace-event format] that Perfetto and `chrome://tracing`
+//! load directly: one *process* per shard with three tracks — the
+//! scheduler (batches as duration slices), the configuration plane
+//! (swaps as slices; ICAP bursts, faults, verify failures, repairs and
+//! quarantine transitions as instants) and the DMA engine — plus one
+//! async arrow per request spanning arrival → completion, so a request's
+//! wait can be read off against the swap that caused it.
+//!
+//! Timestamps are the simulated clock converted to microseconds (the
+//! format's unit); the export is a pure function of the journal, so
+//! equal seeds give byte-identical files.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use vp2_sim::Json;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Scheduler track (batches, request instants).
+const TID_SCHED: u32 = 0;
+/// Configuration-plane track (swaps, ICAP, verify/repair, quarantine).
+const TID_CONFIG: u32 = 1;
+/// DMA track.
+const TID_DMA: u32 = 2;
+
+fn base(name: &str, ph: &str, ts: f64, pid: u32, tid: u32) -> Json {
+    Json::obj()
+        .field("name", name)
+        .field("ph", ph)
+        .field("ts", ts)
+        .field("pid", pid)
+        .field("tid", tid)
+}
+
+fn meta(name: &str, pid: u32, tid: u32, value: &str) -> Json {
+    base(name, "M", 0.0, pid, tid).field("args", Json::obj().field("name", value))
+}
+
+/// Converts a journal to Chrome trace-event JSON.
+///
+/// The result is the standard object form: `{"traceEvents": [...],
+/// "displayTimeUnit": "ns"}`. Duration events (`B`/`E`) are balanced
+/// whenever the journal itself is (an unwrapped ring always is); async
+/// request arrows are keyed `req-<shard>-<id>`.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    let mut out: Vec<Json> = Vec::new();
+    let mut named_shards: Vec<u32> = Vec::new();
+    for ev in events {
+        if !named_shards.contains(&ev.shard) {
+            named_shards.push(ev.shard);
+            out.push(meta(
+                "process_name",
+                ev.shard,
+                TID_SCHED,
+                &format!("shard {}", ev.shard),
+            ));
+            out.push(meta("thread_name", ev.shard, TID_SCHED, "scheduler"));
+            out.push(meta("thread_name", ev.shard, TID_CONFIG, "config plane"));
+            out.push(meta("thread_name", ev.shard, TID_DMA, "dma"));
+        }
+        let ts = ev.time.as_us_f64();
+        let pid = ev.shard;
+        match &ev.kind {
+            EventKind::RequestBuffer { id, kernel, .. } => {
+                out.push(
+                    base("buffer", "i", ts, pid, TID_SCHED)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj().field("id", *id).field("kernel", *kernel),
+                        ),
+                );
+            }
+            EventKind::BufferFlush { count } => {
+                out.push(
+                    base("flush", "i", ts, pid, TID_SCHED)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("count", *count)),
+                );
+            }
+            EventKind::RequestAdmit {
+                id,
+                kernel,
+                arrival,
+            } => {
+                // Async arrow: opens at the *arrival* instant so the
+                // buffered wait is visible on the track.
+                out.push(
+                    base(kernel, "b", arrival.as_us_f64(), pid, TID_SCHED)
+                        .field("cat", "request")
+                        .field("id", format!("req-{pid}-{id}"))
+                        .field("args", Json::obj().field("admit_us", ts)),
+                );
+            }
+            EventKind::RequestDequeue { id } => {
+                out.push(
+                    base("dequeue", "i", ts, pid, TID_SCHED)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("id", *id)),
+                );
+            }
+            EventKind::RequestComplete { id, kernel, hw } => {
+                out.push(
+                    base(kernel, "e", ts, pid, TID_SCHED)
+                        .field("cat", "request")
+                        .field("id", format!("req-{pid}-{id}"))
+                        .field("args", Json::obj().field("hw", *hw)),
+                );
+            }
+            EventKind::BatchBegin { kernel, size, hw } => {
+                out.push(
+                    base(kernel, "B", ts, pid, TID_SCHED)
+                        .field("args", Json::obj().field("size", *size).field("hw", *hw)),
+                );
+            }
+            EventKind::BatchEnd { kernel, hw } => {
+                out.push(
+                    base(kernel, "E", ts, pid, TID_SCHED)
+                        .field("args", Json::obj().field("hw", *hw)),
+                );
+            }
+            EventKind::SwapBegin { module } => {
+                out.push(base(&format!("swap {module}"), "B", ts, pid, TID_CONFIG));
+            }
+            EventKind::SwapEnd {
+                module,
+                frames,
+                words,
+                attempts,
+                repaired_frames,
+                verified,
+            } => {
+                out.push(
+                    base(&format!("swap {module}"), "E", ts, pid, TID_CONFIG).field(
+                        "args",
+                        Json::obj()
+                            .field("frames", *frames)
+                            .field("words", *words)
+                            .field("attempts", *attempts)
+                            .field("repaired_frames", *repaired_frames)
+                            .field("verified", *verified),
+                    ),
+                );
+            }
+            EventKind::IcapBurst { words, done } => {
+                out.push(
+                    base("icap burst", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("words", *words)
+                                .field("done_us", done.as_us_f64()),
+                        ),
+                );
+            }
+            EventKind::FaultHit { frames } => {
+                out.push(
+                    base("fault hit", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("frames", *frames)),
+                );
+            }
+            EventKind::VerifyFail { frames } => {
+                out.push(
+                    base("verify fail", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("frames", *frames)),
+                );
+            }
+            EventKind::Repair { frames } => {
+                out.push(
+                    base("repair", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("frames", *frames)),
+                );
+            }
+            EventKind::DmaProgram {
+                bytes,
+                to_dock,
+                interleaved,
+            } => {
+                out.push(
+                    base("dma program", "i", ts, pid, TID_DMA)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("bytes", *bytes)
+                                .field("to_dock", *to_dock)
+                                .field("interleaved", *interleaved),
+                        ),
+                );
+            }
+            EventKind::DmaComplete { bytes_moved } => {
+                out.push(
+                    base("dma complete", "i", ts, pid, TID_DMA)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("bytes_moved", *bytes_moved)),
+                );
+            }
+            EventKind::QuarantineEnter { kernel } => {
+                out.push(
+                    base("quarantine enter", "i", ts, pid, TID_CONFIG)
+                        .field("s", "p")
+                        .field("args", Json::obj().field("kernel", *kernel)),
+                );
+            }
+            EventKind::QuarantineHalfOpen { kernel } => {
+                out.push(
+                    base("quarantine half-open", "i", ts, pid, TID_CONFIG)
+                        .field("s", "p")
+                        .field("args", Json::obj().field("kernel", *kernel)),
+                );
+            }
+            EventKind::QuarantineExit { kernel } => {
+                out.push(
+                    base("quarantine exit", "i", ts, pid, TID_CONFIG)
+                        .field("s", "p")
+                        .field("args", Json::obj().field("kernel", *kernel)),
+                );
+            }
+        }
+    }
+    Json::obj()
+        .field("traceEvents", Json::Arr(out))
+        .field("displayTimeUnit", "ns")
+}
+
+#[cfg(test)]
+mod tests {
+    use vp2_sim::SimTime;
+
+    use super::*;
+
+    fn ev(time_us: u64, shard: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_us(time_us),
+            shard,
+            kind,
+        }
+    }
+
+    fn events_of(json: &Json) -> &[Json] {
+        let Json::Obj(fields) = json else { panic!() };
+        let Json::Arr(evs) = &fields[0].1 else {
+            panic!()
+        };
+        evs
+    }
+
+    fn str_field<'j>(ev: &'j Json, key: &str) -> Option<&'j str> {
+        let Json::Obj(fields) = ev else { return None };
+        fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Json::Str(s) = v {
+                Some(s.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn slices_balance_and_arrows_pair() {
+        let journal = vec![
+            ev(
+                2,
+                1,
+                EventKind::RequestAdmit {
+                    id: 0,
+                    kernel: "k",
+                    arrival: SimTime::from_us(1),
+                },
+            ),
+            ev(
+                3,
+                1,
+                EventKind::BatchBegin {
+                    kernel: "k",
+                    size: 1,
+                    hw: true,
+                },
+            ),
+            ev(3, 1, EventKind::SwapBegin { module: "k".into() }),
+            ev(
+                7,
+                1,
+                EventKind::SwapEnd {
+                    module: "k".into(),
+                    frames: 2,
+                    words: 40,
+                    attempts: 1,
+                    repaired_frames: 0,
+                    verified: true,
+                },
+            ),
+            ev(
+                9,
+                1,
+                EventKind::RequestComplete {
+                    id: 0,
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+            ev(
+                9,
+                1,
+                EventKind::BatchEnd {
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+        ];
+        let json = chrome_trace(&journal);
+        let evs = events_of(&json);
+        let count = |ph: &str| {
+            evs.iter()
+                .filter(|e| str_field(e, "ph") == Some(ph))
+                .count()
+        };
+        assert_eq!(count("B"), count("E"), "duration slices balance");
+        assert_eq!(count("b"), count("e"), "async arrows pair");
+        assert_eq!(count("M"), 4, "process + 3 thread names");
+        // The async begin carries the arrival timestamp, not the admit.
+        let b = evs
+            .iter()
+            .find(|e| str_field(e, "ph") == Some("b"))
+            .unwrap();
+        let Json::Obj(fields) = b else { panic!() };
+        let ts = fields
+            .iter()
+            .find(|(k, _)| k == "ts")
+            .map(|(_, v)| v.clone());
+        assert_eq!(ts, Some(Json::Num(1.0)));
+        assert_eq!(str_field(b, "id"), Some("req-1-0"));
+    }
+
+    #[test]
+    fn empty_journal_exports_an_empty_track_list() {
+        let json = chrome_trace(&[]);
+        assert_eq!(
+            json.render(),
+            r#"{"traceEvents":[],"displayTimeUnit":"ns"}"#
+        );
+    }
+}

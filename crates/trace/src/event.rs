@@ -1,0 +1,152 @@
+//! Typed trace events.
+//!
+//! One event = one fact about the simulated timeline, stamped with the
+//! sim clock and the shard that produced it. Kernel and module names are
+//! carried as strings so the crate stays at the bottom of the dependency
+//! graph (everything above it — manager, service, cluster — can emit
+//! without a type cycle).
+
+use vp2_sim::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request entered a cluster admission buffer (stamped with its
+    /// machine-timeline arrival; the shard's service has not seen it yet).
+    RequestBuffer {
+        /// Request id (the service-local id it will receive on flush).
+        id: u64,
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Arrival instant on the shard's machine timeline.
+        arrival: SimTime,
+    },
+    /// An admission buffer flushed into its shard's service.
+    BufferFlush {
+        /// Requests flushed.
+        count: u32,
+    },
+    /// A request entered the service's per-kernel queues.
+    RequestAdmit {
+        /// Service-local request id.
+        id: u64,
+        /// Kernel module name.
+        kernel: &'static str,
+        /// True arrival instant (≤ the event's own timestamp; the gap is
+        /// time spent buffered or waiting for a busy machine).
+        arrival: SimTime,
+    },
+    /// A request left its queue as part of a batch.
+    RequestDequeue {
+        /// Service-local request id.
+        id: u64,
+    },
+    /// A request completed and its latency was recorded.
+    RequestComplete {
+        /// Service-local request id.
+        id: u64,
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Served by the dynamic region (false = PPC405 software path).
+        hw: bool,
+    },
+    /// A batch was dispatched.
+    BatchBegin {
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Requests in the batch.
+        size: u32,
+        /// Planned path (may degrade to software if the load fails).
+        hw: bool,
+    },
+    /// The batch finished; every member has completed.
+    BatchEnd {
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Path the batch actually ran on.
+        hw: bool,
+    },
+    /// A reconfiguration (module load) started.
+    SwapBegin {
+        /// Module being loaded.
+        module: String,
+    },
+    /// The reconfiguration finished (verified or degraded).
+    SwapEnd {
+        /// Module that was loading.
+        module: String,
+        /// Configuration frames carried by the full stream.
+        frames: u32,
+        /// Bitstream words in the full stream.
+        words: u32,
+        /// Full-stream attempts consumed.
+        attempts: u32,
+        /// Frames re-written by targeted repair passes.
+        repaired_frames: u32,
+        /// Did readback verify the region (false = degraded, dock unbound)?
+        verified: bool,
+    },
+    /// The HWICAP committed a buffered stream to the ICAP.
+    IcapBurst {
+        /// Words shifted.
+        words: u32,
+        /// Instant the shift completes.
+        done: SimTime,
+    },
+    /// The fault plane corrupted frames during an ICAP commit (silent at
+    /// commit time — only readback can see it; the journal can).
+    FaultHit {
+        /// Frames corrupted by this commit.
+        frames: u32,
+    },
+    /// Readback verification found mismatched frames.
+    VerifyFail {
+        /// Frames that differ from the expected state.
+        frames: u32,
+    },
+    /// A targeted repair pass re-wrote mismatched frames.
+    Repair {
+        /// Frames re-written.
+        frames: u32,
+    },
+    /// A DMA transfer was programmed.
+    DmaProgram {
+        /// Total bytes to move.
+        bytes: u32,
+        /// Direction: memory → dock (false = dock → memory).
+        to_dock: bool,
+        /// Block-interleaved mode (FIFO drains interleave with fills).
+        interleaved: bool,
+    },
+    /// The DMA run completed and raised its interrupt.
+    DmaComplete {
+        /// Cumulative bytes the engine has moved since boot.
+        bytes_moved: u64,
+    },
+    /// A kernel entered quarantine (barred from the hardware path).
+    QuarantineEnter {
+        /// Kernel module name.
+        kernel: &'static str,
+    },
+    /// A quarantine cooldown expired; the next batch may probe hardware.
+    QuarantineHalfOpen {
+        /// Kernel module name.
+        kernel: &'static str,
+    },
+    /// A half-open kernel passed a verified load and is trusted again.
+    QuarantineExit {
+        /// Kernel module name.
+        kernel: &'static str,
+    },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated instant the event happened.
+    pub time: SimTime,
+    /// Shard that produced it (0 for a bare service).
+    pub shard: u32,
+    /// The event.
+    pub kind: EventKind,
+}

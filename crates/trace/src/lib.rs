@@ -1,0 +1,47 @@
+//! # rtr-trace — deterministic event journal and makespan attribution
+//!
+//! The paper's whole argument is a time-accounting one: reconfiguration
+//! overhead vs amortized hardware speedup. The service and cluster
+//! layers report end-of-run aggregates; this crate records *where the
+//! time went*. A [`Tracer`] is a cheaply cloneable handle onto one
+//! bounded ring of typed [`TraceEvent`]s, threaded through every layer
+//! of the stack (admission buffers, queues, the module manager's retry
+//! ladder, the HWICAP, the DMA engine and the quarantine machinery).
+//!
+//! Design rules:
+//!
+//! * **Sim clock only.** Every event is stamped with the simulated
+//!   clock, never the wall clock, so traces are byte-identical across
+//!   runs with equal seeds.
+//! * **Zero observer effect.** Recording never touches a clock, an RNG
+//!   or any model state: a traced run produces bit-identical results to
+//!   an untraced one.
+//! * **No-op when disabled.** [`Tracer::disabled`] is a `None` handle;
+//!   the hot path pays one branch ([`Tracer::on`]) and nothing else.
+//!
+//! On top of the journal sit three consumers:
+//!
+//! * [`spans`] assembles per-request [`RequestSpan`]s, splitting each
+//!   request's latency into buffer wait → queue wait → reconfiguration
+//!   share → execution — phases that sum exactly to the latency the
+//!   service metrics recorded;
+//! * [`chrome_trace`] exports Chrome trace-event JSON (loadable in
+//!   Perfetto or `chrome://tracing`) with one process per shard and
+//!   async arrows for request lifecycles;
+//! * [`Profiler`] folds a trace into a makespan [`AttributionReport`]:
+//!   per-shard busy / reconfig / idle / quarantined fractions (summing
+//!   exactly to the shard's makespan) and per-kernel time totals.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod profile;
+pub mod span;
+pub mod tracer;
+
+pub use chrome::chrome_trace;
+pub use event::{EventKind, TraceEvent};
+pub use profile::{AttributionReport, Profiler, ShardAttribution};
+pub use span::{spans, RequestSpan};
+pub use tracer::Tracer;

@@ -1,0 +1,460 @@
+//! Makespan attribution.
+//!
+//! The profiler folds a journal into the number the paper's tables are
+//! really about: of each shard's makespan, how much went to computing
+//! (busy), to shifting configuration frames (reconfig), to waiting for
+//! work (idle), and to idling specifically while a kernel was
+//! quarantined from the hardware path. The four parts partition the
+//! makespan exactly — integer picoseconds, no rounding — so a claim
+//! like "affinity routing halves swaps" becomes "affinity cut the
+//! reconfig share from X% to Y%".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vp2_sim::{Json, SimTime};
+
+use crate::event::{EventKind, TraceEvent};
+use crate::tracer::Tracer;
+
+/// One shard's makespan partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAttribution {
+    /// Shard id.
+    pub shard: u32,
+    /// First-event → last-event window on this shard.
+    pub makespan: SimTime,
+    /// Time inside batches, excluding their swaps.
+    pub busy: SimTime,
+    /// Time shifting configuration frames (all swaps, warm-up included).
+    pub reconfig: SimTime,
+    /// Time outside any batch or swap with no quarantine active.
+    pub idle: SimTime,
+    /// Time outside any batch or swap while ≥1 kernel was quarantined.
+    pub quarantined: SimTime,
+    /// Batch + swap time per kernel (sorted by name).
+    pub per_kernel: Vec<(String, SimTime)>,
+    /// Requests completed on this shard.
+    pub requests: u64,
+    /// Reconfigurations performed on this shard.
+    pub swaps: u64,
+}
+
+impl ShardAttribution {
+    /// `part / makespan`, 0 for an empty window.
+    fn frac(&self, part: SimTime) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            part.as_ps() as f64 / self.makespan.as_ps() as f64
+        }
+    }
+
+    /// Fraction of the makespan spent computing.
+    pub fn busy_frac(&self) -> f64 {
+        self.frac(self.busy)
+    }
+
+    /// Fraction spent reconfiguring.
+    pub fn reconfig_frac(&self) -> f64 {
+        self.frac(self.reconfig)
+    }
+
+    /// Fraction spent idle (no quarantine active).
+    pub fn idle_frac(&self) -> f64 {
+        self.frac(self.idle)
+    }
+
+    /// Fraction spent idle under an active quarantine.
+    pub fn quarantined_frac(&self) -> f64 {
+        self.frac(self.quarantined)
+    }
+
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("shard", self.shard)
+            .field("makespan_us", self.makespan.as_us_f64())
+            .field("busy_us", self.busy.as_us_f64())
+            .field("reconfig_us", self.reconfig.as_us_f64())
+            .field("idle_us", self.idle.as_us_f64())
+            .field("quarantined_us", self.quarantined.as_us_f64())
+            .field("busy_frac", self.busy_frac())
+            .field("reconfig_frac", self.reconfig_frac())
+            .field("idle_frac", self.idle_frac())
+            .field("quarantined_frac", self.quarantined_frac())
+            .field("requests", self.requests)
+            .field("swaps", self.swaps)
+            .field(
+                "kernels",
+                Json::Arr(
+                    self.per_kernel
+                        .iter()
+                        .map(|(k, t)| {
+                            Json::obj()
+                                .field("kernel", k.as_str())
+                                .field("time_us", t.as_us_f64())
+                                .field("share", self.frac(*t))
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// The whole trace's attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionReport {
+    /// One partition per shard, sorted by shard id.
+    pub shards: Vec<ShardAttribution>,
+    /// Events the ring evicted before the fold (0 = the journal is
+    /// complete and the numbers are exact).
+    pub dropped_events: u64,
+}
+
+impl AttributionReport {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("dropped_events", self.dropped_events)
+            .field(
+                "shards",
+                Json::Arr(self.shards.iter().map(ShardAttribution::to_json).collect()),
+            )
+    }
+}
+
+impl fmt::Display for AttributionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "makespan attribution ({} shards)", self.shards.len())?;
+        if self.dropped_events > 0 {
+            writeln!(
+                f,
+                "  (ring dropped {} events; numbers are lower bounds)",
+                self.dropped_events
+            )?;
+        }
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: makespan {:>10} | busy {:>5.1}% | reconfig {:>5.1}% | idle {:>5.1}% | quarantined {:>5.1}% | {} reqs, {} swaps",
+                s.shard,
+                s.makespan.to_string(),
+                s.busy_frac() * 100.0,
+                s.reconfig_frac() * 100.0,
+                s.idle_frac() * 100.0,
+                s.quarantined_frac() * 100.0,
+                s.requests,
+                s.swaps
+            )?;
+            for (kernel, t) in &s.per_kernel {
+                writeln!(
+                    f,
+                    "    {kernel:<18} {:>10}  ({:.1}% of makespan)",
+                    t.to_string(),
+                    s.frac(*t) * 100.0
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Folds journals into [`AttributionReport`]s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profiler;
+
+/// Per-shard fold state.
+#[derive(Default)]
+struct ShardFold {
+    first: Option<SimTime>,
+    last: SimTime,
+    /// Chronological, non-overlapping covered intervals: batches plus
+    /// out-of-batch (warm-up) swaps.
+    covered: Vec<(SimTime, SimTime)>,
+    /// All swap intervals (for the reconfig total).
+    swaps: Vec<(SimTime, SimTime)>,
+    /// Quarantine-active intervals, per kernel, already closed.
+    quarantine: Vec<(SimTime, SimTime)>,
+    /// Open quarantines: kernel → enter time.
+    q_open: BTreeMap<&'static str, SimTime>,
+    batch_open: Option<(SimTime, &'static str)>,
+    swap_open: Option<SimTime>,
+    per_kernel: BTreeMap<String, SimTime>,
+    requests: u64,
+    swap_count: u64,
+}
+
+impl ShardFold {
+    fn touch(&mut self, t: SimTime) {
+        if self.first.is_none() {
+            self.first = Some(t);
+        }
+        self.last = self.last.max(t);
+    }
+}
+
+impl Profiler {
+    /// Folds a tracer's journal (convenience over [`Profiler::fold_events`]).
+    pub fn fold(&self, tracer: &Tracer) -> AttributionReport {
+        self.fold_events(&tracer.events(), tracer.dropped())
+    }
+
+    /// Folds an event slice into the attribution report.
+    pub fn fold_events(&self, events: &[TraceEvent], dropped: u64) -> AttributionReport {
+        let mut folds: BTreeMap<u32, ShardFold> = BTreeMap::new();
+        for ev in events {
+            let fold = folds.entry(ev.shard).or_default();
+            fold.touch(ev.time);
+            match &ev.kind {
+                EventKind::BatchBegin { kernel, .. } => {
+                    fold.batch_open = Some((ev.time, kernel));
+                }
+                EventKind::BatchEnd { .. } => {
+                    if let Some((start, kernel)) = fold.batch_open.take() {
+                        fold.covered.push((start, ev.time));
+                        *fold.per_kernel.entry(kernel.to_string()).or_default() += ev.time - start;
+                    }
+                }
+                EventKind::SwapBegin { .. } => {
+                    fold.swap_open = Some(ev.time);
+                }
+                EventKind::SwapEnd { module, .. } => {
+                    if let Some(start) = fold.swap_open.take() {
+                        fold.swaps.push((start, ev.time));
+                        fold.swap_count += 1;
+                        if fold.batch_open.is_none() {
+                            // Warm-up / boot load: covered time attributed
+                            // to the module it shifted in.
+                            fold.covered.push((start, ev.time));
+                            *fold.per_kernel.entry(module.clone()).or_default() += ev.time - start;
+                        }
+                    }
+                }
+                EventKind::RequestComplete { .. } => fold.requests += 1,
+                EventKind::QuarantineEnter { kernel } => {
+                    fold.q_open.entry(kernel).or_insert(ev.time);
+                }
+                EventKind::QuarantineHalfOpen { kernel } => {
+                    if let Some(start) = fold.q_open.remove(kernel) {
+                        fold.quarantine.push((start, ev.time));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let shards = folds
+            .into_iter()
+            .map(|(shard, mut fold)| {
+                let first = fold.first.unwrap_or(SimTime::ZERO);
+                let last = fold.last;
+                // Quarantines still open at trace end run to the end.
+                for (_, start) in std::mem::take(&mut fold.q_open) {
+                    fold.quarantine.push((start, last));
+                }
+                let makespan = last - first;
+                let reconfig: SimTime = fold.swaps.iter().map(|&(a, b)| b - a).sum();
+                let covered_total: SimTime = fold.covered.iter().map(|&(a, b)| b - a).sum();
+                let busy = covered_total.saturating_sub(reconfig);
+                // Gaps: the complement of the covered intervals in
+                // [first, last] (covered intervals are chronological and
+                // disjoint — the shard is a single machine).
+                let q = merge(&mut fold.quarantine);
+                let mut cursor = first;
+                let mut gap_total = SimTime::ZERO;
+                let mut quarantined = SimTime::ZERO;
+                for &(a, b) in &fold.covered {
+                    if a > cursor {
+                        gap_total += a - cursor;
+                        quarantined += overlap(&q, cursor, a);
+                    }
+                    cursor = cursor.max(b);
+                }
+                if last > cursor {
+                    gap_total += last - cursor;
+                    quarantined += overlap(&q, cursor, last);
+                }
+                let idle = gap_total - quarantined;
+                ShardAttribution {
+                    shard,
+                    makespan,
+                    busy,
+                    reconfig,
+                    idle,
+                    quarantined,
+                    per_kernel: fold.per_kernel.into_iter().collect(),
+                    requests: fold.requests,
+                    swaps: fold.swap_count,
+                }
+            })
+            .collect();
+        AttributionReport {
+            shards,
+            dropped_events: dropped,
+        }
+    }
+}
+
+/// Sorts and merges overlapping intervals in place, returning the merged set.
+fn merge(intervals: &mut [(SimTime, SimTime)]) -> Vec<(SimTime, SimTime)> {
+    intervals.sort_unstable();
+    let mut out: Vec<(SimTime, SimTime)> = Vec::with_capacity(intervals.len());
+    for &(a, b) in intervals.iter() {
+        match out.last_mut() {
+            Some((_, end)) if a <= *end => *end = (*end).max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// Total overlap of `[lo, hi)` with a merged interval set.
+fn overlap(merged: &[(SimTime, SimTime)], lo: SimTime, hi: SimTime) -> SimTime {
+    let mut total = SimTime::ZERO;
+    for &(a, b) in merged {
+        let s = a.max(lo);
+        let e = b.min(hi);
+        if e > s {
+            total += e - s;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_us: u64, shard: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_us(time_us),
+            shard,
+            kind,
+        }
+    }
+
+    fn swap_end(module: &str) -> EventKind {
+        EventKind::SwapEnd {
+            module: module.into(),
+            frames: 1,
+            words: 1,
+            attempts: 1,
+            repaired_frames: 0,
+            verified: true,
+        }
+    }
+
+    #[test]
+    fn partition_sums_to_makespan_exactly() {
+        let events = vec![
+            // Warm-up swap [0, 10].
+            ev(0, 0, EventKind::SwapBegin { module: "a".into() }),
+            ev(10, 0, swap_end("a")),
+            // Idle [10, 20]. Batch [20, 50] with an in-batch swap [20, 32].
+            ev(
+                20,
+                0,
+                EventKind::BatchBegin {
+                    kernel: "b",
+                    size: 2,
+                    hw: true,
+                },
+            ),
+            ev(20, 0, EventKind::SwapBegin { module: "b".into() }),
+            ev(32, 0, swap_end("b")),
+            ev(
+                40,
+                0,
+                EventKind::RequestComplete {
+                    id: 0,
+                    kernel: "b",
+                    hw: true,
+                },
+            ),
+            ev(
+                50,
+                0,
+                EventKind::RequestComplete {
+                    id: 1,
+                    kernel: "b",
+                    hw: true,
+                },
+            ),
+            ev(
+                50,
+                0,
+                EventKind::BatchEnd {
+                    kernel: "b",
+                    hw: true,
+                },
+            ),
+            // Quarantine [50, 58], trace ends at 60 while idle.
+            ev(50, 0, EventKind::QuarantineEnter { kernel: "b" }),
+            ev(58, 0, EventKind::QuarantineHalfOpen { kernel: "b" }),
+            ev(60, 0, EventKind::BufferFlush { count: 0 }),
+        ];
+        let report = Profiler.fold_events(&events, 0);
+        assert_eq!(report.shards.len(), 1);
+        let s = &report.shards[0];
+        assert_eq!(s.makespan, SimTime::from_us(60));
+        assert_eq!(s.reconfig, SimTime::from_us(10 + 12));
+        assert_eq!(s.busy, SimTime::from_us(30 - 12));
+        assert_eq!(s.quarantined, SimTime::from_us(8));
+        assert_eq!(s.idle, SimTime::from_us(60 - 22 - 18 - 8));
+        assert_eq!(
+            s.busy + s.reconfig + s.idle + s.quarantined,
+            s.makespan,
+            "the partition is exact"
+        );
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.swaps, 2);
+        // Per-kernel: warm-up swap on 'a', whole batch (incl. swap) on 'b'.
+        assert_eq!(
+            s.per_kernel,
+            vec![
+                ("a".to_string(), SimTime::from_us(10)),
+                ("b".to_string(), SimTime::from_us(30)),
+            ]
+        );
+        let json = report.to_json().render();
+        assert!(json.contains("\"busy_frac\""));
+        assert!(report.to_string().contains("shard 0"));
+    }
+
+    #[test]
+    fn open_quarantine_extends_to_trace_end() {
+        let events = vec![
+            ev(
+                0,
+                1,
+                EventKind::BatchBegin {
+                    kernel: "k",
+                    size: 1,
+                    hw: false,
+                },
+            ),
+            ev(
+                4,
+                1,
+                EventKind::BatchEnd {
+                    kernel: "k",
+                    hw: false,
+                },
+            ),
+            ev(4, 1, EventKind::QuarantineEnter { kernel: "k" }),
+            ev(10, 1, EventKind::BufferFlush { count: 0 }),
+        ];
+        let s = &Profiler.fold_events(&events, 0).shards[0];
+        assert_eq!(s.quarantined, SimTime::from_us(6));
+        assert_eq!(s.idle, SimTime::ZERO);
+        assert_eq!(s.busy + s.reconfig + s.idle + s.quarantined, s.makespan);
+    }
+
+    #[test]
+    fn empty_trace_folds_to_empty_report() {
+        let report = Profiler.fold_events(&[], 0);
+        assert!(report.shards.is_empty());
+        assert!(report.to_json().render().contains("\"shards\":[]"));
+    }
+}

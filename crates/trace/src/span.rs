@@ -1,0 +1,331 @@
+//! Per-request spans assembled from the event stream.
+//!
+//! A span splits one request's latency into four phases that sum
+//! *exactly* (integer picoseconds, no rounding) to the latency the
+//! service metrics recorded:
+//!
+//! ```text
+//! arrival ──buffer──▶ admit ──queue──▶ dispatch ──reconfig──▶ swap_end ──execute──▶ complete
+//! ```
+//!
+//! * **buffer wait** — time between the true arrival and admission into
+//!   the service's queues: the cluster admission buffer plus any time
+//!   the machine was busy past the arrival.
+//! * **queue wait** — time in the per-kernel queue before the batch
+//!   dispatched.
+//! * **reconfiguration share** — the batch's module swap (zero when the
+//!   region already held the kernel or the batch ran in software).
+//!   Every member of the batch waited for it, so every member carries it.
+//! * **execute** — everything after the swap: earlier batch members'
+//!   runs, the request's own run, and any software fallback re-run.
+
+use std::collections::HashMap;
+
+use vp2_sim::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One request's reconstructed lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Shard that served the request.
+    pub shard: u32,
+    /// Service-local request id.
+    pub id: u64,
+    /// Kernel module name.
+    pub kernel: &'static str,
+    /// True arrival instant.
+    pub arrival: SimTime,
+    /// Admission into the service's queues.
+    pub admit: SimTime,
+    /// Batch dispatch instant.
+    pub dispatch: SimTime,
+    /// End of the batch's reconfiguration (== `dispatch` when none ran).
+    pub swap_end: SimTime,
+    /// Completion instant.
+    pub complete: SimTime,
+    /// Served by the dynamic region.
+    pub hw: bool,
+}
+
+impl RequestSpan {
+    /// Time between arrival and admission into the service.
+    pub fn buffer_wait(&self) -> SimTime {
+        self.admit - self.arrival
+    }
+
+    /// Time in the per-kernel queue.
+    pub fn queue_wait(&self) -> SimTime {
+        self.dispatch - self.admit
+    }
+
+    /// The batch's reconfiguration share.
+    pub fn reconfig_share(&self) -> SimTime {
+        self.swap_end - self.dispatch
+    }
+
+    /// Post-swap service time (in-batch wait + the run itself).
+    pub fn execute(&self) -> SimTime {
+        self.complete - self.swap_end
+    }
+
+    /// End-to-end latency; always equals the sum of the four phases.
+    pub fn latency(&self) -> SimTime {
+        self.complete - self.arrival
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenBatch {
+    dispatch: SimTime,
+    swap_end: SimTime,
+}
+
+/// Assembles request spans from a journal, in completion order.
+///
+/// Requests whose admit or batch context fell off a wrapped ring are
+/// skipped — a span is only produced when every phase boundary is known.
+pub fn spans(events: &[TraceEvent]) -> Vec<RequestSpan> {
+    // (shard, id) → (kernel, arrival, admit)
+    let mut admitted: HashMap<(u32, u64), (&'static str, SimTime, SimTime)> = HashMap::new();
+    // shard → the batch currently dispatching on it
+    let mut open: HashMap<u32, OpenBatch> = HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::RequestAdmit {
+                id,
+                kernel,
+                arrival,
+            } => {
+                admitted.insert((ev.shard, *id), (kernel, *arrival, ev.time));
+            }
+            EventKind::BatchBegin { .. } => {
+                open.insert(
+                    ev.shard,
+                    OpenBatch {
+                        dispatch: ev.time,
+                        swap_end: ev.time,
+                    },
+                );
+            }
+            EventKind::SwapEnd { .. } => {
+                // A swap that ends inside a batch is the batch's
+                // reconfiguration; warm-up loads (no open batch) are not
+                // part of any request's latency.
+                if let Some(b) = open.get_mut(&ev.shard) {
+                    b.swap_end = ev.time;
+                }
+            }
+            EventKind::BatchEnd { .. } => {
+                open.remove(&ev.shard);
+            }
+            EventKind::RequestComplete { id, hw, .. } => {
+                let (Some((kernel, arrival, admit)), Some(b)) =
+                    (admitted.remove(&(ev.shard, *id)), open.get(&ev.shard))
+                else {
+                    continue;
+                };
+                out.push(RequestSpan {
+                    shard: ev.shard,
+                    id: *id,
+                    kernel,
+                    arrival,
+                    admit,
+                    dispatch: b.dispatch,
+                    swap_end: b.swap_end,
+                    complete: ev.time,
+                    hw: *hw,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time_us: u64, shard: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_us(time_us),
+            shard,
+            kind,
+        }
+    }
+
+    #[test]
+    fn phases_sum_to_latency_with_and_without_swap() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::RequestAdmit {
+                    id: 0,
+                    kernel: "k",
+                    arrival: SimTime::from_us(4),
+                },
+            ),
+            ev(
+                10,
+                0,
+                EventKind::RequestAdmit {
+                    id: 1,
+                    kernel: "k",
+                    arrival: SimTime::from_us(9),
+                },
+            ),
+            ev(
+                12,
+                0,
+                EventKind::BatchBegin {
+                    kernel: "k",
+                    size: 2,
+                    hw: true,
+                },
+            ),
+            ev(12, 0, EventKind::SwapBegin { module: "k".into() }),
+            ev(
+                20,
+                0,
+                EventKind::SwapEnd {
+                    module: "k".into(),
+                    frames: 5,
+                    words: 100,
+                    attempts: 1,
+                    repaired_frames: 0,
+                    verified: true,
+                },
+            ),
+            ev(
+                25,
+                0,
+                EventKind::RequestComplete {
+                    id: 0,
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+            ev(
+                31,
+                0,
+                EventKind::RequestComplete {
+                    id: 1,
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+            ev(
+                31,
+                0,
+                EventKind::BatchEnd {
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+        ];
+        let spans = spans(&events);
+        assert_eq!(spans.len(), 2);
+        let s0 = &spans[0];
+        assert_eq!(s0.buffer_wait(), SimTime::from_us(6));
+        assert_eq!(s0.queue_wait(), SimTime::from_us(2));
+        assert_eq!(s0.reconfig_share(), SimTime::from_us(8));
+        assert_eq!(s0.execute(), SimTime::from_us(5));
+        assert_eq!(s0.latency(), SimTime::from_us(21));
+        for s in &spans {
+            assert_eq!(
+                s.buffer_wait() + s.queue_wait() + s.reconfig_share() + s.execute(),
+                s.latency()
+            );
+        }
+        // The second member carries the same swap and the first's run.
+        assert_eq!(spans[1].reconfig_share(), SimTime::from_us(8));
+        assert_eq!(spans[1].execute(), SimTime::from_us(11));
+    }
+
+    #[test]
+    fn warmup_swap_outside_a_batch_charges_no_request() {
+        let events = vec![
+            ev(0, 0, EventKind::SwapBegin { module: "k".into() }),
+            ev(
+                5,
+                0,
+                EventKind::SwapEnd {
+                    module: "k".into(),
+                    frames: 5,
+                    words: 100,
+                    attempts: 1,
+                    repaired_frames: 0,
+                    verified: true,
+                },
+            ),
+            ev(
+                10,
+                0,
+                EventKind::RequestAdmit {
+                    id: 0,
+                    kernel: "k",
+                    arrival: SimTime::from_us(10),
+                },
+            ),
+            ev(
+                10,
+                0,
+                EventKind::BatchBegin {
+                    kernel: "k",
+                    size: 1,
+                    hw: true,
+                },
+            ),
+            ev(
+                14,
+                0,
+                EventKind::RequestComplete {
+                    id: 0,
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+            ev(
+                14,
+                0,
+                EventKind::BatchEnd {
+                    kernel: "k",
+                    hw: true,
+                },
+            ),
+        ];
+        let spans = spans(&events);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].reconfig_share(), SimTime::ZERO);
+        assert_eq!(spans[0].execute(), SimTime::from_us(4));
+    }
+
+    #[test]
+    fn truncated_journal_skips_incomplete_requests() {
+        // Completion without an admit (the admit fell off the ring).
+        let events = vec![
+            ev(
+                5,
+                0,
+                EventKind::BatchBegin {
+                    kernel: "k",
+                    size: 1,
+                    hw: false,
+                },
+            ),
+            ev(
+                9,
+                0,
+                EventKind::RequestComplete {
+                    id: 7,
+                    kernel: "k",
+                    hw: false,
+                },
+            ),
+        ];
+        assert!(spans(&events).is_empty());
+    }
+}

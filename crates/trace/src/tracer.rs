@@ -1,0 +1,187 @@
+//! The tracer handle and its bounded ring buffer.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use vp2_sim::SimTime;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Default ring capacity: big enough for every workload in the repo's
+/// benches; a multi-hour stream wraps and keeps the newest events.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A cheaply cloneable handle onto one shared event journal.
+///
+/// Clones share the ring; [`Tracer::with_shard`] derives a handle whose
+/// events are stamped with a shard id, which is how one cluster-level
+/// tracer fans out across the pool. The disabled tracer is a `None`
+/// handle: [`Tracer::on`] is a single branch and [`Tracer::emit`] a
+/// no-op, so instrumentation costs nothing when tracing is off.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    ring: Option<Rc<RefCell<Ring>>>,
+    shard: u32,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.ring {
+            Some(r) => {
+                let r = r.borrow();
+                write!(
+                    f,
+                    "Tracer(shard {}, {} events, {} dropped)",
+                    self.shard,
+                    r.events.len(),
+                    r.dropped
+                )
+            }
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer (the default everywhere).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// An enabled tracer with the default ring capacity.
+    pub fn enabled() -> Tracer {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled tracer whose ring holds at most `capacity` events; the
+    /// oldest are dropped (and counted) once it fills.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "a zero-capacity ring records nothing");
+        Tracer {
+            ring: Some(Rc::new(RefCell::new(Ring {
+                events: VecDeque::new(),
+                capacity,
+                dropped: 0,
+            }))),
+            shard: 0,
+        }
+    }
+
+    /// A handle onto the same ring whose events carry `shard`.
+    pub fn with_shard(&self, shard: u32) -> Tracer {
+        Tracer {
+            ring: self.ring.clone(),
+            shard,
+        }
+    }
+
+    /// Is this handle recording? Check before building an event whose
+    /// construction allocates.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Records one event at simulated instant `time`.
+    #[inline]
+    pub fn emit(&self, time: SimTime, kind: EventKind) {
+        let Some(ring) = &self.ring else { return };
+        let mut r = ring.borrow_mut();
+        if r.events.len() == r.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        let shard = self.shard;
+        r.events.push_back(TraceEvent { time, shard, kind });
+    }
+
+    /// Snapshot of the journal, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.ring {
+            Some(r) => r.borrow().events.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.borrow().events.len())
+    }
+
+    /// Is the journal empty (always true when disabled)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.borrow().dropped)
+    }
+
+    /// Clears the journal (capacity and drop counter are kept).
+    pub fn clear(&self) {
+        if let Some(r) = &self.ring {
+            r.borrow_mut().events.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.on());
+        t.emit(SimTime::from_us(1), EventKind::BufferFlush { count: 3 });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_ring_and_stamp_their_shard() {
+        let t = Tracer::with_capacity(8);
+        let s1 = t.with_shard(1);
+        t.emit(SimTime::from_us(1), EventKind::BufferFlush { count: 1 });
+        s1.emit(SimTime::from_us(2), EventKind::BufferFlush { count: 2 });
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].shard, 0);
+        assert_eq!(ev[1].shard, 1);
+        assert_eq!(ev[1].time, SimTime::from_us(2));
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5u32 {
+            t.emit(
+                SimTime::from_us(u64::from(i)),
+                EventKind::BufferFlush { count: i },
+            );
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let ev = t.events();
+        assert_eq!(ev[0].kind, EventKind::BufferFlush { count: 3 });
+        assert_eq!(ev[1].kind, EventKind::BufferFlush { count: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = Tracer::with_capacity(0);
+    }
+}

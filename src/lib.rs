@@ -18,6 +18,7 @@
 //! * [`apps`] — the paper's six evaluation workloads
 //! * [`service`] — the request-driven reconfiguration scheduler
 //! * [`cluster`] — the sharded multi-machine service front-end
+//! * [`trace`] — deterministic event journal, spans and the profiler
 
 pub use coreconnect_sim as coreconnect;
 pub use dock;
@@ -26,6 +27,7 @@ pub use rtr_apps as apps;
 pub use rtr_cluster as cluster;
 pub use rtr_core as rtr;
 pub use rtr_service as service;
+pub use rtr_trace as trace;
 pub use vp2_bitstream as bitstream;
 pub use vp2_fabric as fabric;
 pub use vp2_netlist as netlist;

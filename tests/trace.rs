@@ -1,0 +1,196 @@
+//! Integration tests for the observability plane: span phase breakdowns
+//! reconcile exactly with the metrics the scheduler records, exports are
+//! a pure function of the seed, the journal never perturbs the
+//! simulation it observes, and the Chrome/profile exports satisfy the
+//! structural invariants downstream tools assume.
+
+use vp2_repro::apps::request::Kernel;
+use vp2_repro::cluster::{Cluster, ClusterConfig, RoutePolicy};
+use vp2_repro::rtr::SystemKind;
+use vp2_repro::service::{Service, ServiceConfig, TrafficConfig};
+use vp2_repro::sim::Json;
+use vp2_repro::trace::{chrome_trace, spans, Profiler, Tracer};
+
+/// A small traced service run: returns the journal handle and the raw
+/// window metrics (whose latency series the spans must reproduce).
+fn traced_service_run(seed: u64) -> (Tracer, vp2_repro::service::Metrics) {
+    let tracer = Tracer::enabled();
+    let mut svc = Service::new(ServiceConfig {
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        trace: tracer.clone(),
+        ..ServiceConfig::new(SystemKind::Bit32)
+    });
+    let traffic = TrafficConfig {
+        seed,
+        requests: 24,
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        ..TrafficConfig::default()
+    }
+    .generate();
+    let window = svc.process_window(&traffic).expect("sorted traffic");
+    (tracer, window)
+}
+
+fn traced_cluster_run(tracer: Tracer) -> String {
+    let mut cluster = Cluster::new(ClusterConfig {
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        flush_depth: 4,
+        trace: tracer,
+        ..ClusterConfig::uniform(SystemKind::Bit32, 2, RoutePolicy::KernelAffinity)
+    });
+    let traffic = TrafficConfig {
+        requests: 24,
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        ..TrafficConfig::default()
+    };
+    cluster.run(traffic.stream()).to_json().render()
+}
+
+#[test]
+fn span_phases_sum_exactly_to_the_recorded_latency() {
+    let (tracer, window) = traced_service_run(0xA11CE);
+    let spans = spans(&tracer.events());
+    let recorded = window.latencies_ps();
+    assert_eq!(
+        spans.len(),
+        recorded.len(),
+        "one span per completed request"
+    );
+    // Spans are assembled in completion order — the same order the
+    // metrics accumulator records — so the series match element-wise.
+    for (span, &latency_ps) in spans.iter().zip(recorded) {
+        assert_eq!(
+            span.latency().as_ps(),
+            latency_ps,
+            "span {} of kernel {} disagrees with the recorded latency",
+            span.id,
+            span.kernel
+        );
+        assert_eq!(
+            span.buffer_wait() + span.queue_wait() + span.reconfig_share() + span.execute(),
+            span.latency(),
+            "the four phases must partition the latency exactly"
+        );
+    }
+}
+
+#[test]
+fn equal_seeds_export_byte_identical_artifacts() {
+    let export = || {
+        let (tracer, _) = traced_service_run(0x5EED);
+        let events = tracer.events();
+        (
+            chrome_trace(&events).render(),
+            Profiler.fold(&tracer).to_json().render(),
+        )
+    };
+    let (trace_a, profile_a) = export();
+    let (trace_b, profile_b) = export();
+    assert_eq!(trace_a, trace_b, "same seed, same trace bytes");
+    assert_eq!(profile_a, profile_b, "same seed, same profile bytes");
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    let observed = traced_cluster_run(Tracer::enabled());
+    let unobserved = traced_cluster_run(Tracer::disabled());
+    assert_eq!(
+        observed, unobserved,
+        "cluster results must be bit-identical with the journal on or off"
+    );
+}
+
+#[test]
+fn chrome_export_is_well_formed_and_balanced() {
+    let (tracer, _) = traced_service_run(0xC0FFEE);
+    let rendered = chrome_trace(&tracer.events()).render();
+    let doc = Json::parse(&rendered).expect("the export is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "a real run journals events");
+
+    let mut open_slices = 0i64;
+    let mut open_arrows: std::collections::HashMap<String, i64> = Default::default();
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+        match ev.get("ph").and_then(Json::as_str).unwrap() {
+            "B" => open_slices += 1,
+            "E" => {
+                open_slices -= 1;
+                assert!(open_slices >= 0, "E without a matching B");
+            }
+            "b" | "e" => {
+                let id = ev.get("id").and_then(Json::as_str).expect("arrow id");
+                let ph = ev.get("ph").and_then(Json::as_str).unwrap();
+                *open_arrows.entry(id.to_string()).or_default() += if ph == "b" { 1 } else { -1 };
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(open_slices, 0, "duration slices balance");
+    assert!(
+        open_arrows.values().all(|&d| d == 0),
+        "async request arrows pair: {open_arrows:?}"
+    );
+}
+
+#[test]
+fn profiler_partition_sums_to_each_shards_makespan() {
+    let tracer = Tracer::enabled();
+    traced_cluster_run(tracer.clone());
+    let report = Profiler.fold(&tracer);
+    assert_eq!(report.dropped_events, 0, "the ring held the whole journal");
+    assert!(!report.shards.is_empty());
+    for s in &report.shards {
+        assert_eq!(
+            s.busy + s.reconfig + s.idle + s.quarantined,
+            s.makespan,
+            "shard {}: busy {} + reconfig {} + idle {} + quarantined {} != makespan {}",
+            s.shard,
+            s.busy,
+            s.reconfig,
+            s.idle,
+            s.quarantined,
+            s.makespan
+        );
+        let frac_sum = s.busy_frac() + s.reconfig_frac() + s.idle_frac() + s.quarantined_frac();
+        assert!(
+            (frac_sum - 1.0).abs() < 1e-9,
+            "shard {} fractions sum to {frac_sum}",
+            s.shard
+        );
+    }
+    // The profile export parses back and the per-shard request totals
+    // cover the whole workload.
+    let doc = Json::parse(&report.to_json().render()).expect("valid JSON");
+    let shards = doc.get("shards").and_then(Json::as_arr).unwrap();
+    let total: f64 = shards
+        .iter()
+        .map(|s| s.get("requests").and_then(Json::as_f64).unwrap())
+        .sum();
+    assert_eq!(total as u64, 24, "every request is attributed to a shard");
+}
+
+#[test]
+fn disabled_tracer_journals_nothing() {
+    let tracer = Tracer::disabled();
+    let mut svc = Service::new(ServiceConfig {
+        kernels: vec![Kernel::Jenkins],
+        trace: tracer.clone(),
+        ..ServiceConfig::new(SystemKind::Bit32)
+    });
+    let traffic = TrafficConfig {
+        requests: 4,
+        kernels: vec![Kernel::Jenkins],
+        ..TrafficConfig::default()
+    }
+    .generate();
+    svc.process(&traffic).expect("sorted traffic");
+    assert!(!tracer.on());
+    assert!(tracer.events().is_empty());
+    assert_eq!(tracer.dropped(), 0);
+}
