@@ -33,4 +33,16 @@ cargo run --release -p rtr-bench --bin service_scenario -- \
 cargo run --release -p rtr-bench --bin trace_lint -- \
     --trace "$obs_dir/trace.json" --profile "$obs_dir/profile.json"
 
+echo "== scheduling-policy smoke run =="
+# The bin asserts swap-aware strictly beats FCFS on makespan and swaps;
+# gate on the JSON claim too so a silently-skipped assert still fails.
+cargo run --release -p rtr-bench --bin sched_scenario -- \
+    --json "$obs_dir/sched.json" --trace "$obs_dir/sched_trace.json" \
+    2> /dev/null
+grep -q '"swap_aware_beats_fcfs": true' "$obs_dir/sched.json"
+# The scheduler-decision instants (policy, chosen kernel, candidate
+# set) and per-request X slices must satisfy the lint invariants.
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --trace "$obs_dir/sched_trace.json"
+
 echo "CI OK"

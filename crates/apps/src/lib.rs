@@ -24,4 +24,4 @@ pub mod patmatch;
 pub mod request;
 pub mod sha1;
 
-pub use request::{Kernel, Request, Response};
+pub use request::{Kernel, Lane, Priority, Request, Response, Work};

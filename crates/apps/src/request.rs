@@ -92,9 +92,9 @@ impl std::fmt::Display for Kernel {
     }
 }
 
-/// One unit of client work.
+/// The work payload of one client request.
 #[derive(Debug, Clone)]
-pub enum Request {
+pub enum Work {
     /// Hash a message with SHA-1.
     Sha1 {
         /// The message.
@@ -127,6 +127,73 @@ pub enum Request {
     },
 }
 
+/// Scheduling class of a request. The order is the scheduling order:
+/// `High` outranks `Normal` outranks `Low` (derived `Ord` follows the
+/// declaration order, so `High < Normal` sorts first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Served ahead of everything else at the same decision point.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Yielding to both other classes.
+    Low,
+}
+
+impl Priority {
+    /// Stable lowercase name (JSON, traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Per-request scheduling metadata: the lane the request rides in.
+///
+/// The default lane (`Normal` priority, no deadline) is what every
+/// request carried before lanes existed, so schedulers that ignore lanes
+/// behave exactly as they always have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lane {
+    /// Scheduling class across and within kernel queues.
+    pub priority: Priority,
+    /// Latency budget measured from the request's arrival: the request
+    /// wants to complete within this much simulated time. `None` means
+    /// no deadline. Budgets are relative so a lane survives the stream →
+    /// machine-clock mapping of the cluster admission layer unchanged.
+    pub deadline: Option<SimTime>,
+}
+
+impl Lane {
+    /// The absolute instant this lane's deadline expires for a request
+    /// that arrived at `arrival` (`None` when the lane has no deadline).
+    pub fn expires_at(&self, arrival: SimTime) -> Option<SimTime> {
+        self.deadline.map(|budget| arrival + budget)
+    }
+}
+
+/// One unit of client work plus the lane it is scheduled in.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// What to compute.
+    pub work: Work,
+    /// How urgently to schedule it.
+    pub lane: Lane,
+}
+
+impl From<Work> for Request {
+    fn from(work: Work) -> Request {
+        Request {
+            work,
+            lane: Lane::default(),
+        }
+    }
+}
+
 /// A request's verified result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -140,14 +207,14 @@ pub enum Response {
     Image(Vec<u8>),
 }
 
-impl Request {
-    /// The kernel this request needs.
+impl Work {
+    /// The kernel this work needs.
     pub fn kernel(&self) -> Kernel {
         match self {
-            Request::Sha1 { .. } => Kernel::Sha1,
-            Request::Jenkins { .. } => Kernel::Jenkins,
-            Request::PatMatch { .. } => Kernel::PatMatch,
-            Request::Imaging { task, .. } => match task {
+            Work::Sha1 { .. } => Kernel::Sha1,
+            Work::Jenkins { .. } => Kernel::Jenkins,
+            Work::PatMatch { .. } => Kernel::PatMatch,
+            Work::Imaging { task, .. } => match task {
                 Task::Brightness => Kernel::Brightness,
                 Task::Blend => Kernel::Blend,
                 Task::Fade => Kernel::Fade,
@@ -158,44 +225,73 @@ impl Request {
     /// Payload size in bytes (the cost model's per-item scale variable).
     pub fn payload_bytes(&self) -> usize {
         match self {
-            Request::Sha1 { msg } => msg.len(),
-            Request::Jenkins { key, .. } => key.len(),
-            Request::PatMatch { image, .. } => image.data.len() * 4,
-            Request::Imaging { a, .. } => a.len(),
+            Work::Sha1 { msg } => msg.len(),
+            Work::Jenkins { key, .. } => key.len(),
+            Work::PatMatch { image, .. } => image.data.len() * 4,
+            Work::Imaging { a, .. } => a.len(),
         }
     }
 
     /// Ground-truth result from the Rust reference implementations.
     pub fn reference(&self) -> Response {
         match self {
-            Request::Sha1 { msg } => Response::Digest(sha1::sha1_reference(msg)),
-            Request::Jenkins { key, initval } => {
+            Work::Sha1 { msg } => Response::Digest(sha1::sha1_reference(msg)),
+            Work::Jenkins { key, initval } => {
                 Response::Hash(jenkins::hash_reference(key, *initval))
             }
-            Request::PatMatch { image, pattern } => {
+            Work::PatMatch { image, pattern } => {
                 Response::Counts(patmatch::match_counts_reference(image, pattern))
             }
-            Request::Imaging { task, a, b, param } => {
+            Work::Imaging { task, a, b, param } => {
                 Response::Image(imaging::reference_image(*task, a, b, *param))
             }
         }
     }
+}
+
+impl Request {
+    /// The kernel this request needs.
+    pub fn kernel(&self) -> Kernel {
+        self.work.kernel()
+    }
+
+    /// Payload size in bytes (the cost model's per-item scale variable).
+    pub fn payload_bytes(&self) -> usize {
+        self.work.payload_bytes()
+    }
+
+    /// Ground-truth result from the Rust reference implementations.
+    pub fn reference(&self) -> Response {
+        self.work.reference()
+    }
+
+    /// Moves the request into the given priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Request {
+        self.lane.priority = priority;
+        self
+    }
+
+    /// Attaches a latency budget measured from the request's arrival.
+    pub fn with_deadline(mut self, budget: SimTime) -> Request {
+        self.lane.deadline = Some(budget);
+        self
+    }
 
     /// Deterministic synthetic request of roughly `payload` bytes — the
-    /// traffic generator's item builder. Payloads are rounded to each
-    /// kernel's granularity (imaging works in 64-pixel rows, pattern
-    /// matching in 64×N images).
+    /// traffic generator's item builder, riding the default lane. Payloads
+    /// are rounded to each kernel's granularity (imaging works in 64-pixel
+    /// rows, pattern matching in 64×N images).
     pub fn synthetic(kernel: Kernel, payload: usize, rng: &mut SplitMix64) -> Request {
-        match kernel {
+        let work = match kernel {
             Kernel::Sha1 => {
                 let mut msg = vec![0u8; payload.max(1)];
                 rng.fill_bytes(&mut msg);
-                Request::Sha1 { msg }
+                Work::Sha1 { msg }
             }
             Kernel::Jenkins => {
                 let mut key = vec![0u8; payload.max(1)];
                 rng.fill_bytes(&mut key);
-                Request::Jenkins {
+                Work::Jenkins {
                     key,
                     initval: rng.next_u32(),
                 }
@@ -206,7 +302,7 @@ impl Request {
                 let image = BinaryImage::random(64, rows, rng.next_u64());
                 let mut pattern = [0u8; 8];
                 rng.fill_bytes(&mut pattern);
-                Request::PatMatch { image, pattern }
+                Work::PatMatch { image, pattern }
             }
             Kernel::Brightness | Kernel::Blend | Kernel::Fade => {
                 let task = kernel.imaging_task().expect("imaging kernel");
@@ -220,9 +316,10 @@ impl Request {
                     Task::Blend => 0,
                     Task::Fade => (rng.next_u32() % 257) as i32,
                 };
-                Request::Imaging { task, a, b, param }
+                Work::Imaging { task, a, b, param }
             }
-        }
+        };
+        Request::from(work)
     }
 }
 
@@ -381,8 +478,8 @@ impl Driver {
     /// Runs a request in software on the PPC405; returns `(time, result)`.
     /// Only the `call` is timed (input staging is an observability poke).
     pub fn run_sw(&mut self, m: &mut Machine, req: &Request) -> (SimTime, Response) {
-        match req {
-            Request::Sha1 { msg } => {
+        match &req.work {
+            Work::Sha1 { msg } => {
                 let entry = self.ensure(m, Prog::Sha1Sw);
                 harness::store_bytes(m, SRC_A, msg);
                 let max = (msg.len() as u64 / 64 + 3) * 40_000 + 200_000;
@@ -390,14 +487,14 @@ impl Driver {
                 let w = harness::load_words(m, DST, 5);
                 (t, Response::Digest([w[0], w[1], w[2], w[3], w[4]]))
             }
-            Request::Jenkins { key, initval } => {
+            Work::Jenkins { key, initval } => {
                 let entry = self.ensure(m, Prog::JenkinsSw);
                 harness::store_bytes(m, SRC_A, key);
                 let max = key.len() as u64 * 200 + 100_000;
                 let (t, h) = m.call(entry, &[SRC_A, key.len() as u32, *initval], max);
                 (t, Response::Hash(h))
             }
-            Request::PatMatch { image, pattern } => {
+            Work::PatMatch { image, pattern } => {
                 let entry = self.ensure(m, Prog::PatMatchSw);
                 harness::store_words(m, SRC_A, &image.data);
                 harness::store_bytes(m, SRC_B, pattern);
@@ -406,7 +503,7 @@ impl Driver {
                 let (t, _) = m.call(entry, &[w, h, SRC_A, SRC_B, DST], max);
                 (t, Response::Counts(load_counts(m, image)))
             }
-            Request::Imaging { task, a, b, param } => {
+            Work::Imaging { task, a, b, param } => {
                 let n = a.len() as u32;
                 assert_eq!(n % 64, 0, "image sizes are multiples of 64 pixels");
                 harness::store_bytes(m, SRC_A, a);
@@ -440,8 +537,8 @@ impl Driver {
     /// having configured the right module — this driver does not bind
     /// models behind the configuration plane's back.
     pub fn run_hw(&mut self, m: &mut Machine, req: &Request) -> (SimTime, Response) {
-        match req {
-            Request::Sha1 { msg } => {
+        match &req.work {
+            Work::Sha1 { msg } => {
                 let entry = self.ensure(m, Prog::Sha1Hw);
                 harness::store_bytes(m, SRC_A, msg);
                 let max = (msg.len() as u64 / 64 + 3) * 10_000 + 200_000;
@@ -449,7 +546,7 @@ impl Driver {
                 let w = harness::load_words(m, DST, 5);
                 (t, Response::Digest([w[0], w[1], w[2], w[3], w[4]]))
             }
-            Request::Jenkins { key, initval } => {
+            Work::Jenkins { key, initval } => {
                 let entry = self.ensure(m, Prog::JenkinsHw);
                 let blocks = key.len() / 12;
                 let padded_len = (blocks * 3 + 3) * 4;
@@ -460,7 +557,7 @@ impl Driver {
                 let (t, h) = m.call(entry, &[SRC_A, key.len() as u32, *initval], max);
                 (t, Response::Hash(h))
             }
-            Request::PatMatch { image, pattern } => {
+            Work::PatMatch { image, pattern } => {
                 let entry = self.ensure(m, Prog::PatMatchHw);
                 harness::store_words(m, SRC_A, &image.data);
                 harness::store_bytes(m, SRC_B, pattern);
@@ -470,7 +567,7 @@ impl Driver {
                 let (t, _) = m.call(entry, &[bands, blocks, SRC_A, SRC_B, DST], max);
                 (t, Response::Counts(unpack_counts(m, image, bands, blocks)))
             }
-            Request::Imaging { task, a, b, param } => {
+            Work::Imaging { task, a, b, param } => {
                 let n = a.len() as u32;
                 harness::store_bytes(m, SRC_A, a);
                 if task.two_sources() {

@@ -64,6 +64,7 @@ fn main() {
         burst_percent: 40,
         min_payload: 12 * 1024,
         max_payload: 16 * 1024,
+        ..TrafficConfig::default()
     };
     let shard_count = 4;
     let mut policy_snaps = Vec::new();
@@ -141,6 +142,7 @@ fn main() {
         burst_percent: 0,
         min_payload: 512,
         max_payload: 2048,
+        ..TrafficConfig::default()
     };
     let mut points = Vec::new();
     let mut throughputs = Vec::new();

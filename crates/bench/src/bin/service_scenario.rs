@@ -35,6 +35,7 @@ fn main() {
             burst_percent: 75,
             min_payload: 256,
             max_payload: 2048,
+            ..TrafficConfig::default()
         }
         .generate();
 

@@ -3,8 +3,11 @@
 //! * `--trace t.json` — the file must parse as JSON, hold a
 //!   `traceEvents` array whose entries all carry `name`/`ph`/`ts`/
 //!   `pid`/`tid`, with `B`/`E` duration slices balanced per
-//!   `(pid, tid)` track (never dipping negative) and async `b`/`e`
-//!   arrows paired per `id`.
+//!   `(pid, tid)` track (never dipping negative), async `b`/`e`
+//!   arrows paired per `id`, complete `X` slices carrying a
+//!   non-negative `dur`, and every `sched decision` instant naming its
+//!   `policy`, a `chosen` kernel, and a non-empty candidate set that
+//!   contains the choice.
 //! * `--profile p.json` — the file must parse as JSON and every
 //!   shard's `busy_frac + reconfig_frac + idle_frac + quarantined_frac`
 //!   must sum to 1 (±1e-9), or to 0 for an empty makespan.
@@ -47,18 +50,53 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
     // Open-slice depth per (pid, tid); open async arrows per id.
     let mut depth: HashMap<(i64, i64), i64> = HashMap::new();
     let mut arrows: HashMap<String, i64> = HashMap::new();
+    let mut decisions = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let name = ev.get("name").and_then(Json::as_str);
         let ph = ev.get("ph").and_then(Json::as_str);
         let ts = ev.get("ts").and_then(Json::as_f64);
         let pid = ev.get("pid").and_then(Json::as_f64);
         let tid = ev.get("tid").and_then(Json::as_f64);
-        let (Some(_), Some(ph), Some(_), Some(pid), Some(tid)) = (name, ph, ts, pid, tid) else {
+        let (Some(name), Some(ph), Some(_), Some(pid), Some(tid)) = (name, ph, ts, pid, tid) else {
             problems.push(format!(
                 "{path}: event {i} is missing one of name/ph/ts/pid/tid"
             ));
             continue;
         };
+        // Every journaled scheduling decision must be self-describing:
+        // the policy that decided, the kernel it chose, and the
+        // candidate set it chose from — with the choice in the set.
+        if ph == "i" && name == "sched decision" {
+            decisions += 1;
+            let args = ev.get("args");
+            let policy = args.and_then(|a| a.get("policy")).and_then(Json::as_str);
+            let chosen = args.and_then(|a| a.get("chosen")).and_then(Json::as_str);
+            let candidates = args
+                .and_then(|a| a.get("candidates"))
+                .and_then(Json::as_arr);
+            match (policy, chosen, candidates) {
+                (Some(""), _, _) => {
+                    problems.push(format!(
+                        "{path}: event {i}: sched decision with empty policy"
+                    ));
+                }
+                (Some(_), Some(chosen), Some(cands)) => {
+                    if cands.is_empty() {
+                        problems.push(format!(
+                            "{path}: event {i}: sched decision with an empty candidate set"
+                        ));
+                    } else if !cands.iter().any(|c| c.as_str() == Some(chosen)) {
+                        problems.push(format!(
+                            "{path}: event {i}: sched decision chose {chosen:?} \
+                             but it is not among the candidates"
+                        ));
+                    }
+                }
+                _ => problems.push(format!(
+                    "{path}: event {i}: sched decision missing policy/chosen/candidates"
+                )),
+            }
+        }
         let track = (pid as i64, tid as i64);
         match ph {
             "B" => *depth.entry(track).or_default() += 1,
@@ -79,6 +117,17 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
                 };
                 *arrows.entry(id.to_string()).or_default() += if ph == "b" { 1 } else { -1 };
             }
+            "X" => match ev.get("dur").and_then(Json::as_f64) {
+                Some(dur) if dur >= 0.0 => {}
+                Some(dur) => {
+                    problems.push(format!(
+                        "{path}: event {i}: X slice with negative dur {dur}"
+                    ));
+                }
+                None => {
+                    problems.push(format!("{path}: event {i}: X slice without a dur"));
+                }
+            },
             _ => {}
         }
     }
@@ -94,7 +143,10 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
             problems.push(format!("{path}: async arrow {id} is unbalanced ({d:+})"));
         }
     }
-    eprintln!("[lint] {path}: {} events", events.len());
+    eprintln!(
+        "[lint] {path}: {} events, {decisions} sched decision(s)",
+        events.len()
+    );
 }
 
 /// Checks that each shard's fractions partition its makespan.

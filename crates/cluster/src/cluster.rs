@@ -2,7 +2,7 @@
 
 use rtr_apps::request::{Kernel, Request};
 use rtr_core::SystemKind;
-use rtr_service::{Service, ServiceConfig};
+use rtr_service::{BatchPolicy, Service, ServiceConfig};
 use rtr_trace::Tracer;
 use vp2_sim::SimTime;
 
@@ -20,25 +20,35 @@ pub struct ShardSpec {
     pub fault_rate: f64,
     /// Seed for the shard's deterministic fault plan.
     pub fault_seed: u64,
+    /// Batch-scheduling policy for this shard's service. Per-shard so a
+    /// pool can mix policies (e.g. one lanes shard for deadline traffic
+    /// in front of swap-aware bulk shards).
+    pub batch: BatchPolicy,
 }
 
 impl ShardSpec {
-    /// A fault-free shard of the given system.
+    /// A fault-free shard of the given system, scheduling FCFS.
     pub fn new(kind: SystemKind) -> ShardSpec {
         ShardSpec {
             kind,
             fault_rate: 0.0,
             fault_seed: 0x5EED_FA57,
+            batch: BatchPolicy::FcfsDrain,
         }
     }
 
     /// Same shard with a hostile configuration plane.
     pub fn with_faults(kind: SystemKind, rate: f64, seed: u64) -> ShardSpec {
         ShardSpec {
-            kind,
             fault_rate: rate,
             fault_seed: seed,
+            ..ShardSpec::new(kind)
         }
+    }
+
+    /// Same shard under a different batch-scheduling policy.
+    pub fn with_batch(self, batch: BatchPolicy) -> ShardSpec {
+        ShardSpec { batch, ..self }
     }
 }
 
@@ -115,6 +125,7 @@ impl Cluster {
                 let service = Service::new(ServiceConfig {
                     verify: config.verify,
                     kernels: config.kernels.clone(),
+                    batch: spec.batch,
                     quarantine_cooldown: config.quarantine_cooldown,
                     trace: config.trace.with_shard(id as u32),
                     ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)

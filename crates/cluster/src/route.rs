@@ -113,12 +113,30 @@ impl Router {
                 unreachable!("admissible() accepts every shard when none is healthy");
             }
             RoutePolicy::LeastLoaded => {
-                let id = least_loaded(shards, &admissible);
+                // One pass tracks both minima: the admissible pick (the
+                // answer) and the unrestricted pick (the yardstick for
+                // counting quarantine diversions). Iteration is in shard-id
+                // order and the comparison is strict, so the lowest id
+                // wins ties exactly as `least_loaded` would.
+                let mut best: Option<&Shard> = None;
+                let mut best_overall: Option<&Shard> = None;
+                for s in shards {
+                    let beats = |b: &Option<&Shard>| {
+                        b.is_none_or(|b| (s.ready_at(), s.id()) < (b.ready_at(), b.id()))
+                    };
+                    if beats(&best_overall) {
+                        best_overall = Some(s);
+                    }
+                    if admissible(s) && beats(&best) {
+                        best = Some(s);
+                    }
+                }
+                let id = best.expect("at least one admissible shard").id();
                 // If the unrestricted pick is a quarantined shard, this
                 // request was diverted by the quarantine — count it as
                 // shed, not as a plain load-estimate placement. (With no
                 // healthy shard at all nothing is diverted anywhere.)
-                if any_healthy && !healthy(&shards[least_loaded(shards, &|_| true)]) {
+                if any_healthy && !healthy(best_overall.expect("at least one shard")) {
                     self.stats.shed += 1;
                 } else {
                     self.stats.base += 1;

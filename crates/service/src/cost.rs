@@ -139,6 +139,20 @@ impl CostModel {
         batch_bytes: &[usize],
         swap_needed: bool,
     ) -> bool {
+        self.pays_with_reconfigs(kernel, batch_bytes, u32::from(swap_needed))
+    }
+
+    /// Lookahead batch decision: would a swap to hardware for
+    /// `batch_bytes` still strictly pay if the scheduler must also swap
+    /// *back* afterwards — i.e. when switching abandons live work for the
+    /// resident module? Charges two reconfigurations against the batch.
+    pub fn hardware_pays_round_trip(&self, kernel: Kernel, batch_bytes: &[usize]) -> bool {
+        self.pays_with_reconfigs(kernel, batch_bytes, 2)
+    }
+
+    /// Shared comparison: estimated hardware time plus `reconfigs` swap
+    /// costs strictly undercuts the software estimate.
+    fn pays_with_reconfigs(&self, kernel: Kernel, batch_bytes: &[usize], reconfigs: u32) -> bool {
         let Some(hw) = self.hw[kernel.index()] else {
             return false;
         };
@@ -146,18 +160,18 @@ impl CostModel {
             .iter()
             .map(|&b| self.sw[kernel.index()].estimate(b).as_ps() as f64)
             .sum();
-        let mut hwt: f64 = batch_bytes
+        let hwt: f64 = batch_bytes
             .iter()
             .map(|&b| hw.estimate(b).as_ps() as f64)
-            .sum();
-        if swap_needed {
-            hwt += self.reconfig_ps;
-        }
+            .sum::<f64>()
+            + f64::from(reconfigs) * self.reconfig_ps;
         hwt < sw
     }
 
     /// Smallest batch size (of `bytes`-sized items) at which a swap to
-    /// hardware pays off — the break-even depth the metrics report.
+    /// hardware *strictly* pays off — the break-even depth the metrics
+    /// report. `hardware_pays_off(kernel, &[bytes; n], true)` is true at
+    /// the returned `n` and false at `n - 1`.
     ///
     /// `None` until a reconfiguration has actually been observed: with no
     /// measurement the swap cost is unknown, and claiming a depth of 1
@@ -173,8 +187,19 @@ impl CostModel {
         if hw_item >= sw_item {
             return None;
         }
-        let n = self.reconfig_ps / (sw_item - hw_item);
-        Some(n.ceil().max(1.0) as usize)
+        // Closed-form candidate, then settled against the exact decision
+        // predicate: when the break-even lands on an integer, a batch of
+        // exactly that depth gives `hwt == sw`, which does not pay under
+        // the strict comparison — the depth reported must be one deeper.
+        let mut n = (self.reconfig_ps / (sw_item - hw_item)).ceil().max(1.0) as usize;
+        let pays = |n: usize| self.hardware_pays_off(kernel, &vec![bytes; n], true);
+        while !pays(n) {
+            n += 1;
+        }
+        while n > 1 && pays(n - 1) {
+            n -= 1;
+        }
+        Some(n)
     }
 }
 
@@ -233,7 +258,9 @@ mod tests {
         assert_eq!(model.break_even_depth(Kernel::Jenkins, 100), None);
         let mut calibrated = model.clone();
         calibrated.observe_reconfig(SimTime::from_ps(90_000));
-        assert_eq!(calibrated.break_even_depth(Kernel::Jenkins, 100), Some(10));
+        // Ten items exactly repay the swap (hwt == sw) — that is a tie,
+        // not a win, so the first strictly paying depth is 11.
+        assert_eq!(calibrated.break_even_depth(Kernel::Jenkins, 100), Some(11));
     }
 
     #[test]
@@ -251,12 +278,14 @@ mod tests {
         };
         model.observe_reconfig(SimTime::from_ps(90_000));
         // Per 100-byte item: sw 10_000 ps, hw 1_000 ps → saves 9_000 ps.
-        // Reconfig 90_000 ps → break-even at 10 items.
-        assert_eq!(model.break_even_depth(Kernel::Jenkins, 100), Some(10));
-        let under: Vec<usize> = vec![100; 9];
-        let over: Vec<usize> = vec![100; 11];
-        assert!(!model.hardware_pays_off(Kernel::Jenkins, &under, true));
-        assert!(model.hardware_pays_off(Kernel::Jenkins, &over, true));
+        // Reconfig 90_000 ps → ten items tie, eleven strictly win.
+        let n = model.break_even_depth(Kernel::Jenkins, 100).unwrap();
+        assert_eq!(n, 11);
+        // The reported depth is the *smallest* strict win: true at exactly
+        // n, false one below it (a tie must not trigger a swap).
+        assert!(model.hardware_pays_off(Kernel::Jenkins, &vec![100; n], true));
+        assert!(!model.hardware_pays_off(Kernel::Jenkins, &vec![100; n - 1], true));
+        assert!(!model.hardware_pays_off(Kernel::Jenkins, &[100; 9], true));
         // Already resident: no swap cost, hardware wins at any depth.
         assert!(model.hardware_pays_off(Kernel::Jenkins, &[100], false));
     }

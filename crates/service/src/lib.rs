@@ -7,7 +7,11 @@
 //! onto one simulated Virtex-II Pro platform:
 //!
 //! * requests land in per-module admission queues ([`queue`]);
-//! * the scheduler drains one kernel's queue per batch and decides —
+//! * a pluggable batch policy ([`sched`]) picks which queue to drain —
+//!   FCFS by head arrival, swap-aware lookahead that sticks with the
+//!   resident module until another queue amortizes a swap, or
+//!   priority/deadline lanes;
+//! * the scheduler drains that kernel's queue as one batch and decides —
 //!   using a [`cost`] model calibrated from measured software/hardware
 //!   timings and the measured reconfiguration time — whether the batch
 //!   runs software-only on the PPC405 or amortizes an ICAP transfer and
@@ -26,11 +30,13 @@
 pub mod cost;
 pub mod metrics;
 pub mod queue;
+pub mod sched;
 pub mod service;
 pub mod traffic;
 
 pub use cost::{CostModel, PathEstimate};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{AdmissionQueues, Pending};
+pub use sched::{BatchPolicy, Candidate, LaneRank};
 pub use service::{Policy, Service, ServiceConfig, ServiceError};
 pub use traffic::{TrafficConfig, TrafficStream};

@@ -32,6 +32,8 @@ pub struct Metrics {
     hw_fallback_items: u64,
     quarantines: u64,
     quarantined_batches: u64,
+    deadline_met: u64,
+    deadline_missed: u64,
 }
 
 impl Metrics {
@@ -108,6 +110,17 @@ impl Metrics {
         self.quarantined_batches += 1;
     }
 
+    /// Records the outcome of one deadline-carrying request: did it
+    /// complete within its latency budget? (Requests without a deadline
+    /// are not counted either way.)
+    pub fn record_deadline(&mut self, met: bool) {
+        if met {
+            self.deadline_met += 1;
+        } else {
+            self.deadline_missed += 1;
+        }
+    }
+
     /// Folds another accumulator into this one (used to roll a completed
     /// observation window into the service-lifetime totals).
     pub fn absorb(&mut self, other: &Metrics) {
@@ -127,6 +140,8 @@ impl Metrics {
         self.hw_fallback_items += other.hw_fallback_items;
         self.quarantines += other.quarantines;
         self.quarantined_batches += other.quarantined_batches;
+        self.deadline_met += other.deadline_met;
+        self.deadline_missed += other.deadline_missed;
     }
 
     /// Completed request count so far.
@@ -179,6 +194,8 @@ impl Metrics {
             hw_fallback_items: self.hw_fallback_items,
             quarantines: self.quarantines,
             quarantined_batches: self.quarantined_batches,
+            deadline_met: self.deadline_met,
+            deadline_missed: self.deadline_missed,
             elapsed,
             throughput_per_s: if secs > 0.0 {
                 self.completed() as f64 / secs
@@ -237,6 +254,10 @@ pub struct MetricsSnapshot {
     pub quarantines: u64,
     /// Batches denied the hardware path by an active quarantine.
     pub quarantined_batches: u64,
+    /// Deadline-carrying requests that completed within their budget.
+    pub deadline_met: u64,
+    /// Deadline-carrying requests that completed past their budget.
+    pub deadline_missed: u64,
     /// Simulated observation window.
     pub elapsed: SimTime,
     /// Completed requests per simulated second.
@@ -267,7 +288,7 @@ pub struct MetricsSnapshot {
 impl MetricsSnapshot {
     /// JSON rendering for machine consumption (bench tables, CI).
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let json = Json::obj()
             .field("completed", self.completed)
             .field("hw_items", self.hw_items)
             .field("sw_items", self.sw_items)
@@ -280,8 +301,17 @@ impl MetricsSnapshot {
             .field("degraded_loads", self.degraded_loads)
             .field("hw_fallback_items", self.hw_fallback_items)
             .field("quarantines", self.quarantines)
-            .field("quarantined_batches", self.quarantined_batches)
-            .field("elapsed_us", self.elapsed.as_us_f64())
+            .field("quarantined_batches", self.quarantined_batches);
+        // Deadline counters only exist when some request carried a
+        // deadline, so deadline-free runs export byte-identical JSON to
+        // builds that predate lanes.
+        let json = if self.deadline_met + self.deadline_missed > 0 {
+            json.field("deadline_met", self.deadline_met)
+                .field("deadline_missed", self.deadline_missed)
+        } else {
+            json
+        };
+        json.field("elapsed_us", self.elapsed.as_us_f64())
             .field("throughput_per_s", self.throughput_per_s)
             .field("latency_mean_us", self.latency_mean.as_us_f64())
             .field("latency_p50_us", self.latency_p50.as_us_f64())
@@ -364,6 +394,15 @@ impl fmt::Display for MetricsSnapshot {
                 self.hw_fallback_items,
                 self.quarantines,
                 self.quarantined_batches
+            )?;
+        }
+        // Same treatment for deadlines: the line only appears when some
+        // request actually carried one.
+        if self.deadline_met + self.deadline_missed > 0 {
+            write!(
+                f,
+                "\n  deadlines {} met / {} missed",
+                self.deadline_met, self.deadline_missed
             )?;
         }
         Ok(())

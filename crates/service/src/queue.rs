@@ -61,6 +61,25 @@ impl AdmissionQueues {
         self.queues[kernel.index()].len()
     }
 
+    /// The head (earliest-admitted) request of one kernel's queue.
+    pub fn head(&self, kernel: Kernel) -> Option<&Pending> {
+        self.queues[kernel.index()].front()
+    }
+
+    /// The queued items of one kernel, in admission order.
+    pub fn pending(&self, kernel: Kernel) -> impl Iterator<Item = &Pending> {
+        self.queues[kernel.index()].iter()
+    }
+
+    /// Payload sizes of one kernel's queued items (the cost model's
+    /// batch-decision input, without draining the queue).
+    pub fn queued_bytes(&self, kernel: Kernel) -> Vec<usize> {
+        self.queues[kernel.index()]
+            .iter()
+            .map(|p| p.request.payload_bytes())
+            .collect()
+    }
+
     /// The kernel whose head request arrived earliest (ties broken by
     /// submission id, which preserves global arrival order).
     pub fn next_kernel(&self) -> Option<Kernel> {

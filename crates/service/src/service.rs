@@ -16,6 +16,7 @@ use vp2_sim::SimTime;
 use crate::cost::CostModel;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{AdmissionQueues, Pending};
+use crate::sched::{lane_rank, BatchPolicy, Candidate, LaneRank};
 
 /// Batch-path selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +32,10 @@ pub enum Policy {
 pub struct ServiceConfig {
     /// Which of the two systems to build.
     pub kind: SystemKind,
-    /// Scheduling policy.
+    /// Batch-path selection policy (software vs hardware per batch).
     pub policy: Policy,
+    /// Batch-scheduling policy (which kernel's queue to drain next).
+    pub batch: BatchPolicy,
     /// Kernels the service accepts (empty defaults to all six).
     pub kernels: Vec<Kernel>,
     /// Check every response against the Rust reference implementation.
@@ -61,6 +64,7 @@ impl ServiceConfig {
         ServiceConfig {
             kind,
             policy: Policy::CostModel,
+            batch: BatchPolicy::FcfsDrain,
             kernels: Vec::new(),
             verify: true,
             fault_rate: 0.0,
@@ -302,7 +306,7 @@ impl Service {
                 self.admit(base + *arrival, req.clone());
                 next += 1;
             }
-            match self.queues.next_kernel() {
+            match self.pick_kernel() {
                 Some(kernel) => {
                     let batch = self.queues.drain(kernel);
                     self.dispatch(kernel, batch);
@@ -346,13 +350,119 @@ impl Service {
         }
     }
 
+    /// Asks the batch policy which non-empty queue to drain next, and
+    /// journals the decision (policy, candidate set, chosen kernel).
+    ///
+    /// The candidate snapshot is read-only — in particular it uses the
+    /// non-mutating quarantine view, leaving the half-open transition to
+    /// `dispatch` — so a decision never perturbs the simulation.
+    fn pick_kernel(&mut self) -> Option<Kernel> {
+        let now = self.machine.now();
+        let resident = self.manager.loaded();
+        let want_maturity = matches!(self.config.batch, BatchPolicy::SwapAware { .. });
+        let want_ranks = matches!(self.config.batch, BatchPolicy::Lanes);
+        // Does the resident module have queued work? Then leaving the
+        // region strands it: the lookahead charges a competitor for the
+        // swap back, not just the swap there.
+        let resident_busy = Kernel::ALL
+            .iter()
+            .any(|k| resident == Some(k.module_name()) && self.queues.head(*k).is_some());
+        let mut candidates = Vec::new();
+        for kernel in Kernel::ALL {
+            let Some(head) = self.queues.head(kernel) else {
+                continue;
+            };
+            let (head_arrival, head_id) = (head.arrival, head.id);
+            let is_resident = resident == Some(kernel.module_name());
+            // "Mature" = switching to this queue strictly pays off: one
+            // reconfiguration when the resident region is idle, two when
+            // the switch abandons live resident work (the lookahead
+            // charges the swap back). Only computed for the policy that
+            // reads it: the check walks the queue's payload sizes.
+            let mature = want_maturity
+                && !is_resident
+                && self.config.policy == Policy::CostModel
+                && self.hw_ready[kernel.index()]
+                && !self.quarantine_peek(kernel, now)
+                && {
+                    let bytes = self.queues.queued_bytes(kernel);
+                    if resident_busy {
+                        self.cost.hardware_pays_round_trip(kernel, &bytes)
+                    } else {
+                        self.cost.hardware_pays_off(kernel, &bytes, true)
+                    }
+                };
+            let best_rank: LaneRank = if want_ranks {
+                self.queues
+                    .pending(kernel)
+                    .map(lane_rank)
+                    .min()
+                    .expect("non-empty queue")
+            } else {
+                (
+                    rtr_apps::request::Priority::Normal,
+                    u64::MAX,
+                    head_arrival.as_ps(),
+                    head_id,
+                )
+            };
+            candidates.push(Candidate {
+                kernel,
+                depth: self.queues.depth(kernel),
+                head_arrival,
+                head_id,
+                resident: is_resident,
+                mature,
+                best_rank,
+            });
+        }
+        let idx = self.config.batch.choose(now, &candidates)?;
+        let chosen = candidates[idx].kernel;
+        if self.tracer.on() {
+            self.tracer.emit(
+                now,
+                EventKind::SchedDecision {
+                    policy: self.config.batch.name(),
+                    chosen: chosen.module_name(),
+                    candidates: candidates.iter().map(|c| c.kernel.module_name()).collect(),
+                },
+            );
+        }
+        Some(chosen)
+    }
+
+    /// Read-only view of [`Service::quarantine_active`]: is the kernel's
+    /// hardware path barred at `now`? Does not perform the half-open
+    /// transition.
+    fn quarantine_peek(&self, kernel: Kernel, now: SimTime) -> bool {
+        self.quarantine[kernel.index()]
+            .until
+            .is_some_and(|until| now < until)
+    }
+
     /// Runs one batch, choosing the path per policy, cost model and
     /// quarantine state. Whatever the configuration plane does, every
     /// request in the batch is answered — a failed or distrusted hardware
     /// path degrades to the PPC405 software implementation.
-    fn dispatch(&mut self, kernel: Kernel, batch: Vec<Pending>) {
+    fn dispatch(&mut self, kernel: Kernel, mut batch: Vec<Pending>) {
+        // Under lanes the drained batch executes in rank order (EDF
+        // within the batch); the rank ends in the submission id, so the
+        // order is total and deterministic.
+        if self.config.batch == BatchPolicy::Lanes {
+            batch.sort_by_key(lane_rank);
+        }
         let bytes: Vec<usize> = batch.iter().map(|p| p.request.payload_bytes()).collect();
-        let swap_needed = self.manager.loaded() != Some(kernel.module_name());
+        let resident = self.manager.loaded();
+        let swap_needed = resident != Some(kernel.module_name());
+        // Under the swap-aware policy the path decision carries the same
+        // lookahead as the queue choice: a swap that strands live work
+        // for the resident module must pay for the swap back too, or the
+        // batch runs in software and the region stays put.
+        let round_trip = swap_needed
+            && matches!(self.config.batch, BatchPolicy::SwapAware { .. })
+            && Kernel::ALL
+                .iter()
+                .any(|k| resident == Some(k.module_name()) && self.queues.head(*k).is_some());
         let now = self.machine.now();
         let quarantined = self.quarantine_active(kernel, now);
         let mut use_hw = match self.config.policy {
@@ -360,7 +470,11 @@ impl Service {
             Policy::CostModel => {
                 self.hw_ready[kernel.index()]
                     && !quarantined
-                    && self.cost.hardware_pays_off(kernel, &bytes, swap_needed)
+                    && if round_trip {
+                        self.cost.hardware_pays_round_trip(kernel, &bytes)
+                    } else {
+                        self.cost.hardware_pays_off(kernel, &bytes, swap_needed)
+                    }
             }
         };
         if quarantined && self.config.policy == Policy::CostModel && self.hw_ready[kernel.index()] {
@@ -435,6 +549,9 @@ impl Service {
             // queueing, the swap and the execution, not just the call.
             let latency = self.machine.now().saturating_sub(pending.arrival);
             self.metrics.record_item(latency, served_hw);
+            if let Some(expires) = pending.request.lane.expires_at(pending.arrival) {
+                self.metrics.record_deadline(self.machine.now() <= expires);
+            }
             if self.tracer.on() {
                 self.tracer.emit(
                     self.machine.now(),

@@ -6,7 +6,7 @@
 //! same-kernel runs are exactly the workloads where a reconfiguration
 //! amortizes, so the knob directly exercises the scheduler's cost model.
 
-use rtr_apps::request::{Kernel, Request};
+use rtr_apps::request::{Kernel, Priority, Request};
 use vp2_sim::{SimTime, SplitMix64};
 
 /// Traffic shape.
@@ -27,6 +27,16 @@ pub struct TrafficConfig {
     pub min_payload: usize,
     /// Largest synthetic payload, in bytes.
     pub max_payload: usize,
+    /// Probability (out of 100) that a request carries a deadline of
+    /// [`TrafficConfig::deadline_budget`]. 0 (the default) draws nothing
+    /// from the RNG, so lane-free streams are byte-identical to streams
+    /// generated before lanes existed.
+    pub deadline_percent: u64,
+    /// Latency budget attached to deadline-carrying requests.
+    pub deadline_budget: SimTime,
+    /// Probability (out of 100) that a request rides the high-priority
+    /// lane. 0 (the default) draws nothing from the RNG.
+    pub high_percent: u64,
 }
 
 impl Default for TrafficConfig {
@@ -39,6 +49,9 @@ impl Default for TrafficConfig {
             burst_percent: 70,
             min_payload: 128,
             max_payload: 2048,
+            deadline_percent: 0,
+            deadline_budget: SimTime::from_ms(1),
+            high_percent: 0,
         }
     }
 }
@@ -74,6 +87,9 @@ impl TrafficConfig {
             burst_percent: self.burst_percent,
             min_payload: self.min_payload,
             max_payload: self.max_payload,
+            deadline_percent: self.deadline_percent,
+            deadline_budget: self.deadline_budget,
+            high_percent: self.high_percent,
         }
     }
 }
@@ -91,6 +107,9 @@ pub struct TrafficStream {
     burst_percent: u64,
     min_payload: usize,
     max_payload: usize,
+    deadline_percent: u64,
+    deadline_budget: SimTime,
+    high_percent: u64,
 }
 
 impl Iterator for TrafficStream {
@@ -111,7 +130,17 @@ impl Iterator for TrafficStream {
         self.prev = kernel;
         let span = (self.max_payload - self.min_payload) as u64;
         let payload = self.min_payload + self.rng.below(span + 1) as usize;
-        Some((self.t, Request::synthetic(kernel, payload, &mut self.rng)))
+        let mut req = Request::synthetic(kernel, payload, &mut self.rng);
+        // The lane knobs are guarded: `chance` draws from the RNG even at
+        // probability zero, and an extra draw would desynchronise streams
+        // from builds without lanes.
+        if self.deadline_percent > 0 && self.rng.chance(self.deadline_percent, 100) {
+            req = req.with_deadline(self.deadline_budget);
+        }
+        if self.high_percent > 0 && self.rng.chance(self.high_percent, 100) {
+            req = req.with_priority(Priority::High);
+        }
+        Some((self.t, req))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -1,11 +1,13 @@
 //! Chrome trace-event JSON export.
 //!
 //! Emits the [trace-event format] that Perfetto and `chrome://tracing`
-//! load directly: one *process* per shard with three tracks — the
-//! scheduler (batches as duration slices), the configuration plane
-//! (swaps as slices; ICAP bursts, faults, verify failures, repairs and
-//! quarantine transitions as instants) and the DMA engine — plus one
-//! async arrow per request spanning arrival → completion, so a request's
+//! load directly: one *process* per shard with three fixed tracks — the
+//! scheduler (batches as duration slices, scheduling decisions as
+//! instants), the configuration plane (swaps as slices; ICAP bursts,
+//! faults, verify failures, repairs and quarantine transitions as
+//! instants) and the DMA engine — plus, per request, one async arrow
+//! spanning arrival → completion *and* one complete slice on a stacked
+//! "requests" lane carrying the four phase durations, so a request's
 //! wait can be read off against the swap that caused it.
 //!
 //! Timestamps are the simulated clock converted to microseconds (the
@@ -14,9 +16,10 @@
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use vp2_sim::Json;
+use vp2_sim::{Json, SimTime};
 
 use crate::event::{EventKind, TraceEvent};
+use crate::span::spans;
 
 /// Scheduler track (batches, request instants).
 const TID_SCHED: u32 = 0;
@@ -24,6 +27,9 @@ const TID_SCHED: u32 = 0;
 const TID_CONFIG: u32 = 1;
 /// DMA track.
 const TID_DMA: u32 = 2;
+/// First request-slice track; concurrent requests stack onto
+/// `TID_REQ_BASE + 1`, `+ 2`, … so slices on one track never overlap.
+const TID_REQ_BASE: u32 = 3;
 
 fn base(name: &str, ph: &str, ts: f64, pid: u32, tid: u32) -> Json {
     Json::obj()
@@ -99,6 +105,32 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                     base("dequeue", "i", ts, pid, TID_SCHED)
                         .field("s", "t")
                         .field("args", Json::obj().field("id", *id)),
+                );
+            }
+            EventKind::SchedDecision {
+                policy,
+                chosen,
+                candidates,
+            } => {
+                out.push(
+                    base("sched decision", "i", ts, pid, TID_SCHED)
+                        .field("s", "t")
+                        .field("cat", "sched")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("policy", *policy)
+                                .field("chosen", *chosen)
+                                .field(
+                                    "candidates",
+                                    Json::Arr(
+                                        candidates
+                                            .iter()
+                                            .map(|&k| Json::Str(k.to_string()))
+                                            .collect(),
+                                    ),
+                                ),
+                        ),
                 );
             }
             EventKind::RequestComplete { id, kernel, hw } => {
@@ -224,6 +256,52 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
             }
         }
     }
+    // Per-request spans as complete ("X") slices — arrival → completion
+    // with the four phase durations in args — so queue-wait changes from
+    // a scheduling policy are visible as slice widths, not just async
+    // arrows. Concurrent requests stack onto per-shard lanes (greedy
+    // interval assignment in arrival order) so slices on one track never
+    // overlap.
+    let mut reqs = spans(events);
+    reqs.sort_by_key(|s| (s.shard, s.arrival, s.id));
+    let mut cur_shard: Option<u32> = None;
+    let mut lane_free: Vec<SimTime> = Vec::new();
+    for s in &reqs {
+        if cur_shard != Some(s.shard) {
+            cur_shard = Some(s.shard);
+            lane_free.clear();
+        }
+        let lane = lane_free
+            .iter()
+            .position(|&free| free <= s.arrival)
+            .unwrap_or(lane_free.len());
+        let tid = TID_REQ_BASE + lane as u32;
+        if lane == lane_free.len() {
+            lane_free.push(SimTime::ZERO);
+            out.push(meta(
+                "thread_name",
+                s.shard,
+                tid,
+                &format!("requests {lane}"),
+            ));
+        }
+        lane_free[lane] = s.complete;
+        out.push(
+            base(s.kernel, "X", s.arrival.as_us_f64(), s.shard, tid)
+                .field("dur", s.latency().as_us_f64())
+                .field("cat", "request")
+                .field(
+                    "args",
+                    Json::obj()
+                        .field("id", s.id)
+                        .field("hw", s.hw)
+                        .field("buffer_wait_us", s.buffer_wait().as_us_f64())
+                        .field("queue_wait_us", s.queue_wait().as_us_f64())
+                        .field("reconfig_share_us", s.reconfig_share().as_us_f64())
+                        .field("execute_us", s.execute().as_us_f64()),
+                ),
+        );
+    }
     Json::obj()
         .field("traceEvents", Json::Arr(out))
         .field("displayTimeUnit", "ns")
@@ -323,7 +401,23 @@ mod tests {
         };
         assert_eq!(count("B"), count("E"), "duration slices balance");
         assert_eq!(count("b"), count("e"), "async arrows pair");
-        assert_eq!(count("M"), 4, "process + 3 thread names");
+        assert_eq!(count("M"), 5, "process + 3 thread names + 1 request lane");
+        // The completed request also renders as one X slice spanning
+        // arrival → completion with the phase breakdown attached.
+        assert_eq!(count("X"), 1, "one complete slice per request span");
+        let x = evs
+            .iter()
+            .find(|e| str_field(e, "ph") == Some("X"))
+            .unwrap();
+        let Json::Obj(xf) = x else { panic!() };
+        let num = |key: &str| {
+            xf.iter().find(|(k, _)| k == key).map(|(_, v)| match v {
+                Json::Num(n) => *n,
+                other => panic!("{key}: {other:?}"),
+            })
+        };
+        assert_eq!(num("ts"), Some(1.0), "slice opens at the true arrival");
+        assert_eq!(num("dur"), Some(8.0), "slice spans the whole latency");
         // The async begin carries the arrival timestamp, not the admit.
         let b = evs
             .iter()

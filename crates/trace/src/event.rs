@@ -41,6 +41,16 @@ pub enum EventKind {
         /// Service-local request id.
         id: u64,
     },
+    /// The batch scheduler picked which kernel's queue to drain next.
+    SchedDecision {
+        /// Batch-policy name (`fcfs_drain`, `swap_aware`, `lanes`).
+        policy: &'static str,
+        /// Kernel whose queue was chosen.
+        chosen: &'static str,
+        /// Module names of every non-empty queue at the decision point
+        /// (the chosen kernel is always among them).
+        candidates: Vec<&'static str>,
+    },
     /// A request completed and its latency was recorded.
     RequestComplete {
         /// Service-local request id.

@@ -47,6 +47,7 @@ fn main() {
         burst_percent: 40,
         min_payload: 12 * 1024,
         max_payload: 16 * 1024,
+        ..TrafficConfig::default()
     };
 
     println!(

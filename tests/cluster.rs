@@ -272,3 +272,48 @@ fn streaming_admission_keeps_peak_residency_bounded() {
         snap.peak_buffered
     );
 }
+
+#[test]
+fn per_shard_batch_policies_are_honored_and_deterministic() {
+    // A mixed-policy pool: shard 0 schedules swap-aware, shard 1 lanes.
+    // The pool must serve everything, verify every response, and equal
+    // seeds must reproduce the run byte-for-byte — per-shard policies
+    // included.
+    use vp2_repro::service::BatchPolicy;
+    let traffic = TrafficConfig {
+        requests: 24,
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        deadline_percent: 25,
+        deadline_budget: SimTime::from_ms(5),
+        ..TrafficConfig::default()
+    };
+    let run = || {
+        let mut cluster = Cluster::new(ClusterConfig {
+            shards: vec![
+                ShardSpec::new(SystemKind::Bit32).with_batch(BatchPolicy::swap_aware()),
+                ShardSpec::new(SystemKind::Bit32).with_batch(BatchPolicy::Lanes),
+            ],
+            kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+            flush_depth: 4,
+            ..ClusterConfig::uniform(SystemKind::Bit32, 2, RoutePolicy::RoundRobin)
+        });
+        cluster.run(traffic.stream()).to_json().render()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "mixed-policy cluster must be deterministic");
+    let json = vp2_repro::sim::Json::parse(&a).expect("valid JSON");
+    let total = json.get("total").expect("total metrics");
+    assert_eq!(
+        total
+            .get("completed")
+            .and_then(vp2_repro::sim::Json::as_f64),
+        Some(24.0)
+    );
+    assert_eq!(
+        total
+            .get("verify_failures")
+            .and_then(vp2_repro::sim::Json::as_f64),
+        Some(0.0)
+    );
+}

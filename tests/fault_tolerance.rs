@@ -19,6 +19,7 @@ fn traffic(requests: usize, kernels: Vec<Kernel>) -> Vec<(SimTime, Request)> {
         burst_percent: 50,
         min_payload: 128,
         max_payload: 1024,
+        ..TrafficConfig::default()
     }
     .generate()
 }

@@ -4,11 +4,14 @@
 //! sweeps a fixed number of cases drawn from `SplitMix64`, so failures
 //! reproduce exactly and the workspace builds with no external crates.
 
+use vp2_repro::apps::request::Kernel;
 use vp2_repro::apps::{imaging, jenkins, patmatch, sha1};
 use vp2_repro::bitstream::{apply_bitstream, differential_bitstream, full_bitstream, idcode_for};
 use vp2_repro::dock::DynamicModule;
 use vp2_repro::fabric::coords::{ClbCoord, LutIndex, SliceIndex};
 use vp2_repro::fabric::{ConfigMemory, Device, DeviceKind};
+use vp2_repro::rtr::SystemKind;
+use vp2_repro::service::{Service, ServiceConfig};
 use vp2_repro::sim::SplitMix64;
 
 const CASES: u64 = 24;
@@ -140,6 +143,53 @@ fn fade_interpolates() {
         let mid = imaging::reference_pixel(imaging::Task::Fade, a, b, 128);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         assert!(mid >= lo.saturating_sub(1) && mid <= hi.saturating_add(1));
+    }
+}
+
+/// `break_even_depth` is the exact payoff threshold of the calibrated
+/// cost model: for any kernel and payload, a swap-carrying batch of the
+/// returned depth strictly pays off in hardware, one request fewer does
+/// not, and a `None` means no depth ever will. The round-trip lookahead
+/// threshold can only sit at or above the single-swap one.
+#[test]
+fn break_even_depth_is_the_exact_payoff_threshold() {
+    for (k, kind) in [SystemKind::Bit32, SystemKind::Bit64].iter().enumerate() {
+        let svc = Service::new(ServiceConfig::new(*kind));
+        let cost = svc.cost_model();
+        for case in 0..CASES {
+            let mut rng = SplitMix64::new(0x5EED_0007 + case + 100 * k as u64);
+            for &kernel in Kernel::ALL.iter() {
+                let payload = 64 + rng.below(16 * 1024) as usize;
+                match cost.break_even_depth(kernel, payload) {
+                    Some(n) => {
+                        let batch = vec![payload; n];
+                        assert!(
+                            cost.hardware_pays_off(kernel, &batch, true),
+                            "{kind:?}/{kernel}@{payload}: depth {n} must pay"
+                        );
+                        assert!(
+                            !cost.hardware_pays_off(kernel, &batch[..n - 1], true),
+                            "{kind:?}/{kernel}@{payload}: depth {} must not pay",
+                            n - 1
+                        );
+                        if cost.hardware_pays_round_trip(kernel, &batch[..n - 1]) {
+                            panic!(
+                                "{kind:?}/{kernel}@{payload}: the round trip cannot \
+                                 pay below the single-swap threshold"
+                            );
+                        }
+                    }
+                    None => {
+                        // No hardware form, or hardware is never faster:
+                        // even an extreme depth must not flip the answer.
+                        assert!(
+                            !cost.hardware_pays_off(kernel, &vec![payload; 1024], true),
+                            "{kind:?}/{kernel}@{payload}: None yet depth 1024 pays"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

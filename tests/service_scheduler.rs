@@ -103,6 +103,7 @@ fn metrics_counters_reconcile_with_completed_requests() {
         burst_percent: 50,
         min_payload: 64,
         max_payload: 512,
+        ..TrafficConfig::default()
     }
     .generate();
 
