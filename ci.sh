@@ -21,10 +21,13 @@ cargo run --release --example fault_tolerance > /dev/null
 cargo run --release --example cluster_traffic > /dev/null
 
 echo "== observability smoke run =="
+# Scenario summaries land in the repo root as BENCH_*.json so every CI
+# run leaves a perf trajectory to diff between commits (the ROADMAP
+# scenario-matrix item); traces go to a scratch dir and are linted.
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$obs_dir"' EXIT
 cargo run --release -p rtr-bench --bin service_scenario -- \
-    --requests 24 --json "$obs_dir/summary.json" \
+    --requests 24 --json BENCH_service.json \
     --trace "$obs_dir/trace.json" --profile "$obs_dir/profile.json" \
     2> /dev/null
 # The exports must parse as JSON, the Chrome slices/arrows must balance,
@@ -37,12 +40,29 @@ echo "== scheduling-policy smoke run =="
 # The bin asserts swap-aware strictly beats FCFS on makespan and swaps;
 # gate on the JSON claim too so a silently-skipped assert still fails.
 cargo run --release -p rtr-bench --bin sched_scenario -- \
-    --json "$obs_dir/sched.json" --trace "$obs_dir/sched_trace.json" \
+    --json BENCH_sched.json --trace "$obs_dir/sched_trace.json" \
     2> /dev/null
-grep -q '"swap_aware_beats_fcfs": true' "$obs_dir/sched.json"
+grep -q '"swap_aware_beats_fcfs": true' BENCH_sched.json
 # The scheduler-decision instants (policy, chosen kernel, candidate
 # set) and per-request X slices must satisfy the lint invariants.
 cargo run --release -p rtr-bench --bin trace_lint -- \
     --trace "$obs_dir/sched_trace.json"
+
+echo "== cluster smoke run =="
+cargo run --release -p rtr-bench --bin cluster_scenario -- \
+    --json BENCH_cluster.json 2> /dev/null
+
+echo "== configuration-plane smoke run =="
+# The bin asserts the plane's headline claims (differential + cache cut
+# time and ICAP words, sub-slots cut full swaps, determinism, plane-off
+# byte identity); gate on the JSON claim too.
+cargo run --release -p rtr-bench --bin config_scenario -- \
+    --json BENCH_config.json --trace "$obs_dir/config_trace.json" \
+    2> /dev/null
+grep -q '"plane_beats_baseline": true' BENCH_config.json
+# The cache-lookup / diff-swap / slot-activate / slot-evict instants
+# must be self-describing and never claim to beat the full image.
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --trace "$obs_dir/config_trace.json"
 
 echo "CI OK"

@@ -493,11 +493,26 @@ pub fn patmatch_component(width: u16, height: u16) -> vp2_bitstream::Component {
 /// Shared helper: wraps a dock-protocol netlist into a relocatable
 /// component with the standard dock macros.
 pub fn build_component(
-    mut nl: Netlist,
+    nl: Netlist,
     bus_width: u16,
     region_w: u16,
     region_h: u16,
 ) -> vp2_bitstream::Component {
+    let name = nl.name.clone();
+    try_build_component(nl, bus_width, region_w, region_h)
+        .unwrap_or_else(|| panic!("{name}: does not place in {region_w}×{region_h} CLBs"))
+}
+
+/// [`build_component`] for footprints that may legitimately not fit —
+/// sub-slot registration sizes components to a fraction of the region,
+/// and a kernel too large for the slot falls back to software instead of
+/// panicking. `None` when the netlist cannot be placed in the footprint.
+pub fn try_build_component(
+    mut nl: Netlist,
+    bus_width: u16,
+    region_w: u16,
+    region_h: u16,
+) -> Option<vp2_bitstream::Component> {
     // The netlists above declare their own din/wr/... ports directly; the
     // bus macros are added as pass-through pins on top (component-private
     // LUTs pinned at the agreed sites would double every port net, so for
@@ -518,11 +533,11 @@ pub fn build_component(
         }
     }
     let name = nl.name.clone();
-    let placement = placer
-        .place(&nl, region_w, region_h)
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
-    vp2_bitstream::Component::new(name, nl, placement, vec![dm.write, dm.read, dm.strobe])
-        .expect("netlist valid")
+    let placement = placer.place(&nl, region_w, region_h).ok()?;
+    Some(
+        vp2_bitstream::Component::new(name, nl, placement, vec![dm.write, dm.read, dm.strobe])
+            .expect("netlist valid"),
+    )
 }
 
 // ---------------------------------------------------------------------

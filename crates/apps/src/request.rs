@@ -367,6 +367,26 @@ pub fn component_for(kernel: Kernel, kind: SystemKind) -> Option<Component> {
     ))
 }
 
+/// Like [`component_for`], but placed into a `slot_width`-column
+/// footprint (a multi-module sub-slot of the region) instead of the full
+/// region width. `None` when the kernel has no hardware form on the
+/// system *or* its netlist does not fit the slot — the caller keeps the
+/// kernel on the software path in that case.
+pub fn component_for_slot(kernel: Kernel, kind: SystemKind, slot_width: u16) -> Option<Component> {
+    if kernel == Kernel::Sha1 && kind == SystemKind::Bit32 {
+        return None;
+    }
+    let nl = match kernel {
+        Kernel::Sha1 => sha1::sha1_netlist(),
+        Kernel::Jenkins => jenkins_carrier_netlist(),
+        Kernel::PatMatch => patmatch::patmatch_netlist(),
+        Kernel::Brightness | Kernel::Blend | Kernel::Fade => {
+            imaging::imaging_netlist(kernel.imaging_task().expect("imaging kernel"))
+        }
+    };
+    patmatch::try_build_component(nl, kind.dock_width(), slot_width, kind.region().height())
+}
+
 /// Behavioural-model factory for a kernel (what `ModuleManager::register`
 /// binds after a verified load).
 pub fn factory_for(kernel: Kernel) -> ModuleFactory {

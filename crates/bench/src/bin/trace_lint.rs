@@ -7,7 +7,10 @@
 //!   arrows paired per `id`, complete `X` slices carrying a
 //!   non-negative `dur`, and every `sched decision` instant naming its
 //!   `policy`, a `chosen` kernel, and a non-empty candidate set that
-//!   contains the choice.
+//!   contains the choice. Configuration-plane instants are checked
+//!   too: `cache lookup` must carry a module and a boolean verdict,
+//!   `diff swap` a word/frame accounting that never exceeds the full
+//!   image, and `slot activate`/`slot evict` a module and slot index.
 //! * `--profile p.json` — the file must parse as JSON and every
 //!   shard's `busy_frac + reconfig_frac + idle_frac + quarantined_frac`
 //!   must sum to 1 (±1e-9), or to 0 for an empty makespan.
@@ -51,6 +54,7 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
     let mut depth: HashMap<(i64, i64), i64> = HashMap::new();
     let mut arrows: HashMap<String, i64> = HashMap::new();
     let mut decisions = 0usize;
+    let mut plane_events = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let name = ev.get("name").and_then(Json::as_str);
         let ph = ev.get("ph").and_then(Json::as_str);
@@ -95,6 +99,60 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
                 _ => problems.push(format!(
                     "{path}: event {i}: sched decision missing policy/chosen/candidates"
                 )),
+            }
+        }
+        // Configuration-plane instants are self-describing as well: each
+        // names its module, and the differential accounting can never
+        // claim to have sent more than the full image holds.
+        if ph == "i" {
+            let args = ev.get("args");
+            let module_ok = args
+                .and_then(|a| a.get("module"))
+                .and_then(Json::as_str)
+                .is_some_and(|m| !m.is_empty());
+            match name {
+                "cache lookup" => {
+                    plane_events += 1;
+                    let hit = args.and_then(|a| a.get("hit"));
+                    if !module_ok || !matches!(hit, Some(Json::Bool(_))) {
+                        problems.push(format!(
+                            "{path}: event {i}: cache lookup missing module/hit"
+                        ));
+                    }
+                }
+                "diff swap" => {
+                    plane_events += 1;
+                    let count = |key: &str| args.and_then(|a| a.get(key)).and_then(Json::as_f64);
+                    match (
+                        count("frames_full"),
+                        count("frames_sent"),
+                        count("words_full"),
+                        count("words_sent"),
+                    ) {
+                        (Some(ff), Some(fs), Some(wf), Some(ws)) => {
+                            if fs > ff || ws > wf {
+                                problems.push(format!(
+                                    "{path}: event {i}: diff swap sent more than the \
+                                     full image ({fs}/{ff} frames, {ws}/{wf} words)"
+                                ));
+                            }
+                        }
+                        _ => problems.push(format!(
+                            "{path}: event {i}: diff swap missing frame/word accounting"
+                        )),
+                    }
+                    if !module_ok {
+                        problems.push(format!("{path}: event {i}: diff swap without a module"));
+                    }
+                }
+                "slot activate" | "slot evict" => {
+                    plane_events += 1;
+                    let slot = args.and_then(|a| a.get("slot")).and_then(Json::as_f64);
+                    if !module_ok || !slot.is_some_and(|s| s >= 0.0) {
+                        problems.push(format!("{path}: event {i}: {name} missing module/slot"));
+                    }
+                }
+                _ => {}
             }
         }
         let track = (pid as i64, tid as i64);
@@ -144,7 +202,8 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
         }
     }
     eprintln!(
-        "[lint] {path}: {} events, {decisions} sched decision(s)",
+        "[lint] {path}: {} events, {decisions} sched decision(s), \
+         {plane_events} config-plane instant(s)",
         events.len()
     );
 }

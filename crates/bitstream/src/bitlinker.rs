@@ -177,6 +177,14 @@ impl BitLinker {
         &self.region
     }
 
+    /// Registers additional agreed footprints. A multi-module floorplan
+    /// registers one translated dock-macro set per sub-slot: a component
+    /// may then land on *any* same-named contract (each sub-slot origin
+    /// lines its macros up with exactly one of them).
+    pub fn add_expected_macros(&mut self, macros: impl IntoIterator<Item = BusMacro>) {
+        self.expected_macros.extend(macros);
+    }
+
     /// The device this linker targets.
     pub fn device(&self) -> &Device {
         &self.device
@@ -258,6 +266,48 @@ impl BitLinker {
             clbs_used,
         };
         Ok((bs, report))
+    }
+
+    /// Like [`BitLinker::link`], but emits only the given frames — the
+    /// complete configuration of one sub-slot of a multi-module
+    /// floorplan. Frames are per-column, so a sub-slot spanning a
+    /// distinct column range owns a disjoint frame set and the emitted
+    /// stream cannot disturb a co-resident neighbour.
+    pub fn link_frames(
+        &self,
+        component: &Component,
+        origin: (u16, u16),
+        frames: &[FrameAddress],
+    ) -> Result<(Bitstream, LinkReport), AssembleError> {
+        let merged = self.linked_state(component, origin)?;
+        let bs = partial_bitstream(&merged, frames, self.idcode);
+        let report = LinkReport {
+            frames: frames.len(),
+            words: bs.word_count(),
+            clbs_used: component.placement.clbs_used(),
+        };
+        Ok((bs, report))
+    }
+
+    /// The merged full-device state `link`/`link_frames` of one component
+    /// establishes (fit and macro contracts checked).
+    pub fn linked_state(
+        &self,
+        component: &Component,
+        origin: (u16, u16),
+    ) -> Result<ConfigMemory, AssembleError> {
+        let (w, h) = component.extent();
+        if origin.0 + w > self.region.width() || origin.1 + h > self.region.height() {
+            return Err(AssembleError::DoesNotFit {
+                component: component.name.clone(),
+                needed: (origin.0 + w, origin.1 + h),
+                region: (self.region.width(), self.region.height()),
+            });
+        }
+        for m in &component.macros {
+            self.check_macro(component, m, origin)?;
+        }
+        self.expected_state(&[(component, origin)])
     }
 
     /// Produces the *empty region* configuration (unloads any module).
@@ -374,14 +424,19 @@ impl BitLinker {
 
     /// Checks a component macro against the agreed footprints: a macro with
     /// a matching name must land (after translation by `origin`) exactly on
-    /// the expected region-relative sites.
+    /// one of the expected region-relative site sets. With a single-slot
+    /// floorplan there is exactly one contract per name, so this is the
+    /// original exact-footprint check; a multi-module floorplan registers
+    /// one translated contract per sub-slot and a component is accepted
+    /// at whichever sub-slot its macros line up with.
     fn check_macro(
         &self,
         comp: &Component,
         m: &BusMacro,
         origin: (u16, u16),
     ) -> Result<(), AssembleError> {
-        let Some(expected) = self.expected_macros.iter().find(|e| e.name == m.name) else {
+        let mut contracts = self.expected_macros.iter().filter(|e| e.name == m.name);
+        let Some(first) = contracts.next() else {
             // Component-private macros (component-to-component links) are
             // not checked against the dock contract.
             return Ok(());
@@ -400,7 +455,8 @@ impl BitLinker {
                 )
             })
             .collect();
-        if translated != expected.sites || m.kind != expected.kind {
+        let lands_on = |e: &BusMacro| translated == e.sites && m.kind == e.kind;
+        if !lands_on(first) && !contracts.any(lands_on) {
             return Err(AssembleError::MacroMismatch {
                 component: comp.name.clone(),
                 macro_name: m.name.clone(),

@@ -20,6 +20,7 @@
 
 pub mod bitlinker;
 pub mod builder;
+pub mod compress;
 pub mod crc;
 pub mod fault;
 pub mod packet;
@@ -29,6 +30,7 @@ pub use builder::{
     apply_bitstream, apply_bitstream_faulty, differential_bitstream, full_bitstream,
     partial_bitstream, ApplyError, ApplyReport,
 };
+pub use compress::{compress_words, decompress_words, is_compressed, COMPRESSED_MAGIC};
 pub use fault::FaultPlan;
 pub use packet::{Bitstream, ConfigRegister, Packet, SYNC_WORD};
 

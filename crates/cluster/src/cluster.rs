@@ -24,6 +24,11 @@ pub struct ShardSpec {
     /// pool can mix policies (e.g. one lanes shard for deadline traffic
     /// in front of swap-aware bulk shards).
     pub batch: BatchPolicy,
+    /// Configuration-plane features (bitstream cache, differential frame
+    /// compression, multi-module sub-slots) for this shard's service.
+    /// Per-shard: a pool can dedicate a multi-module shard to small
+    /// co-resident kernels while the rest run whole-region swaps.
+    pub plane: rtr_configplane::ConfigPlaneConfig,
 }
 
 impl ShardSpec {
@@ -34,6 +39,7 @@ impl ShardSpec {
             fault_rate: 0.0,
             fault_seed: 0x5EED_FA57,
             batch: BatchPolicy::FcfsDrain,
+            plane: rtr_configplane::ConfigPlaneConfig::default(),
         }
     }
 
@@ -49,6 +55,11 @@ impl ShardSpec {
     /// Same shard under a different batch-scheduling policy.
     pub fn with_batch(self, batch: BatchPolicy) -> ShardSpec {
         ShardSpec { batch, ..self }
+    }
+
+    /// Same shard with the given configuration-plane features.
+    pub fn with_plane(self, plane: rtr_configplane::ConfigPlaneConfig) -> ShardSpec {
+        ShardSpec { plane, ..self }
     }
 }
 
@@ -126,6 +137,7 @@ impl Cluster {
                     verify: config.verify,
                     kernels: config.kernels.clone(),
                     batch: spec.batch,
+                    plane: spec.plane.clone(),
                     quarantine_cooldown: config.quarantine_cooldown,
                     trace: config.trace.with_shard(id as u32),
                     ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)

@@ -78,12 +78,16 @@ impl ClusterSnapshot {
         let mut per_shard = Vec::with_capacity(shards.len());
         for shard in shards {
             all.absorb(shard.window());
+            let mut metrics = shard.window().snapshot(shard.elapsed());
+            // Per-shard configuration-plane counters ride along (None
+            // when the shard's plane features are all off).
+            metrics.plane = shard.service().plane_snapshot();
             per_shard.push(ShardSnapshot {
                 id: shard.id(),
                 kind: shard.service().kind(),
                 admitted: shard.admitted(),
                 elapsed: shard.elapsed(),
-                metrics: shard.window().snapshot(shard.elapsed()),
+                metrics,
             });
         }
         let total = all.snapshot(makespan);

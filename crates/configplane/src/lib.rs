@@ -1,0 +1,140 @@
+//! # rtr-configplane — the configuration-data plane behind the manager
+//!
+//! The paper's "implementation issues" are configuration-plane issues:
+//! assembling partial bitstreams, paying the ICAP transfer cost, and
+//! keeping the region discipline that makes relocation safe. This crate
+//! packages the three levers that cut that cost without weakening the
+//! discipline:
+//!
+//! * [`cache`] — a bounded, deterministic-LRU **bitstream cache** keyed
+//!   by a content hash of (component, placement, current slot state), so
+//!   a repeated swap replays a ready transfer image instead of re-running
+//!   diffing and assembly;
+//! * [`slots`] — **multi-module floorplans**: a dynamic region split into
+//!   column-aligned sub-slots with disjoint frame sets and per-slot
+//!   bus-macro contracts, so two small kernels are co-resident and one
+//!   swaps without evicting the other;
+//! * [`ConfigPlaneConfig`]/[`ConfigPlaneStats`] — the feature knobs and
+//!   the counters the service exports. Everything defaults **off**: with
+//!   the default config the manager byte-for-byte reproduces the
+//!   pre-configplane load path.
+//!
+//! Differential frame selection and the run/dictionary coder themselves
+//! live in `vp2-bitstream` (`mismatched_frames` + `compress`); this crate
+//! owns the policy and bookkeeping around them.
+
+pub mod cache;
+pub mod slots;
+
+pub use cache::{BitstreamCache, CachedStream, Fingerprint};
+pub use slots::{Slot, SlotPlan, SlotPlanError};
+
+/// Feature knobs for the configuration plane. The default disables every
+/// feature, reproducing the pre-configplane load path exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigPlaneConfig {
+    /// Bitstream-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Emit only frames that differ from the slot's live configuration
+    /// instead of the complete slot image.
+    pub differential: bool,
+    /// Run/dictionary-compress transfer streams when that shortens them.
+    pub compress: bool,
+    /// Column widths of the region's sub-slots (must sum to the region
+    /// width). Empty = one slot covering the whole region.
+    pub slot_widths: Vec<u16>,
+}
+
+impl ConfigPlaneConfig {
+    /// Everything on: cache, differential transfers, compression. The
+    /// slot plan stays single-slot unless `slot_widths` is set.
+    pub fn full() -> Self {
+        ConfigPlaneConfig {
+            cache_capacity: 16,
+            differential: true,
+            compress: true,
+            slot_widths: Vec::new(),
+        }
+    }
+
+    /// Is any feature enabled?
+    pub fn enabled(&self) -> bool {
+        self.cache_capacity > 0
+            || self.differential
+            || self.compress
+            || !self.slot_widths.is_empty()
+    }
+}
+
+/// Counters the plane accumulates across loads; exported by the service
+/// metrics and journaled per-swap by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigPlaneStats {
+    /// Cache lookups that replayed a ready transfer image.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to diffing/assembly.
+    pub cache_misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub cache_evictions: u64,
+    /// Frames the full-image path would have written.
+    pub frames_full: u64,
+    /// Frames actually written (differential selection).
+    pub frames_sent: u64,
+    /// Words the full-image path would have moved through the ICAP.
+    pub words_full: u64,
+    /// Words actually moved (after diffing and compression).
+    pub words_sent: u64,
+    /// Streams that went over the bus in compressed form.
+    pub compressed_streams: u64,
+    /// Loads satisfied by re-activating a co-resident slot (no ICAP
+    /// traffic at all).
+    pub activations: u64,
+    /// Sub-slot residents displaced to make room.
+    pub slot_evictions: u64,
+}
+
+impl ConfigPlaneStats {
+    /// Fraction of full-path words actually moved (1.0 when nothing was
+    /// saved or nothing was loaded).
+    pub fn diff_ratio(&self) -> f64 {
+        if self.words_full == 0 {
+            1.0
+        } else {
+            self.words_sent as f64 / self.words_full as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_disables_everything() {
+        let cfg = ConfigPlaneConfig::default();
+        assert!(!cfg.enabled());
+        assert_eq!(cfg.cache_capacity, 0);
+        assert!(!cfg.differential);
+        assert!(!cfg.compress);
+        assert!(cfg.slot_widths.is_empty());
+    }
+
+    #[test]
+    fn full_config_enables_the_plane() {
+        assert!(ConfigPlaneConfig::full().enabled());
+        assert!(ConfigPlaneConfig {
+            slot_widths: vec![14, 14],
+            ..ConfigPlaneConfig::default()
+        }
+        .enabled());
+    }
+
+    #[test]
+    fn diff_ratio_degenerates_to_one() {
+        let mut s = ConfigPlaneStats::default();
+        assert_eq!(s.diff_ratio(), 1.0);
+        s.words_full = 200;
+        s.words_sent = 50;
+        assert_eq!(s.diff_ratio(), 0.25);
+    }
+}

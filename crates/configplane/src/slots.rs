@@ -1,0 +1,256 @@
+//! Multi-module floorplans: column-aligned sub-slots of a dynamic region.
+//!
+//! Configuration frames are per-column (every minor of a CLB column is
+//! one frame), so a sub-slot that owns a distinct CLB column range owns
+//! a **disjoint frame set**: reconfiguring one sub-slot cannot disturb a
+//! co-resident neighbour, by construction rather than by convention.
+//! That is the same argument the paper makes for partial-height regions,
+//! applied once more inside the region.
+//!
+//! Each sub-slot carries its own bus-macro contract — the region's dock
+//! macros translated to the slot's left edge — so the existing assembly
+//! checks (`BitLinker::check_macro`) keep guarding the boundary: a
+//! component is accepted at a slot only if its macros land exactly on
+//! that slot's agreed sites.
+//!
+//! BRAM columns are not split: the whole BRAM allocation rides with slot
+//! 0, so components that need BRAM must target it.
+
+use std::ops::Range;
+
+use vp2_bitstream::Component;
+use vp2_fabric::config::{FrameAddress, FrameBlock, MINORS_PER_CLB_COL};
+use vp2_fabric::region::DynamicRegion;
+use vp2_netlist::busmacro::BusMacro;
+
+/// Errors from floorplan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotPlanError {
+    /// Sub-slot widths must sum exactly to the region width.
+    WidthMismatch {
+        /// Sum of the requested widths.
+        requested: u16,
+        /// The region's width in CLB columns.
+        region: u16,
+    },
+    /// A zero-width slot is meaningless.
+    EmptySlot,
+}
+
+impl std::fmt::Display for SlotPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotPlanError::WidthMismatch { requested, region } => write!(
+                f,
+                "slot widths sum to {requested} columns but the region has {region}"
+            ),
+            SlotPlanError::EmptySlot => f.write_str("zero-width slot"),
+        }
+    }
+}
+
+impl std::error::Error for SlotPlanError {}
+
+/// One independently reconfigurable sub-slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Position in the plan (slot 0 owns the region's BRAMs).
+    pub index: usize,
+    /// Region-relative CLB column range.
+    pub cols: Range<u16>,
+    /// Frames a reconfiguration of this slot writes — disjoint from
+    /// every other slot's set.
+    pub frames: Vec<FrameAddress>,
+}
+
+impl Slot {
+    /// Region-relative origin components are linked at.
+    pub fn origin(&self) -> (u16, u16) {
+        (self.cols.start, 0)
+    }
+
+    /// Width in CLB columns.
+    pub fn width(&self) -> u16 {
+        self.cols.end - self.cols.start
+    }
+
+    /// Does a component's bounding box fit this slot (full region
+    /// height assumed available)?
+    pub fn fits(&self, component: &Component, region_height: u16) -> bool {
+        let (w, h) = component.extent();
+        w <= self.width() && h <= region_height
+    }
+
+    /// The slot's bus-macro contract: `macros` translated to the slot's
+    /// left edge. Registering these with the BitLinker makes the
+    /// assembly checks accept components at this slot.
+    pub fn translate_macros(&self, macros: &[BusMacro]) -> Vec<BusMacro> {
+        macros
+            .iter()
+            .map(|m| m.translated(self.cols.start, 0))
+            .collect()
+    }
+}
+
+/// A region's floorplan: one or more sub-slots covering its columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// The sub-slots, left to right.
+    pub slots: Vec<Slot>,
+}
+
+impl SlotPlan {
+    /// The trivial floorplan: one slot covering the whole region. Its
+    /// frame set equals `region.writable_frames()`, so single-slot
+    /// operation is indistinguishable from the pre-configplane path.
+    pub fn single(region: &DynamicRegion) -> Self {
+        SlotPlan {
+            slots: vec![Slot {
+                index: 0,
+                cols: 0..region.width(),
+                frames: region.writable_frames(),
+            }],
+        }
+    }
+
+    /// Splits the region into sub-slots of the given column widths
+    /// (summing to the region width). CLB frames are dealt to the slot
+    /// owning the column; BRAM frames all ride with slot 0.
+    pub fn split(region: &DynamicRegion, widths: &[u16]) -> Result<Self, SlotPlanError> {
+        if widths.is_empty() {
+            return Ok(Self::single(region));
+        }
+        if widths.contains(&0) {
+            return Err(SlotPlanError::EmptySlot);
+        }
+        let total: u16 = widths.iter().sum();
+        if total != region.width() {
+            return Err(SlotPlanError::WidthMismatch {
+                requested: total,
+                region: region.width(),
+            });
+        }
+        let mut slots = Vec::with_capacity(widths.len());
+        let mut start = 0u16;
+        for (index, &w) in widths.iter().enumerate() {
+            let cols = start..start + w;
+            let mut frames = Vec::new();
+            for col in cols.clone() {
+                let dev_col = region.cols.start + col;
+                for minor in 0..MINORS_PER_CLB_COL {
+                    frames.push(FrameAddress {
+                        block: FrameBlock::Clb { col: dev_col },
+                        minor,
+                    });
+                }
+            }
+            if index == 0 {
+                frames.extend(
+                    region
+                        .writable_frames()
+                        .into_iter()
+                        .filter(|f| !matches!(f.block, FrameBlock::Clb { .. })),
+                );
+            }
+            slots.push(Slot {
+                index,
+                cols,
+                frames,
+            });
+            start += w;
+        }
+        Ok(SlotPlan { slots })
+    }
+
+    /// More than one slot?
+    pub fn is_multi(&self) -> bool {
+        self.slots.len() > 1
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// A plan always has at least one slot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vp2_fabric::region::{region_32bit, region_64bit};
+    use vp2_fabric::{Device, DeviceKind};
+
+    #[test]
+    fn single_slot_matches_the_region() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let region = region_32bit(&dev);
+        let plan = SlotPlan::single(&region);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_multi());
+        assert_eq!(plan.slots[0].frames, region.writable_frames());
+        assert_eq!(plan.slots[0].origin(), (0, 0));
+    }
+
+    #[test]
+    fn split_partitions_the_frames() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let region = region_64bit(&dev);
+        let plan = SlotPlan::split(&region, &[16, 16]).unwrap();
+        assert!(plan.is_multi());
+        let (a, b) = (&plan.slots[0], &plan.slots[1]);
+        assert_eq!(a.width(), 16);
+        assert_eq!(b.origin(), (16, 0));
+        // Disjoint frame sets…
+        assert!(a.frames.iter().all(|f| !b.frames.contains(f)));
+        // …that together cover exactly the region's writable frames.
+        let mut union: Vec<_> = a.frames.iter().chain(&b.frames).copied().collect();
+        let mut all = region.writable_frames();
+        union.sort();
+        all.sort();
+        assert_eq!(union, all);
+        // BRAM frames all live in slot 0.
+        assert!(b
+            .frames
+            .iter()
+            .all(|f| matches!(f.block, FrameBlock::Clb { .. })));
+    }
+
+    #[test]
+    fn split_validates_widths() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let region = region_32bit(&dev);
+        assert_eq!(
+            SlotPlan::split(&region, &[10, 10]).unwrap_err(),
+            SlotPlanError::WidthMismatch {
+                requested: 20,
+                region: 28
+            }
+        );
+        assert_eq!(
+            SlotPlan::split(&region, &[28, 0]).unwrap_err(),
+            SlotPlanError::EmptySlot
+        );
+        // Empty width list degrades to the single-slot plan.
+        assert_eq!(
+            SlotPlan::split(&region, &[]).unwrap(),
+            SlotPlan::single(&region)
+        );
+    }
+
+    #[test]
+    fn translated_contract_moves_with_the_slot() {
+        let dev = Device::new(DeviceKind::Xc2vp30);
+        let region = region_64bit(&dev);
+        let plan = SlotPlan::split(&region, &[16, 16]).unwrap();
+        let m = BusMacro::lut_based("dock_write32", 32, 0, 0);
+        let moved = plan.slots[1].translate_macros(std::slice::from_ref(&m));
+        assert_eq!(moved[0].name, m.name);
+        assert_eq!(moved[0].sites[0].0.clb.col, 16);
+        let unmoved = plan.slots[0].translate_macros(std::slice::from_ref(&m));
+        assert_eq!(unmoved[0], m);
+    }
+}

@@ -21,6 +21,10 @@ use crate::system::{bitlinker_for, SystemKind};
 use coreconnect_sim::map;
 use dock::DynamicModule;
 use ppc405_sim::mem::MemoryPort;
+use rtr_configplane::{
+    BitstreamCache, CachedStream, ConfigPlaneConfig, ConfigPlaneStats, Fingerprint, SlotPlan,
+    SlotPlanError,
+};
 use rtr_trace::{EventKind, Tracer};
 use std::collections::HashMap;
 use vp2_bitstream::{AssembleError, BitLinker, Bitstream, Component};
@@ -45,6 +49,12 @@ pub struct RegisteredModule {
 pub enum LoadOutcome {
     /// The module was already resident; nothing was transferred.
     AlreadyLoaded,
+    /// Multi-module floorplan: the module was still configured in another
+    /// sub-slot, so the dock was rebound to it with zero ICAP traffic.
+    Activated {
+        /// Sub-slot the module resides in.
+        slot: usize,
+    },
     /// A reconfiguration ran and readback confirms the region state.
     Loaded {
         /// Total time from first HWICAP word to end of ICAP shift,
@@ -141,11 +151,29 @@ impl std::error::Error for LoadError {}
 
 /// The run-time reconfiguration manager.
 pub struct ModuleManager {
+    kind: SystemKind,
     linker: BitLinker,
     modules: HashMap<String, RegisteredModule>,
-    /// Linked configuration cache: name → (bitstream, expected state).
-    cache: HashMap<String, (Bitstream, ConfigMemory)>,
-    loaded: Option<String>,
+    /// Linked images per (module, sub-slot): full slot bitstream plus the
+    /// expected post-load state. With the default single-slot floorplan
+    /// this is the original per-module configuration cache.
+    images: HashMap<(String, usize), (Bitstream, ConfigMemory)>,
+    /// Module the dock is bound to.
+    active: Option<String>,
+    /// Configuration-plane feature knobs (default: everything off).
+    plane: ConfigPlaneConfig,
+    /// The region's floorplan (default: one slot covering the region).
+    slot_plan: SlotPlan,
+    /// Module configured in each sub-slot.
+    residents: Vec<Option<String>>,
+    /// Last-touch tick per sub-slot (deterministic LRU eviction).
+    slot_touched: Vec<u64>,
+    /// Monotonic touch counter for `slot_touched`.
+    slot_tick: u64,
+    /// Transfer-image cache (disabled unless the plane enables it).
+    stream_cache: BitstreamCache,
+    /// Differential/compression/slot counters.
+    stats: ConfigPlaneStats,
     /// Per-module health counters.
     health: HashMap<String, ModuleHealth>,
     /// Retry/repair policy applied by [`ModuleManager::load`].
@@ -162,7 +190,8 @@ impl std::fmt::Debug for ModuleManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ModuleManager")
             .field("modules", &self.modules.keys().collect::<Vec<_>>())
-            .field("loaded", &self.loaded)
+            .field("active", &self.active)
+            .field("residents", &self.residents)
             .finish()
     }
 }
@@ -170,16 +199,81 @@ impl std::fmt::Debug for ModuleManager {
 impl ModuleManager {
     /// Manager for one of the two systems.
     pub fn new(kind: SystemKind) -> Self {
+        let linker = bitlinker_for(kind);
+        let slot_plan = SlotPlan::single(linker.region());
         ModuleManager {
-            linker: bitlinker_for(kind),
+            kind,
+            linker,
             modules: HashMap::new(),
-            cache: HashMap::new(),
-            loaded: None,
+            images: HashMap::new(),
+            active: None,
+            plane: ConfigPlaneConfig::default(),
+            residents: vec![None],
+            slot_touched: vec![0],
+            slot_tick: 0,
+            slot_plan,
+            stream_cache: BitstreamCache::new(0),
+            stats: ConfigPlaneStats::default(),
             health: HashMap::new(),
             retry: RetryPolicy::default(),
             total_reconfig_time: SimTime::ZERO,
             reconfigurations: 0,
             tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Configures the plane: cache capacity, differential transfers,
+    /// compression and the sub-slot floorplan. Must run before modules are
+    /// registered — registration links one image per fitting sub-slot.
+    ///
+    /// With `ConfigPlaneConfig::default()` every load behaves exactly as
+    /// it did before the plane existed.
+    pub fn configure_plane(&mut self, plane: ConfigPlaneConfig) -> Result<(), SlotPlanError> {
+        assert!(
+            self.modules.is_empty(),
+            "configure the plane before registering modules"
+        );
+        let slot_plan = SlotPlan::split(self.linker.region(), &plane.slot_widths)?;
+        // Every sub-slot gets its own dock-macro contract (the base set
+        // translated to the slot's left edge) so assembly checks accept a
+        // component at exactly the slot whose sites its macros land on.
+        let dm = self.kind.dock_macros();
+        let base = [dm.write, dm.read, dm.strobe];
+        for slot in slot_plan.slots.iter().skip(1) {
+            self.linker
+                .add_expected_macros(slot.translate_macros(&base));
+        }
+        self.residents = vec![None; slot_plan.len()];
+        self.slot_touched = vec![0; slot_plan.len()];
+        self.stream_cache = BitstreamCache::new(plane.cache_capacity);
+        self.slot_plan = slot_plan;
+        self.plane = plane;
+        Ok(())
+    }
+
+    /// The active plane configuration.
+    pub fn plane(&self) -> &ConfigPlaneConfig {
+        &self.plane
+    }
+
+    /// The region's floorplan.
+    pub fn slot_plan(&self) -> &SlotPlan {
+        &self.slot_plan
+    }
+
+    /// Module configured in each sub-slot (index = slot).
+    pub fn residents(&self) -> Vec<Option<&str>> {
+        self.residents.iter().map(Option::as_deref).collect()
+    }
+
+    /// Accumulated configuration-plane counters (cache hits/misses/
+    /// evictions folded in from the stream cache).
+    pub fn plane_stats(&self) -> ConfigPlaneStats {
+        ConfigPlaneStats {
+            cache_hits: self.stream_cache.hits(),
+            cache_misses: self.stream_cache.misses(),
+            cache_evictions: self.stream_cache.evictions(),
+            ..self.stats
         }
     }
 
@@ -191,7 +285,10 @@ impl ModuleManager {
 
     /// Registers a module, eagerly linking its configuration (so placement
     /// and macro errors surface at registration time, like BitLinker runs
-    /// at design time).
+    /// at design time). With a multi-module floorplan one image is linked
+    /// per sub-slot the component fits, at that slot's origin; `origin` is
+    /// the offset within the slot. A component that fits no slot is
+    /// rejected with the first linking error.
     pub fn register(
         &mut self,
         component: Component,
@@ -199,9 +296,26 @@ impl ModuleManager {
         factory: ModuleFactory,
     ) -> Result<(), AssembleError> {
         let name = component.name.clone();
-        let (bs, _report) = self.linker.link(&component, origin)?;
-        let expected = self.linker.expected_state(&[(&component, origin)])?;
-        self.cache.insert(name.clone(), (bs, expected));
+        let idcode = vp2_bitstream::idcode_for(self.linker.device().kind);
+        let mut first_err = None;
+        let mut linked_any = false;
+        for slot in &self.slot_plan.slots {
+            let slot_origin = (slot.cols.start + origin.0, origin.1);
+            match self.linker.linked_state(&component, slot_origin) {
+                Ok(expected) => {
+                    let bs = vp2_bitstream::partial_bitstream(&expected, &slot.frames, idcode);
+                    self.images
+                        .insert((name.clone(), slot.index), (bs, expected));
+                    linked_any = true;
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if !linked_any {
+            return Err(first_err.expect("a plan always has at least one slot"));
+        }
         self.modules.insert(
             name,
             RegisteredModule {
@@ -220,9 +334,9 @@ impl ModuleManager {
         v
     }
 
-    /// Currently loaded module.
+    /// Currently active (dock-bound) module.
     pub fn loaded(&self) -> Option<&str> {
-        self.loaded.as_deref()
+        self.active.as_deref()
     }
 
     /// Health counters for a registered module (None until its first load).
@@ -247,23 +361,183 @@ impl ModuleManager {
     /// the caller can fall back to software. A clean load is untouched by
     /// any of this: one feed, one verify, no back-off.
     pub fn load(&mut self, m: &mut Machine, name: &str) -> Result<LoadOutcome, LoadError> {
-        if self.loaded.as_deref() == Some(name) {
+        if self.active.as_deref() == Some(name) {
             return Ok(LoadOutcome::AlreadyLoaded);
         }
         let reg = self
             .modules
             .get(name)
             .ok_or_else(|| LoadError::Unknown(name.to_string()))?;
-        let (bs, expected) = self
-            .cache
-            .get(name)
-            .expect("registration always fills the cache");
-        let region_frames = self.linker.region_frames();
+
+        // Multi-module fast path: the module is still configured in some
+        // sub-slot, so making it active is a dock rebind — zero ICAP words.
+        if self.slot_plan.is_multi() {
+            if let Some(slot) = self
+                .residents
+                .iter()
+                .position(|r| r.as_deref() == Some(name))
+            {
+                let model = (reg.factory)();
+                match &mut m.platform.dock {
+                    Docks::Opb(d) => {
+                        d.bind_module(model);
+                    }
+                    Docks::Plb(d) => {
+                        d.bind_module(model);
+                    }
+                }
+                self.active = Some(name.to_string());
+                self.slot_tick += 1;
+                self.slot_touched[slot] = self.slot_tick;
+                self.stats.activations += 1;
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        m.cpu.now(),
+                        EventKind::SlotActivate {
+                            module: name.to_string(),
+                            slot: slot as u32,
+                        },
+                    );
+                }
+                return Ok(LoadOutcome::Activated { slot });
+            }
+        }
+
+        // Pick a sub-slot among those the module was linked for: an empty
+        // one if available, otherwise the least-recently-touched.
+        let candidates: Vec<usize> = self
+            .slot_plan
+            .slots
+            .iter()
+            .map(|s| s.index)
+            .filter(|&i| self.images.contains_key(&(name.to_string(), i)))
+            .collect();
+        let slot_idx = *candidates
+            .iter()
+            .find(|&&i| self.residents[i].is_none())
+            .or_else(|| candidates.iter().min_by_key(|&&i| self.slot_touched[i]))
+            .expect("registration links at least one slot image");
+        if let Some(evicted) = self.residents[slot_idx].take() {
+            if self.slot_plan.is_multi() {
+                self.stats.slot_evictions += 1;
+                if self.tracer.on() {
+                    self.tracer.emit(
+                        m.cpu.now(),
+                        EventKind::SlotEvict {
+                            module: evicted,
+                            slot: slot_idx as u32,
+                        },
+                    );
+                }
+            }
+        }
+
+        let (full_bs, expected) = self
+            .images
+            .get(&(name.to_string(), slot_idx))
+            .expect("candidate slots have images");
+        let slot_frames = &self.slot_plan.slots[slot_idx].frames;
         let idcode = vp2_bitstream::idcode_for(m.platform.device.kind);
         let policy = self.retry;
-        // The incumbent's configuration is about to be overwritten; until a
-        // verified load completes, nothing is resident.
-        self.loaded = None;
+        // The slot's configuration is about to be overwritten; until a
+        // verified load completes, nothing is active.
+        self.active = None;
+
+        // Decide the attempt-1 transfer image: a cached replay, a
+        // differential stream against the slot's live frames, or the full
+        // image — compressed when that is shorter. `None` = feed the full
+        // image borrowed straight from the registry (the pre-plane path).
+        let frames_full = slot_frames.len();
+        let words_full = full_bs.word_count();
+        let mut transfer: Option<Bitstream> = None;
+        let mut frames_sent = frames_full;
+        let mut compressed = false;
+        if self.plane.cache_capacity > 0 || self.plane.differential || self.plane.compress {
+            let cache_key = (self.plane.cache_capacity > 0).then(|| {
+                // A differential image is only valid against the state it
+                // was diffed from, so the key covers the slot's current
+                // frame contents along with the module and slot identity.
+                let mut fp = Fingerprint::new();
+                fp.update_str(name).update_u64(slot_idx as u64);
+                for &addr in slot_frames.iter() {
+                    for &w in &m.platform.config.frame(addr).words {
+                        fp.update_u32(w);
+                    }
+                }
+                fp.finish()
+            });
+            let cached = cache_key.and_then(|k| self.stream_cache.get(k));
+            if self.tracer.on() && cache_key.is_some() {
+                self.tracer.emit(
+                    m.cpu.now(),
+                    EventKind::CacheLookup {
+                        module: name.to_string(),
+                        hit: cached.is_some(),
+                    },
+                );
+            }
+            match cached {
+                Some(c) => {
+                    frames_sent = c.frames_sent as usize;
+                    compressed = c.compressed;
+                    transfer = Some(Bitstream { words: c.words });
+                }
+                None => {
+                    let mut words = if self.plane.differential {
+                        let changed = m.platform.config.mismatched_frames(expected, slot_frames);
+                        frames_sent = changed.len();
+                        if changed.is_empty() {
+                            Vec::new()
+                        } else {
+                            vp2_bitstream::partial_bitstream(expected, &changed, idcode).words
+                        }
+                    } else {
+                        full_bs.words.clone()
+                    };
+                    if self.plane.compress && !words.is_empty() {
+                        let packed = vp2_bitstream::compress_words(&words);
+                        if packed.len() < words.len() {
+                            words = packed;
+                            compressed = true;
+                        }
+                    }
+                    if let Some(k) = cache_key {
+                        self.stream_cache.insert(
+                            k,
+                            CachedStream {
+                                words: words.clone(),
+                                frames_full: frames_full as u32,
+                                frames_sent: frames_sent as u32,
+                                words_full: words_full as u32,
+                                compressed,
+                            },
+                        );
+                    }
+                    transfer = Some(Bitstream { words });
+                }
+            }
+        }
+        let words_sent = transfer.as_ref().map_or(words_full, Bitstream::word_count);
+        if self.plane.enabled() {
+            self.stats.frames_full += frames_full as u64;
+            self.stats.frames_sent += frames_sent as u64;
+            self.stats.words_full += words_full as u64;
+            self.stats.words_sent += words_sent as u64;
+            self.stats.compressed_streams += u64::from(compressed);
+        }
+        if self.tracer.on() && self.plane.differential {
+            self.tracer.emit(
+                m.cpu.now(),
+                EventKind::DiffSwap {
+                    module: name.to_string(),
+                    frames_full: frames_full as u32,
+                    frames_sent: frames_sent as u32,
+                    words_full: words_full as u32,
+                    words_sent: words_sent as u32,
+                    compressed,
+                },
+            );
+        }
 
         // Feed every word to the HWICAP data register over the bus, then
         // hit the control register. This is the paper's configuration path:
@@ -308,11 +582,19 @@ impl ModuleManager {
                 m.cpu
                     .advance_time_to(now + policy.backoff * u64::from(attempts - 1));
             }
-            feed(m, bs)?;
-            let mut mismatched = m
-                .platform
-                .config
-                .mismatched_frames(expected, &region_frames);
+            // Retries always re-feed the complete slot image: a cached or
+            // differential stream assumes a live state the failed attempt
+            // may have corrupted. A zero-diff first attempt feeds nothing
+            // and goes straight to verification.
+            let attempt_stream = if attempts == 1 {
+                transfer.as_ref().unwrap_or(full_bs)
+            } else {
+                full_bs
+            };
+            if !attempt_stream.words.is_empty() {
+                feed(m, attempt_stream)?;
+            }
+            let mut mismatched = m.platform.config.mismatched_frames(expected, slot_frames);
             if mismatched.is_empty() {
                 verified = true;
                 break;
@@ -335,10 +617,7 @@ impl ModuleManager {
                         frames: patched as u32,
                     },
                 );
-                mismatched = m
-                    .platform
-                    .config
-                    .mismatched_frames(expected, &region_frames);
+                mismatched = m.platform.config.mismatched_frames(expected, slot_frames);
                 if mismatched.is_empty() {
                     verified = true;
                     break 'attempt;
@@ -358,8 +637,8 @@ impl ModuleManager {
                 m.cpu.now(),
                 EventKind::SwapEnd {
                     module: name.to_string(),
-                    frames: region_frames.len() as u32,
-                    words: bs.word_count() as u32,
+                    frames: slot_frames.len() as u32,
+                    words: full_bs.word_count() as u32,
                     attempts,
                     repaired_frames: repaired_frames as u32,
                     verified,
@@ -394,14 +673,17 @@ impl ModuleManager {
                 d.bind_module(model);
             }
         }
-        self.loaded = Some(name.to_string());
+        self.active = Some(name.to_string());
+        self.residents[slot_idx] = Some(name.to_string());
+        self.slot_tick += 1;
+        self.slot_touched[slot_idx] = self.slot_tick;
         let reconfig_time = m.cpu.now() - start;
         self.total_reconfig_time += reconfig_time;
         self.reconfigurations += 1;
         Ok(LoadOutcome::Loaded {
             reconfig_time,
-            words: bs.word_count(),
-            frames: region_frames.len(),
+            words: full_bs.word_count(),
+            frames: slot_frames.len(),
             repaired_frames,
             attempts,
         })
@@ -426,7 +708,10 @@ impl ModuleManager {
             Docks::Opb(d) => d.unbind(),
             Docks::Plb(d) => d.unbind(),
         }
-        self.loaded = None;
+        self.active = None;
+        for r in &mut self.residents {
+            *r = None;
+        }
         done - start
     }
 }
@@ -649,6 +934,267 @@ mod tests {
             h.verify_failures,
             u64::from(mgr.retry.max_attempts * (1 + mgr.retry.max_repairs_per_attempt))
         );
+    }
+
+    /// A slot-sized inverter (fits a `width`-column sub-slot).
+    fn slot_component(kind: SystemKind, tag: u16, width: u16) -> Component {
+        let dm = DockMacros::for_width(kind.dock_width());
+        let mut nl = Netlist::new(format!("inv{tag}"));
+        let mut placer = AutoPlacer::new();
+        let din = dm.write.instantiate_input(&mut nl, &mut placer, "din");
+        let wr = dm.strobe.instantiate_input(&mut nl, &mut placer, "wr");
+        let inv = components::bus_not(&mut nl, &din);
+        let tagbit = nl.constant(tag % 2 == 1);
+        let mixed: Vec<_> = inv
+            .iter()
+            .map(|&b| components::xor2(&mut nl, b, tagbit))
+            .collect();
+        let q = components::register(&mut nl, &mixed, Some(wr[0]));
+        dm.read.instantiate_output(&mut nl, &mut placer, "dout", &q);
+        let placement = placer.place(&nl, width, kind.region().height()).unwrap();
+        Component::new(
+            format!("inv{tag}"),
+            nl,
+            placement,
+            vec![dm.write, dm.read, dm.strobe],
+        )
+        .unwrap()
+    }
+
+    fn plane_manager(kind: SystemKind, plane: rtr_configplane::ConfigPlaneConfig) -> ModuleManager {
+        let mut mgr = ModuleManager::new(kind);
+        mgr.configure_plane(plane).unwrap();
+        for tag in [1, 2] {
+            mgr.register(
+                inverter_component(kind, tag),
+                (0, 0),
+                Box::new(|| Box::new(Inverter(0))),
+            )
+            .unwrap();
+        }
+        mgr
+    }
+
+    /// Alternating swap workload; returns (total reconfig time, ICAP words).
+    fn alternate_loads(mgr: &mut ModuleManager, machine: &mut Machine, swaps: usize) {
+        for i in 0..swaps {
+            let name = if i % 2 == 0 { "inv1" } else { "inv2" };
+            assert!(matches!(
+                mgr.load(machine, name).unwrap(),
+                LoadOutcome::Loaded { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn differential_swaps_move_strictly_fewer_words() {
+        let kind = SystemKind::Bit32;
+        let mut base_machine = build_system(kind);
+        let mut base = plane_manager(kind, rtr_configplane::ConfigPlaneConfig::default());
+        alternate_loads(&mut base, &mut base_machine, 6);
+
+        let mut diff_machine = build_system(kind);
+        let mut diff = plane_manager(
+            kind,
+            rtr_configplane::ConfigPlaneConfig {
+                differential: true,
+                compress: true,
+                ..rtr_configplane::ConfigPlaneConfig::default()
+            },
+        );
+        alternate_loads(&mut diff, &mut diff_machine, 6);
+
+        assert!(
+            diff_machine.platform.icap.words_shifted < base_machine.platform.icap.words_shifted,
+            "differential+compressed swaps must move fewer ICAP words: {} vs {}",
+            diff_machine.platform.icap.words_shifted,
+            base_machine.platform.icap.words_shifted
+        );
+        assert!(
+            diff.total_reconfig_time < base.total_reconfig_time,
+            "and therefore take less time: {} vs {}",
+            diff.total_reconfig_time,
+            base.total_reconfig_time
+        );
+        let stats = diff.plane_stats();
+        assert!(stats.frames_sent < stats.frames_full);
+        assert!(stats.words_sent < stats.words_full);
+        assert!(stats.diff_ratio() < 1.0);
+    }
+
+    #[test]
+    fn zero_diff_swap_feeds_nothing() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.configure_plane(rtr_configplane::ConfigPlaneConfig {
+            differential: true,
+            ..rtr_configplane::ConfigPlaneConfig::default()
+        })
+        .unwrap();
+        // Two registrations of byte-identical circuits under different
+        // names: swapping between them is a zero-frame diff.
+        let mut twin = inverter_component(kind, 1);
+        twin.name = "twin".to_string();
+        mgr.register(
+            inverter_component(kind, 1),
+            (0, 0),
+            Box::new(|| Box::new(Inverter(0))),
+        )
+        .unwrap();
+        mgr.register(twin, (0, 0), Box::new(|| Box::new(Inverter(0))))
+            .unwrap();
+        mgr.load(&mut machine, "inv1").unwrap();
+        let words_before = machine.platform.icap.words_shifted;
+        let out = mgr.load(&mut machine, "twin").unwrap();
+        assert!(matches!(
+            out,
+            LoadOutcome::Loaded {
+                reconfig_time: SimTime::ZERO,
+                ..
+            }
+        ));
+        assert_eq!(
+            machine.platform.icap.words_shifted, words_before,
+            "a zero-diff swap must move no ICAP words"
+        );
+        assert_eq!(mgr.loaded(), Some("twin"));
+    }
+
+    #[test]
+    fn warm_cache_replays_and_stays_deterministic() {
+        let kind = SystemKind::Bit32;
+        let plane = rtr_configplane::ConfigPlaneConfig::full();
+        let run = |swaps: usize| {
+            let mut machine = build_system(kind);
+            let mut mgr = plane_manager(kind, plane.clone());
+            alternate_loads(&mut mgr, &mut machine, swaps);
+            (mgr.plane_stats(), machine.platform.icap.words_shifted)
+        };
+        let (stats, _) = run(8);
+        // First inv1→inv2 and inv2→inv1 transitions miss; every repeat of
+        // those two transitions replays from the cache.
+        assert!(stats.cache_hits >= 4, "repeats must hit: {stats:?}");
+        assert!(stats.cache_misses >= 2);
+        assert_eq!(stats.cache_evictions, 0);
+        // Equal sequences are equal, counters included.
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn differential_swap_correct_after_repaired_fault() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        machine
+            .platform
+            .icap
+            .set_fault_plan(Some(vp2_bitstream::FaultPlan::new(42, 5e-2)));
+        let mut mgr = plane_manager(
+            kind,
+            rtr_configplane::ConfigPlaneConfig {
+                differential: true,
+                ..rtr_configplane::ConfigPlaneConfig::default()
+            },
+        );
+        // A bumpy first load: some frames arrive corrupted and are
+        // repaired in place.
+        let out = mgr.load(&mut machine, "inv1").unwrap();
+        let LoadOutcome::Loaded {
+            repaired_frames, ..
+        } = out
+        else {
+            panic!("1% corruption must be repairable, got {out:?}");
+        };
+        assert!(repaired_frames > 0, "seed 42 corrupts at least one frame");
+        // The next differential swap diffs against the *repaired* state
+        // and still verifies: repair restored exactly the expected bits.
+        machine.platform.icap.set_fault_plan(None);
+        let out2 = mgr.load(&mut machine, "inv2").unwrap();
+        assert!(matches!(
+            out2,
+            LoadOutcome::Loaded {
+                repaired_frames: 0,
+                attempts: 1,
+                ..
+            }
+        ));
+        assert_eq!(mgr.loaded(), Some("inv2"));
+    }
+
+    #[test]
+    fn multi_module_slots_coreside_and_activate() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.configure_plane(rtr_configplane::ConfigPlaneConfig {
+            slot_widths: vec![14, 14],
+            ..rtr_configplane::ConfigPlaneConfig::default()
+        })
+        .unwrap();
+        for tag in [1, 2] {
+            mgr.register(
+                slot_component(kind, tag, 14),
+                (0, 0),
+                Box::new(|| Box::new(Inverter(0))),
+            )
+            .unwrap();
+        }
+        // First loads land in distinct empty slots.
+        assert!(matches!(
+            mgr.load(&mut machine, "inv1").unwrap(),
+            LoadOutcome::Loaded { .. }
+        ));
+        assert!(matches!(
+            mgr.load(&mut machine, "inv2").unwrap(),
+            LoadOutcome::Loaded { .. }
+        ));
+        assert_eq!(mgr.residents(), vec![Some("inv1"), Some("inv2")]);
+        assert_eq!(mgr.reconfigurations, 2);
+        // Swapping back is a dock rebind, not a reconfiguration.
+        let words = machine.platform.icap.words_shifted;
+        assert_eq!(
+            mgr.load(&mut machine, "inv1").unwrap(),
+            LoadOutcome::Activated { slot: 0 }
+        );
+        assert_eq!(mgr.loaded(), Some("inv1"));
+        assert_eq!(mgr.reconfigurations, 2, "no ICAP traffic on activation");
+        assert_eq!(machine.platform.icap.words_shifted, words);
+        assert_eq!(mgr.plane_stats().activations, 1);
+        // The rebound module really answers through the dock.
+        let t = machine.cpu.now();
+        let t2 = t + machine.platform.write(t, map::DOCK_BASE, 4, 0x0000_00FF);
+        let (v, _) = machine.platform.read(t2, map::DOCK_BASE, 4);
+        assert_eq!(v, 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn slot_eviction_prefers_the_coldest_resident() {
+        let kind = SystemKind::Bit32;
+        let mut machine = build_system(kind);
+        let mut mgr = ModuleManager::new(kind);
+        mgr.configure_plane(rtr_configplane::ConfigPlaneConfig {
+            slot_widths: vec![14, 14],
+            ..rtr_configplane::ConfigPlaneConfig::default()
+        })
+        .unwrap();
+        for tag in [1, 2, 3] {
+            mgr.register(
+                slot_component(kind, tag, 14),
+                (0, 0),
+                Box::new(|| Box::new(Inverter(0))),
+            )
+            .unwrap();
+        }
+        mgr.load(&mut machine, "inv1").unwrap(); // slot 0
+        mgr.load(&mut machine, "inv2").unwrap(); // slot 1
+        mgr.load(&mut machine, "inv1").unwrap(); // touch slot 0
+                                                 // inv3 must displace the coldest resident: inv2 in slot 1.
+        assert!(matches!(
+            mgr.load(&mut machine, "inv3").unwrap(),
+            LoadOutcome::Loaded { .. }
+        ));
+        assert_eq!(mgr.residents(), vec![Some("inv1"), Some("inv3")]);
+        assert_eq!(mgr.plane_stats().slot_evictions, 1);
     }
 
     #[test]

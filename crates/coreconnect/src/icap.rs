@@ -105,6 +105,24 @@ impl HwIcap {
     ) -> Result<ApplyReport, ApplyError> {
         let words = std::mem::take(&mut self.buffer);
         let nwords = words.len();
+        // A compressed stream is expanded by the decompressor in front of
+        // the configuration logic; the port is only busy for the words
+        // that actually crossed it, which is where the compression win
+        // lands. A stream that claims the magic but does not decode is a
+        // malformed stream like any other.
+        let words = if vp2_bitstream::is_compressed(&words) {
+            match vp2_bitstream::decompress_words(&words) {
+                Some(decoded) => decoded,
+                None => {
+                    self.error = true;
+                    return Err(ApplyError::Parse(
+                        vp2_bitstream::packet::ParseError::Truncated,
+                    ));
+                }
+            }
+        } else {
+            words
+        };
         let bs = Bitstream { words };
         let start = self.icap_clock.next_edge(now.max(self.busy_until));
         self.busy_until = start + self.icap_clock.cycles(nwords as u64);
@@ -233,6 +251,40 @@ mod tests {
             dst.mismatched_frames(&src, &frames).len(),
             src.frame_count()
         );
+    }
+
+    #[test]
+    fn compressed_stream_decodes_and_shifts_fewer_words() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut src = ConfigMemory::new(&dev);
+        src.set_lut(ClbCoord::new(1, 2), SliceIndex::new(3), LutIndex::G, 0xABCD);
+        let bs = full_bitstream(&src, IDCODE_XC2VP7);
+        let packed = vp2_bitstream::compress_words(&bs.words);
+        assert!(packed.len() < bs.word_count(), "full config compresses");
+        let mut dst = ConfigMemory::new(&dev);
+        let mut port = icap();
+        for &w in &packed {
+            port.write_data(w);
+        }
+        port.commit(SimTime::ZERO, &mut dst).unwrap();
+        assert_eq!(dst, src, "decoded stream configures the fabric");
+        // The port was only busy for the compressed words.
+        assert_eq!(port.words_shifted, packed.len() as u64);
+        assert_eq!(
+            port.busy_until(),
+            SimTime::from_ns(20) * packed.len() as u64
+        );
+    }
+
+    #[test]
+    fn corrupt_compressed_stream_sets_error() {
+        let dev = Device::new(DeviceKind::Xc2vp7);
+        let mut mem = ConfigMemory::new(&dev);
+        let mut port = icap();
+        port.write_data(vp2_bitstream::COMPRESSED_MAGIC);
+        port.write_data(99); // claims 99 decoded words, then ends
+        assert!(port.commit(SimTime::ZERO, &mut mem).is_err());
+        assert!(port.error());
     }
 
     #[test]

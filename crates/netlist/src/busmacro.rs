@@ -90,6 +90,26 @@ impl BusMacro {
         self.name == other.name && self.kind == other.kind && self.sites == other.sites
     }
 
+    /// The same macro shifted by a CLB offset — the contract a component
+    /// relocated to a sub-slot at `(dc, dr)` must satisfy. Name and kind
+    /// are unchanged; only the pinned sites move.
+    pub fn translated(&self, dc: u16, dr: u16) -> BusMacro {
+        BusMacro {
+            name: self.name.clone(),
+            kind: self.kind,
+            sites: self
+                .sites
+                .iter()
+                .map(|&(site, lut)| {
+                    let mut moved = site;
+                    moved.clb.col += dc;
+                    moved.clb.row += dr;
+                    (moved, lut)
+                })
+                .collect(),
+        }
+    }
+
     /// Instantiates the macro as a component **input**: declares an input
     /// port named `port`, routes every bit through a pinned pass-through LUT
     /// (for the LUT-based kind) and returns the component-side bus.

@@ -60,6 +60,15 @@ pub struct CostModel {
     sw: [PathEstimate; Kernel::ALL.len()],
     hw: [Option<PathEstimate>; Kernel::ALL.len()],
     reconfig_ps: f64,
+    /// Per-kernel reconfiguration EWMAs. With a configuration plane the
+    /// global average is misleading: a kernel whose transfer image is
+    /// cached or diffs small swaps for a fraction of a cold full-region
+    /// load, and charging it the fleet-wide mean would veto swaps that
+    /// actually pay.
+    kernel_reconfig_ps: [f64; Kernel::ALL.len()],
+    /// Read the per-kernel estimates in decisions? Off by default so the
+    /// model is bit-identical to the pre-configplane scheduler.
+    kernel_aware: bool,
 }
 
 impl CostModel {
@@ -77,6 +86,8 @@ impl CostModel {
             sw: [zero; Kernel::ALL.len()],
             hw: [None; Kernel::ALL.len()],
             reconfig_ps: 0.0,
+            kernel_reconfig_ps: [0.0; Kernel::ALL.len()],
+            kernel_aware: false,
         };
         for &kernel in kernels {
             let probe = |payload: usize, hw: bool| -> (usize, SimTime) {
@@ -130,6 +141,45 @@ impl CostModel {
         }
     }
 
+    /// Folds a measured reconfiguration time into both the global and the
+    /// kernel's own estimate. The per-kernel track is recorded whether or
+    /// not [`CostModel::set_kernel_aware`] has enabled reading it, so
+    /// turning awareness on mid-run starts from real history.
+    pub fn observe_reconfig_for(&mut self, kernel: Kernel, t: SimTime) {
+        self.observe_reconfig(t);
+        let ps = t.as_ps() as f64;
+        let slot = &mut self.kernel_reconfig_ps[kernel.index()];
+        if *slot == 0.0 {
+            *slot = ps;
+        } else {
+            *slot += RECONFIG_ALPHA * (ps - *slot);
+        }
+    }
+
+    /// Enables (or disables) per-kernel reconfiguration estimates in the
+    /// batch decisions. Off, decisions use the global EWMA exactly as the
+    /// pre-configplane model did.
+    pub fn set_kernel_aware(&mut self, on: bool) {
+        self.kernel_aware = on;
+    }
+
+    /// The kernel's effective reconfiguration-time estimate: its own EWMA
+    /// when per-kernel awareness is on and the kernel has been observed,
+    /// the global EWMA otherwise.
+    pub fn reconfig_estimate_for(&self, kernel: Kernel) -> SimTime {
+        SimTime::from_ps(self.reconfig_ps_for(kernel) as u64)
+    }
+
+    /// Effective swap cost in picoseconds for one kernel.
+    fn reconfig_ps_for(&self, kernel: Kernel) -> f64 {
+        let own = self.kernel_reconfig_ps[kernel.index()];
+        if self.kernel_aware && own > 0.0 {
+            own
+        } else {
+            self.reconfig_ps
+        }
+    }
+
     /// Batch decision: run `batch_bytes` (payload sizes of the queued
     /// items) in hardware? True when the estimated hardware time — plus
     /// the reconfiguration, if a swap is needed — undercuts software.
@@ -164,7 +214,7 @@ impl CostModel {
             .iter()
             .map(|&b| hw.estimate(b).as_ps() as f64)
             .sum::<f64>()
-            + f64::from(reconfigs) * self.reconfig_ps;
+            + f64::from(reconfigs) * self.reconfig_ps_for(kernel);
         hwt < sw
     }
 
@@ -179,7 +229,8 @@ impl CostModel {
     /// speculation.
     pub fn break_even_depth(&self, kernel: Kernel, bytes: usize) -> Option<usize> {
         let hw = self.hw[kernel.index()]?;
-        if self.reconfig_ps == 0.0 {
+        let reconfig_ps = self.reconfig_ps_for(kernel);
+        if reconfig_ps == 0.0 {
             return None;
         }
         let sw_item = self.sw[kernel.index()].estimate(bytes).as_ps() as f64;
@@ -191,7 +242,7 @@ impl CostModel {
         // predicate: when the break-even lands on an integer, a batch of
         // exactly that depth gives `hwt == sw`, which does not pay under
         // the strict comparison — the depth reported must be one deeper.
-        let mut n = (self.reconfig_ps / (sw_item - hw_item)).ceil().max(1.0) as usize;
+        let mut n = (reconfig_ps / (sw_item - hw_item)).ceil().max(1.0) as usize;
         let pays = |n: usize| self.hardware_pays_off(kernel, &vec![bytes; n], true);
         while !pays(n) {
             n += 1;
@@ -230,6 +281,8 @@ mod tests {
             }; Kernel::ALL.len()],
             hw: [None; Kernel::ALL.len()],
             reconfig_ps: 0.0,
+            kernel_reconfig_ps: [0.0; Kernel::ALL.len()],
+            kernel_aware: false,
         };
         m.observe_reconfig(SimTime::from_us(100));
         assert_eq!(m.reconfig_estimate(), SimTime::from_us(100));
@@ -252,6 +305,8 @@ mod tests {
                 per_byte_ps: 10.0,
             }); Kernel::ALL.len()],
             reconfig_ps: 0.0,
+            kernel_reconfig_ps: [0.0; Kernel::ALL.len()],
+            kernel_aware: false,
         };
         // Hardware is 10× faster per item, but the swap cost is still a
         // guess — the model must not claim a break-even depth of 1.
@@ -275,6 +330,8 @@ mod tests {
                 per_byte_ps: 10.0,
             }); Kernel::ALL.len()],
             reconfig_ps: 0.0,
+            kernel_reconfig_ps: [0.0; Kernel::ALL.len()],
+            kernel_aware: false,
         };
         model.observe_reconfig(SimTime::from_ps(90_000));
         // Per 100-byte item: sw 10_000 ps, hw 1_000 ps → saves 9_000 ps.
@@ -288,6 +345,52 @@ mod tests {
         assert!(!model.hardware_pays_off(Kernel::Jenkins, &[100; 9], true));
         // Already resident: no swap cost, hardware wins at any depth.
         assert!(model.hardware_pays_off(Kernel::Jenkins, &[100], false));
+    }
+
+    #[test]
+    fn kernel_aware_estimates_split_cheap_swappers_from_expensive() {
+        let mut m = CostModel {
+            sw: [PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 100.0,
+            }; Kernel::ALL.len()],
+            hw: [Some(PathEstimate {
+                base_ps: 0.0,
+                per_byte_ps: 10.0,
+            }); Kernel::ALL.len()],
+            reconfig_ps: 0.0,
+            kernel_reconfig_ps: [0.0; Kernel::ALL.len()],
+            kernel_aware: false,
+        };
+        // Jenkins swaps cheap (cached/differential images); Fade pays the
+        // full cold-load price.
+        m.observe_reconfig_for(Kernel::Jenkins, SimTime::from_ps(9_000));
+        m.observe_reconfig_for(Kernel::Fade, SimTime::from_ps(891_000));
+        // Awareness off: both kernels are charged the shared EWMA, so the
+        // break-even depths agree — exactly the pre-configplane behavior.
+        assert_eq!(
+            m.reconfig_estimate_for(Kernel::Jenkins),
+            m.reconfig_estimate()
+        );
+        assert_eq!(
+            m.break_even_depth(Kernel::Jenkins, 100),
+            m.break_even_depth(Kernel::Fade, 100)
+        );
+        // Awareness on: the cheap swapper's break-even depth collapses
+        // (9_000 ps / 9_000 ps-per-item saved → strictly pays at 2) while
+        // the expensive one's grows past it.
+        m.set_kernel_aware(true);
+        assert_eq!(
+            m.reconfig_estimate_for(Kernel::Jenkins),
+            SimTime::from_ps(9_000)
+        );
+        let cheap = m.break_even_depth(Kernel::Jenkins, 100).unwrap();
+        let dear = m.break_even_depth(Kernel::Fade, 100).unwrap();
+        assert!(cheap < dear, "cheap {cheap} vs dear {dear}");
+        assert!(m.hardware_pays_off(Kernel::Jenkins, &[100; 2], true));
+        assert!(!m.hardware_pays_off(Kernel::Fade, &[100; 2], true));
+        // A kernel never observed falls back to the global EWMA.
+        assert_eq!(m.reconfig_estimate_for(Kernel::Sha1), m.reconfig_estimate());
     }
 
     #[test]

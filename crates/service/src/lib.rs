@@ -37,6 +37,7 @@ pub mod traffic;
 pub use cost::{CostModel, PathEstimate};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{AdmissionQueues, Pending};
+pub use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
 pub use sched::{BatchPolicy, Candidate, LaneRank};
 pub use service::{Policy, Service, ServiceConfig, ServiceError};
 pub use traffic::{TrafficConfig, TrafficStream};

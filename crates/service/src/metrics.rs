@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use rtr_configplane::ConfigPlaneStats;
 use vp2_sim::{Histogram, Json, SimTime};
 
 /// Buckets in the latency distribution a snapshot exports.
@@ -212,6 +213,7 @@ impl Metrics {
             reconfig_time: self.reconfig_time,
             hw_utilization: ratio(self.hw_busy, elapsed),
             sw_utilization: ratio(self.sw_busy, elapsed),
+            plane: None,
         }
     }
 }
@@ -283,6 +285,13 @@ pub struct MetricsSnapshot {
     pub hw_utilization: f64,
     /// Fraction of the window the software path was computing.
     pub sw_utilization: f64,
+    /// Configuration-plane counters (bitstream cache, differential
+    /// transfers, sub-slot residency). `None` whenever every plane
+    /// feature is off, so plane-free runs export byte-identical JSON to
+    /// builds that predate the configuration plane. The service fills
+    /// this in from the manager after folding the window — the counters
+    /// are lifetime-cumulative, not per-window.
+    pub plane: Option<ConfigPlaneStats>,
 }
 
 impl MetricsSnapshot {
@@ -308,6 +317,27 @@ impl MetricsSnapshot {
         let json = if self.deadline_met + self.deadline_missed > 0 {
             json.field("deadline_met", self.deadline_met)
                 .field("deadline_missed", self.deadline_missed)
+        } else {
+            json
+        };
+        // Same byte-identity discipline for the configuration plane: the
+        // object only exists when some plane feature is on.
+        let json = if let Some(p) = &self.plane {
+            json.field(
+                "configplane",
+                Json::obj()
+                    .field("cache_hits", p.cache_hits)
+                    .field("cache_misses", p.cache_misses)
+                    .field("cache_evictions", p.cache_evictions)
+                    .field("frames_full", p.frames_full)
+                    .field("frames_sent", p.frames_sent)
+                    .field("words_full", p.words_full)
+                    .field("words_sent", p.words_sent)
+                    .field("diff_ratio", p.diff_ratio())
+                    .field("compressed_streams", p.compressed_streams)
+                    .field("activations", p.activations)
+                    .field("slot_evictions", p.slot_evictions),
+            )
         } else {
             json
         };
@@ -403,6 +433,19 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 "\n  deadlines {} met / {} missed",
                 self.deadline_met, self.deadline_missed
+            )?;
+        }
+        // And for the configuration plane: only runs that enabled it.
+        if let Some(p) = &self.plane {
+            write!(
+                f,
+                "\n  configplane cache {}/{} hits, diff {:.1}% of full words, {} compressed, {} activations, {} slot evictions",
+                p.cache_hits,
+                p.cache_hits + p.cache_misses,
+                p.diff_ratio() * 100.0,
+                p.compressed_streams,
+                p.activations,
+                p.slot_evictions
             )?;
         }
         Ok(())

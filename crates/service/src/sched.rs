@@ -26,6 +26,11 @@ use vp2_sim::SimTime;
 
 use crate::queue::Pending;
 
+/// Fixed starvation bound of [`BatchPolicy::swap_aware_fixed`], and the
+/// fallback the adaptive guard uses until a reconfiguration has been
+/// observed.
+pub const DEFAULT_MAX_HEAD_AGE: SimTime = SimTime::from_ms(60);
+
 /// Which kernel queue the scheduler drains next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BatchPolicy {
@@ -41,6 +46,15 @@ pub enum BatchPolicy {
         /// it is served next regardless of residency or maturity.
         max_head_age: SimTime,
     },
+    /// [`BatchPolicy::SwapAware`] with an adaptive starvation guard: the
+    /// service scales `max_head_age` with its observed reconfiguration
+    /// EWMA (ten swaps' worth) instead of the fixed 60 ms constant, so
+    /// the bound tightens when the configuration plane makes swaps cheap
+    /// and relaxes when they are dear. An explicit
+    /// `SwapAware { max_head_age }` remains the fixed override. Used
+    /// directly (outside a service, with no cost model to consult) the
+    /// policy falls back to the 60 ms default.
+    SwapAwareAdaptive,
     /// Serve the queue holding the best-ranked request (priority class,
     /// then earliest deadline, then arrival) and run the drained batch
     /// in rank order.
@@ -66,21 +80,33 @@ pub fn lane_rank(pending: &Pending) -> LaneRank {
 }
 
 impl BatchPolicy {
-    /// A swap-aware policy with the default starvation bound (60 ms —
-    /// roughly ten worst-case batches on either simulated system; a
-    /// reconfiguration alone costs ~6 ms, so a tighter bound degenerates
-    /// the policy into FCFS under load).
+    /// The swap-aware policy with the adaptive starvation bound. Before
+    /// the guard adapted, this returned the fixed 60 ms bound — roughly
+    /// ten worst-case swaps on either simulated system (a reconfiguration
+    /// alone costs ~6 ms, so a much tighter bound degenerates the policy
+    /// into FCFS under load); ten observed swaps is what the adaptive
+    /// guard scales to. [`BatchPolicy::swap_aware_fixed`] keeps the old
+    /// constant as an explicit override.
     pub fn swap_aware() -> BatchPolicy {
+        BatchPolicy::SwapAwareAdaptive
+    }
+
+    /// The swap-aware policy with the original fixed 60 ms starvation
+    /// bound, independent of any measured reconfiguration time.
+    pub fn swap_aware_fixed() -> BatchPolicy {
         BatchPolicy::SwapAware {
-            max_head_age: SimTime::from_ms(60),
+            max_head_age: DEFAULT_MAX_HEAD_AGE,
         }
     }
 
-    /// Stable lowercase name (JSON, traces, CLI flags).
+    /// Stable lowercase name (JSON, traces, CLI flags). The adaptive
+    /// variant *is* swap-aware scheduling — same decision procedure,
+    /// different guard constant — so both report `swap_aware` and traces
+    /// stay comparable across the two.
     pub fn name(&self) -> &'static str {
         match self {
             BatchPolicy::FcfsDrain => "fcfs_drain",
-            BatchPolicy::SwapAware { .. } => "swap_aware",
+            BatchPolicy::SwapAware { .. } | BatchPolicy::SwapAwareAdaptive => "swap_aware",
             BatchPolicy::Lanes => "lanes",
         }
     }
@@ -103,6 +129,11 @@ impl BatchPolicy {
         };
         match self {
             BatchPolicy::FcfsDrain => fcfs(&|_| true),
+            // Bare adaptive (nobody resolved a measured guard for us):
+            // the fixed default bound.
+            BatchPolicy::SwapAwareAdaptive => {
+                BatchPolicy::swap_aware_fixed().choose(now, candidates)
+            }
             BatchPolicy::SwapAware { max_head_age } => {
                 // 1. The starvation guard outranks everything: serve the
                 //    earliest overdue head.
@@ -224,6 +255,25 @@ mod tests {
         assert_eq!(p.choose(SimTime::from_us(100), &c), Some(0));
         // Below the bound the resident queue keeps the region.
         assert_eq!(p.choose(SimTime::from_us(30), &c), Some(1));
+    }
+
+    #[test]
+    fn adaptive_swap_aware_defaults_to_the_fixed_bound() {
+        // Outside a service there is no reconfiguration EWMA to scale by,
+        // so the bare adaptive policy must decide exactly like the fixed
+        // 60 ms override — including the starvation guard.
+        let adaptive = BatchPolicy::swap_aware();
+        let fixed = BatchPolicy::swap_aware_fixed();
+        assert_eq!(adaptive, BatchPolicy::SwapAwareAdaptive);
+        assert_eq!(adaptive.name(), "swap_aware");
+        assert_eq!(fixed.name(), "swap_aware");
+        let mut c = vec![cand(Kernel::Jenkins, 5, 1), cand(Kernel::PatMatch, 3, 0)];
+        c[0].resident = true;
+        for now in [SimTime::from_us(100), SimTime::from_ms(61)] {
+            assert_eq!(adaptive.choose(now, &c), fixed.choose(now, &c));
+        }
+        // Past 60 ms the non-resident head is overdue under both.
+        assert_eq!(adaptive.choose(SimTime::from_ms(61), &c), Some(1));
     }
 
     #[test]

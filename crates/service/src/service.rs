@@ -8,7 +8,8 @@
 //! cost model predicts is cheaper once the ICAP transfer is amortized
 //! over the queued work.
 
-use rtr_apps::request::{component_for, factory_for, Driver, Kernel, Request};
+use rtr_apps::request::{component_for, component_for_slot, factory_for, Driver, Kernel, Request};
+use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
 use rtr_core::{build_system, FaultPlan, LoadOutcome, Machine, ModuleManager, SystemKind};
 use rtr_trace::{EventKind, Tracer};
 use vp2_sim::SimTime;
@@ -49,6 +50,13 @@ pub struct ServiceConfig {
     /// How long a kernel stays quarantined from the hardware path after
     /// repeated load failures.
     pub quarantine_cooldown: SimTime,
+    /// Configuration-plane features (bitstream cache, differential frame
+    /// compression, multi-module sub-slots). The default — everything
+    /// off — makes the manager's load path bit-identical to a build
+    /// without the plane. When `slot_widths` is set, kernel components
+    /// are placed to fit the narrowest sub-slot; kernels too large for it
+    /// stay on the software path.
+    pub plane: ConfigPlaneConfig,
     /// Trace journal handle. The default ([`Tracer::disabled`]) records
     /// nothing and costs one branch per instrumentation point; an enabled
     /// handle journals the whole request/reconfiguration lifecycle.
@@ -70,6 +78,7 @@ impl ServiceConfig {
             fault_rate: 0.0,
             fault_seed: 0x5EED_FA57,
             quarantine_cooldown: SimTime::from_ms(5),
+            plane: ConfigPlaneConfig::default(),
             trace: Tracer::disabled(),
         }
     }
@@ -160,9 +169,20 @@ impl Service {
                 .set_fault_plan(Some(FaultPlan::new(config.fault_seed, config.fault_rate)));
         }
         let mut manager = ModuleManager::new(config.kind);
+        manager
+            .configure_plane(config.plane.clone())
+            .unwrap_or_else(|e| panic!("configuration plane: {e}"));
+        // Multi-module sub-slots shrink the placement footprint: size every
+        // component to the narrowest slot so it is registrable in all of
+        // them. Kernels that no longer fit degrade to software-only.
+        let slot_width = config.plane.slot_widths.iter().copied().min();
         let mut hw_ready = [false; Kernel::ALL.len()];
         for &kernel in &kernels {
-            if let Some(component) = component_for(kernel, config.kind) {
+            let component = match slot_width {
+                Some(w) => component_for_slot(kernel, config.kind, w),
+                None => component_for(kernel, config.kind),
+            };
+            if let Some(component) = component {
                 manager
                     .register(component, (0, 0), factory_for(kernel))
                     .unwrap_or_else(|e| panic!("register {kernel}: {e}"));
@@ -177,13 +197,21 @@ impl Service {
         machine.set_tracer(tracer.clone());
         manager.set_tracer(tracer.clone());
         let mut cost = CostModel::calibrate(config.kind, &kernels);
+        // With the configuration plane active, swap costs genuinely differ
+        // per kernel (cached or differential images vs cold loads), so the
+        // cost model tracks them individually.
+        if config.plane.enabled() {
+            cost.set_kernel_aware(true);
+        }
         let mut warmup_degraded = None;
         if let Some(&first_hw) = kernels.iter().find(|&&k| hw_ready[k.index()]) {
             match manager.load(&mut machine, first_hw.module_name()) {
                 Ok(LoadOutcome::Loaded { reconfig_time, .. }) => {
-                    cost.observe_reconfig(reconfig_time)
+                    cost.observe_reconfig_for(first_hw, reconfig_time)
                 }
-                Ok(LoadOutcome::AlreadyLoaded) => unreachable!("nothing loaded at boot"),
+                Ok(LoadOutcome::AlreadyLoaded) | Ok(LoadOutcome::Activated { .. }) => {
+                    unreachable!("nothing loaded at boot")
+                }
                 // A hostile configuration plane at boot is not fatal: the
                 // service comes up software-only for this kernel.
                 Ok(LoadOutcome::Degraded { .. }) => warmup_degraded = Some(first_hw),
@@ -254,9 +282,21 @@ impl Service {
     ) -> Result<MetricsSnapshot, ServiceError> {
         let origin = self.machine.now();
         let window = self.process_window(schedule)?;
-        let snap = window.snapshot(self.machine.now() - origin);
+        let mut snap = window.snapshot(self.machine.now() - origin);
+        snap.plane = self.plane_snapshot();
         self.lifetime.absorb(&window);
         Ok(snap)
+    }
+
+    /// Configuration-plane counters (cache, differential transfers,
+    /// sub-slot residency), or `None` when every plane feature is off.
+    /// The counters are lifetime-cumulative — they live in the manager,
+    /// not the per-window metrics accumulator.
+    pub fn plane_snapshot(&self) -> Option<ConfigPlaneStats> {
+        self.manager
+            .plane()
+            .enabled()
+            .then(|| self.manager.plane_stats())
     }
 
     /// Like [`Service::process`], but returns the raw window accumulator
@@ -325,7 +365,9 @@ impl Service {
         let mut all = Metrics::new();
         all.absorb(&self.lifetime);
         all.absorb(&self.metrics);
-        all.snapshot(self.machine.now() - self.boot_origin)
+        let mut snap = all.snapshot(self.machine.now() - self.boot_origin);
+        snap.plane = self.plane_snapshot();
+        snap
     }
 
     /// Queues one request that arrived at absolute time `arrival`.
@@ -358,9 +400,10 @@ impl Service {
     /// `dispatch` — so a decision never perturbs the simulation.
     fn pick_kernel(&mut self) -> Option<Kernel> {
         let now = self.machine.now();
+        let batch_policy = self.resolved_batch_policy();
         let resident = self.manager.loaded();
-        let want_maturity = matches!(self.config.batch, BatchPolicy::SwapAware { .. });
-        let want_ranks = matches!(self.config.batch, BatchPolicy::Lanes);
+        let want_maturity = matches!(batch_policy, BatchPolicy::SwapAware { .. });
+        let want_ranks = matches!(batch_policy, BatchPolicy::Lanes);
         // Does the resident module have queued work? Then leaving the
         // region strands it: the lookahead charges a competitor for the
         // swap back, not just the swap there.
@@ -416,19 +459,41 @@ impl Service {
                 best_rank,
             });
         }
-        let idx = self.config.batch.choose(now, &candidates)?;
+        let idx = batch_policy.choose(now, &candidates)?;
         let chosen = candidates[idx].kernel;
         if self.tracer.on() {
             self.tracer.emit(
                 now,
                 EventKind::SchedDecision {
-                    policy: self.config.batch.name(),
+                    policy: batch_policy.name(),
                     chosen: chosen.module_name(),
                     candidates: candidates.iter().map(|c| c.kernel.module_name()).collect(),
                 },
             );
         }
         Some(chosen)
+    }
+
+    /// The batch policy with the adaptive starvation guard resolved
+    /// against the measured reconfiguration EWMA: ten swaps' worth of
+    /// waiting, matching the rationale behind the original 60 ms constant
+    /// (~10 × the ~6 ms full-region load). Until a swap has been observed
+    /// the fixed default applies. Explicit `SwapAware { max_head_age }`
+    /// configurations pass through untouched — the fixed override.
+    fn resolved_batch_policy(&self) -> BatchPolicy {
+        match self.config.batch {
+            BatchPolicy::SwapAwareAdaptive => {
+                let est = self.cost.reconfig_estimate();
+                if est.is_zero() {
+                    BatchPolicy::swap_aware_fixed()
+                } else {
+                    BatchPolicy::SwapAware {
+                        max_head_age: est * 10,
+                    }
+                }
+            }
+            other => other,
+        }
     }
 
     /// Read-only view of [`Service::quarantine_active`]: is the kernel's
@@ -459,7 +524,10 @@ impl Service {
         // for the resident module must pay for the swap back too, or the
         // batch runs in software and the region stays put.
         let round_trip = swap_needed
-            && matches!(self.config.batch, BatchPolicy::SwapAware { .. })
+            && matches!(
+                self.config.batch,
+                BatchPolicy::SwapAware { .. } | BatchPolicy::SwapAwareAdaptive
+            )
             && Kernel::ALL
                 .iter()
                 .any(|k| resident == Some(k.module_name()) && self.queues.head(*k).is_some());
@@ -504,13 +572,18 @@ impl Service {
                     attempts,
                     ..
                 }) => {
-                    self.cost.observe_reconfig(reconfig_time);
+                    self.cost.observe_reconfig_for(kernel, reconfig_time);
                     self.metrics.record_swap(reconfig_time);
                     self.metrics.record_load_recovery(attempts, repaired_frames);
                     // A verified load clears the kernel's record.
                     self.quarantine[kernel.index()].strikes = 0;
                 }
                 Ok(LoadOutcome::AlreadyLoaded) => {}
+                // Resident in another sub-slot: the dock was rebound with
+                // no ICAP traffic. Not a swap — the plane stats count it.
+                Ok(LoadOutcome::Activated { .. }) => {
+                    self.quarantine[kernel.index()].strikes = 0;
+                }
                 Ok(LoadOutcome::Degraded { attempts }) => {
                     // The region never verified: run this batch in
                     // software and count a strike against the kernel.
@@ -715,6 +788,66 @@ mod tests {
             Err(ServiceError::UnsortedSchedule { index: 1 })
         );
         assert_eq!(svc.submitted(), 0, "nothing admitted from a bad schedule");
+    }
+
+    #[test]
+    fn configplane_accelerates_alternating_swaps() {
+        // Six pattern-match items then ten deep fade items: both batches
+        // amortize a cold swap, so every round forces a swap to fade and
+        // (next round) back to pattern matching.
+        let round: Vec<(SimTime, Request)> = {
+            let mut rng = SplitMix64::new(11);
+            let mut sched = Vec::new();
+            for i in 0..6 {
+                sched.push((
+                    SimTime::from_ns(i),
+                    Request::synthetic(Kernel::PatMatch, 1024, &mut rng),
+                ));
+            }
+            for i in 6..16 {
+                sched.push((
+                    SimTime::from_ns(i),
+                    Request::synthetic(Kernel::Fade, 16384, &mut rng),
+                ));
+            }
+            sched
+        };
+        let run = |plane: ConfigPlaneConfig| {
+            let mut svc = Service::new(ServiceConfig {
+                kernels: vec![Kernel::PatMatch, Kernel::Fade],
+                plane,
+                ..ServiceConfig::new(SystemKind::Bit32)
+            });
+            for _ in 0..3 {
+                let snap = svc.process(&round.clone()).unwrap();
+                assert_eq!(snap.completed, 16);
+                assert_eq!(snap.verify_failures, 0);
+            }
+            svc.lifetime()
+        };
+        let cold = run(ConfigPlaneConfig::default());
+        let warm = run(ConfigPlaneConfig::full());
+        assert!(cold.plane.is_none(), "plane off exports no counters");
+        let stats = warm.plane.expect("plane on exports counters");
+        // Swap counts may differ (cheap swaps change the cost model's
+        // decisions — that is the point), so compare the mean swap cost.
+        assert!(cold.swaps >= 1 && warm.swaps >= 1);
+        let mean = |s: &MetricsSnapshot| s.reconfig_time.as_ps() / s.swaps;
+        assert!(
+            mean(&warm) < mean(&cold),
+            "cache + differential transfers must shrink the mean swap cost: {} vs {}",
+            mean(&warm),
+            mean(&cold)
+        );
+        assert!(stats.words_sent < stats.words_full);
+        assert!(
+            stats.cache_hits >= 1,
+            "repeat transitions replay: {stats:?}"
+        );
+        // The JSON carries the plane section only when it exists.
+        assert!(warm.to_json().render().contains("\"configplane\""));
+        assert!(!cold.to_json().render().contains("\"configplane\""));
+        assert!(warm.to_string().contains("configplane"));
     }
 
     #[test]

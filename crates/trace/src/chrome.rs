@@ -176,6 +176,65 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                     ),
                 );
             }
+            EventKind::CacheLookup { module, hit } => {
+                out.push(
+                    base("cache lookup", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("module", module.as_str())
+                                .field("hit", *hit),
+                        ),
+                );
+            }
+            EventKind::DiffSwap {
+                module,
+                frames_full,
+                frames_sent,
+                words_full,
+                words_sent,
+                compressed,
+            } => {
+                out.push(
+                    base("diff swap", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("module", module.as_str())
+                                .field("frames_full", *frames_full)
+                                .field("frames_sent", *frames_sent)
+                                .field("words_full", *words_full)
+                                .field("words_sent", *words_sent)
+                                .field("compressed", *compressed),
+                        ),
+                );
+            }
+            EventKind::SlotActivate { module, slot } => {
+                out.push(
+                    base("slot activate", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("module", module.as_str())
+                                .field("slot", *slot),
+                        ),
+                );
+            }
+            EventKind::SlotEvict { module, slot } => {
+                out.push(
+                    base("slot evict", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("module", module.as_str())
+                                .field("slot", *slot),
+                        ),
+                );
+            }
             EventKind::IcapBurst { words, done } => {
                 out.push(
                     base("icap burst", "i", ts, pid, TID_CONFIG)

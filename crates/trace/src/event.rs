@@ -96,6 +96,45 @@ pub enum EventKind {
         /// Did readback verify the region (false = degraded, dock unbound)?
         verified: bool,
     },
+    /// The bitstream cache was consulted for a transfer image.
+    CacheLookup {
+        /// Module being loaded.
+        module: String,
+        /// Did a ready image replay (true) or did the load fall through
+        /// to diffing/assembly (false)?
+        hit: bool,
+    },
+    /// A differential load: only the frames that differed from the
+    /// slot's live configuration went over the ICAP.
+    DiffSwap {
+        /// Module being loaded.
+        module: String,
+        /// Frames a full-image load would have written.
+        frames_full: u32,
+        /// Frames actually written.
+        frames_sent: u32,
+        /// Words a full-image load would have moved.
+        words_full: u32,
+        /// Words actually moved (after compression, if any).
+        words_sent: u32,
+        /// Did the stream cross the bus in compressed form?
+        compressed: bool,
+    },
+    /// A load was satisfied by re-activating a module already resident
+    /// in another sub-slot — no ICAP traffic at all.
+    SlotActivate {
+        /// Module re-activated.
+        module: String,
+        /// Sub-slot it resides in.
+        slot: u32,
+    },
+    /// A sub-slot resident was evicted to make room for a new load.
+    SlotEvict {
+        /// Module displaced.
+        module: String,
+        /// Sub-slot vacated.
+        slot: u32,
+    },
     /// The HWICAP committed a buffered stream to the ICAP.
     IcapBurst {
         /// Words shifted.

@@ -15,6 +15,7 @@
 //! * [`coreconnect`] — PLB/OPB buses, bridge, memories, DMA, interrupts
 //! * [`dock`] — OPB Dock and PLB Dock wrappers
 //! * [`rtr`] — the run-time reconfiguration framework (the paper's core)
+//! * [`configplane`] — bitstream cache, differential compression, sub-slots
 //! * [`apps`] — the paper's six evaluation workloads
 //! * [`service`] — the request-driven reconfiguration scheduler
 //! * [`cluster`] — the sharded multi-machine service front-end
@@ -25,6 +26,7 @@ pub use dock;
 pub use ppc405_sim as ppc;
 pub use rtr_apps as apps;
 pub use rtr_cluster as cluster;
+pub use rtr_configplane as configplane;
 pub use rtr_core as rtr;
 pub use rtr_service as service;
 pub use rtr_trace as trace;
