@@ -49,8 +49,24 @@ cargo run --release -p rtr-bench --bin trace_lint -- \
     --trace "$obs_dir/sched_trace.json"
 
 echo "== cluster smoke run =="
+# Two invocations of the same seeded workloads — inline and on a 4-wide
+# worker pool. The snapshot files must be byte-identical (the parallel
+# determinism contract), the pooled run must clear the 2x wall-clock
+# gate on any multi-core host (single-core hosts report the ratio but
+# cannot run workers concurrently, so only byte-identity is gated),
+# and the streamed per-shard journal plus its cross-shard merge must
+# satisfy the lint ordering invariants.
 cargo run --release -p rtr-bench --bin cluster_scenario -- \
-    --json BENCH_cluster.json 2> /dev/null
+    --threads 1 --json "$obs_dir/cluster_t1.json" \
+    --snapshot-out "$obs_dir/cluster_snap_t1.json" 2> /dev/null
+cargo run --release -p rtr-bench --bin cluster_scenario -- \
+    --threads 4 --min-speedup 2 --json BENCH_cluster.json \
+    --snapshot-out "$obs_dir/cluster_snap_t4.json" \
+    --journal "$obs_dir/cluster_journal" 2> /dev/null
+cmp "$obs_dir/cluster_snap_t1.json" "$obs_dir/cluster_snap_t4.json"
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --journal "$obs_dir/cluster_journal.shard000.jsonl" \
+    --journal-merged "$obs_dir/cluster_journal.merged.jsonl"
 
 echo "== configuration-plane smoke run =="
 # The bin asserts the plane's headline claims (differential + cache cut

@@ -2,17 +2,24 @@
 //! emits a machine-readable JSON summary — the scale-out counterpart of
 //! `service_scenario`.
 //!
-//! Two experiments, both seeded and deterministic:
+//! Three experiments, all seeded and deterministic:
 //!
 //! * **mixed-kernel**: 4 shards serving a three-kernel mix under each
 //!   routing policy. Kernel-affinity routing must beat round-robin on
 //!   both makespan and total reconfiguration swaps (asserted).
 //! * **scaling**: a single-kernel workload over 1, 2 and 4 shards.
 //!   Cluster throughput must rise with shard count (asserted).
+//! * **parallel**: the same 8-shard workload executed inline and on the
+//!   `--threads` worker pool. The two snapshots must be byte-identical
+//!   (asserted — the determinism contract), and the wall-clock ratio is
+//!   reported (asserted against `--min-speedup` when given).
 //!
 //! ```text
-//! cluster_scenario                   # default workloads
+//! cluster_scenario                   # default workloads, inline
 //! cluster_scenario --requests 128    # heavier run
+//! cluster_scenario --threads 4       # flush shards on 4 worker threads
+//! cluster_scenario --threads 4 --min-speedup 2   # gate the speedup
+//! cluster_scenario --snapshot-out s.json  # parallel-run snapshot (for cmp)
 //! cluster_scenario --json out.json   # write the summary to a file
 //! ```
 
@@ -40,6 +47,12 @@ fn main() {
     let args = ScenarioArgs::parse();
     let requests: usize = args.parsed_or("--requests", 64);
     let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
+    let threads = args.threads();
+    let min_speedup: Option<f64> = args.value_of("--min-speedup").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--min-speedup {v}: not a number"))
+    });
+    let snapshot_out = args.value_of("--snapshot-out");
     let json_path = args.json_path();
     // The journal covers the kernel-affinity mixed run — the pool whose
     // time accounting the scenario's headline claim is about.
@@ -80,6 +93,7 @@ fn main() {
         let mut cluster = Cluster::new(ClusterConfig {
             kernels: mixed_kernels.clone(),
             trace,
+            threads,
             ..ClusterConfig::uniform(SystemKind::Bit64, shard_count, policy)
         });
         let snap = cluster.run(mixed.stream());
@@ -150,6 +164,7 @@ fn main() {
         eprintln!("[cluster] scaling / {shards} shard(s): {requests} requests...");
         let mut cluster = Cluster::new(ClusterConfig {
             kernels: vec![Kernel::PatMatch],
+            threads,
             ..ClusterConfig::uniform(SystemKind::Bit32, shards, RoutePolicy::RoundRobin)
         });
         let snap = cluster.run(single.stream());
@@ -178,11 +193,99 @@ fn main() {
         .field("requests", requests)
         .field("points", Json::Arr(points));
 
+    // Experiment 3: the determinism contract under parallel execution.
+    // One 8-shard round-robin workload runs twice — inline, then on the
+    // worker pool — and the snapshots must be byte-identical; the wall
+    // clock difference is the speedup the pool buys. Round-robin on a
+    // fault-free pool never joins a flush for routing, so all eight
+    // shards' flushes pipeline freely across the workers.
+    let par_shards = 8usize;
+    let par_requests = requests.max(96);
+    let parallel_traffic = TrafficConfig {
+        seed: seed ^ 0x9A7A_11E1,
+        requests: par_requests,
+        kernels: vec![Kernel::PatMatch],
+        mean_gap: SimTime::from_us(1),
+        burst_percent: 0,
+        min_payload: 8 * 1024,
+        max_payload: 16 * 1024,
+        ..TrafficConfig::default()
+    };
+    let run_parallel = |threads: usize| {
+        eprintln!(
+            "[cluster] parallel / {par_requests} requests on {par_shards} shards, \
+             {threads} thread(s)..."
+        );
+        let start = std::time::Instant::now();
+        let mut cluster = Cluster::new(ClusterConfig {
+            kernels: vec![Kernel::PatMatch],
+            threads,
+            ..ClusterConfig::uniform(SystemKind::Bit32, par_shards, RoutePolicy::RoundRobin)
+        });
+        let snap = cluster.run(parallel_traffic.stream());
+        let wall = start.elapsed();
+        assert_eq!(
+            snap.total.completed as usize, par_requests,
+            "all requests served"
+        );
+        (snap.to_json().render_pretty(), wall)
+    };
+    let (snap_inline, wall_inline) = run_parallel(1);
+    let (snap_pool, wall_pool) = run_parallel(threads);
+    assert_eq!(
+        snap_inline, snap_pool,
+        "parallel execution must be byte-identical to inline"
+    );
+    let speedup = wall_inline.as_secs_f64() / wall_pool.as_secs_f64().max(1e-9);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "[cluster]   wall {:.1} ms inline vs {:.1} ms on {threads} thread(s) — \
+         {speedup:.2}x ({host_cpus} host cpu(s))",
+        wall_inline.as_secs_f64() * 1e3,
+        wall_pool.as_secs_f64() * 1e3
+    );
+    // The speedup gate only means something on hardware that can run
+    // the workers concurrently: on a single-core host every thread
+    // count produces the same (byte-identical, asserted above) result
+    // at the same wall clock, so the gate is reported but not enforced.
+    let gate_enforced = host_cpus >= 2 && threads >= 2;
+    match min_speedup {
+        Some(min) if gate_enforced => assert!(
+            speedup >= min,
+            "speedup {speedup:.2}x below the --min-speedup {min} gate \
+             ({wall_inline:?} inline vs {wall_pool:?} on {threads} threads, \
+             {host_cpus} host cpus)"
+        ),
+        Some(min) => eprintln!(
+            "[cluster]   --min-speedup {min} not enforced: \
+             {host_cpus} host cpu(s), {threads} worker thread(s)"
+        ),
+        None => {}
+    }
+    if let Some(path) = &snapshot_out {
+        // The snapshot is pure simulated state — no wall-clock — so two
+        // invocations at different thread counts must write equal bytes.
+        std::fs::write(path, &snap_pool).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[cluster] wrote {path}");
+    }
+    let parallel_json = Json::obj()
+        .field("system", "Bit32")
+        .field("shards", par_shards)
+        .field("requests", par_requests)
+        .field("threads", threads)
+        .field("host_cpus", host_cpus)
+        .field("wall_ms_threads1", wall_inline.as_secs_f64() * 1e3)
+        .field("wall_ms_threadsN", wall_pool.as_secs_f64() * 1e3)
+        .field("speedup", speedup)
+        .field("speedup_gate_enforced", gate_enforced)
+        .field("identical", true);
+
     let summary = Json::obj().field(
         "cluster_scenarios",
         Json::obj()
             .field("mixed_kernel", mixed_json)
-            .field("scaling", scaling_json),
+            .field("scaling", scaling_json)
+            .field("parallel", parallel_json),
     );
     scenario::emit("cluster", json_path.as_deref(), &summary);
     scenario::export_trace("cluster", &args, &tracer);

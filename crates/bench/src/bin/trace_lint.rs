@@ -14,6 +14,15 @@
 //! * `--profile p.json` — the file must parse as JSON and every
 //!   shard's `busy_frac + reconfig_frac + idle_frac + quarantined_frac`
 //!   must sum to 1 (±1e-9), or to 0 for an empty makespan.
+//! * `--journal j.shard000.jsonl` — a per-shard streamed journal: every
+//!   line parses as JSON with `time_ps`/`shard`/`seq`/`kind`, the kind
+//!   is one the tracer can emit, all lines carry the same shard id, and
+//!   `seq` strictly increases (the stream is in emission order — `seq`
+//!   is the shard's own counter, while `time_ps` may step back for
+//!   backdated admission events).
+//! * `--journal-merged j.merged.jsonl` — the cross-shard merge: the
+//!   same per-line checks, plus the `(time_ps, shard, seq)` key must
+//!   strictly increase — the canonical total order the merge sorts by.
 //!
 //! Exits non-zero with one line per violation; CI runs it after the
 //! scenario smoke runs so a malformed export fails the build.
@@ -22,6 +31,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use rtr_bench::scenario::ScenarioArgs;
+use rtr_trace::KIND_NAMES;
 use vp2_sim::Json;
 
 /// Tolerance on the per-shard fraction sum.
@@ -208,6 +218,92 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
     );
 }
 
+/// Checks a streamed JSONL journal. `merged` selects the ordering
+/// invariant: a per-shard stream is in emission order (strictly
+/// increasing `seq`, one constant shard id), the merged file is in the
+/// canonical `(time_ps, shard, seq)` total order.
+fn lint_journal(path: &str, merged: bool, problems: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            problems.push(format!("{path}: cannot read: {e}"));
+            return;
+        }
+    };
+    let mut lines = 0usize;
+    let mut stream_shard: Option<i64> = None;
+    let mut last_seq: Option<i64> = None;
+    let mut last_key: Option<(i64, i64, i64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let ev = match Json::parse(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                problems.push(format!("{path}: line {}: not valid JSON: {e}", i + 1));
+                continue;
+            }
+        };
+        let int = |key: &str| ev.get(key).and_then(Json::as_f64).map(|v| v as i64);
+        let kind = ev.get("kind").and_then(Json::as_str);
+        let (Some(time), Some(shard), Some(seq), Some(kind)) =
+            (int("time_ps"), int("shard"), int("seq"), kind)
+        else {
+            problems.push(format!(
+                "{path}: line {}: missing one of time_ps/shard/seq/kind",
+                i + 1
+            ));
+            continue;
+        };
+        if !KIND_NAMES.contains(&kind) {
+            problems.push(format!(
+                "{path}: line {}: unknown event kind {kind:?}",
+                i + 1
+            ));
+        }
+        if merged {
+            let key = (time, shard, seq);
+            if let Some(last) = last_key {
+                if key <= last {
+                    problems.push(format!(
+                        "{path}: line {}: (time_ps, shard, seq) key {key:?} \
+                         does not advance past {last:?}",
+                        i + 1
+                    ));
+                }
+            }
+            last_key = Some(key);
+        } else {
+            match stream_shard {
+                None => stream_shard = Some(shard),
+                Some(expected) if expected != shard => {
+                    problems.push(format!(
+                        "{path}: line {}: shard {shard} in a shard-{expected} stream",
+                        i + 1
+                    ));
+                }
+                Some(_) => {}
+            }
+            if let Some(last) = last_seq {
+                if seq <= last {
+                    problems.push(format!(
+                        "{path}: line {}: seq {seq} does not advance past {last}",
+                        i + 1
+                    ));
+                }
+            }
+            last_seq = Some(seq);
+        }
+    }
+    if lines == 0 {
+        problems.push(format!("{path}: journal is empty"));
+    }
+    let flavor = if merged { "merged" } else { "per-shard" };
+    eprintln!("[lint] {path}: {lines} {flavor} journal event(s)");
+}
+
 /// Checks that each shard's fractions partition its makespan.
 fn lint_profile(path: &str, doc: &Json, problems: &mut Vec<String>) {
     let Some(shards) = doc.get("shards").and_then(Json::as_arr) else {
@@ -254,8 +350,19 @@ fn main() -> ExitCode {
             lint_profile(&path, &doc, &mut problems);
         }
     }
+    if let Some(path) = args.value_of("--journal") {
+        checked += 1;
+        lint_journal(&path, false, &mut problems);
+    }
+    if let Some(path) = args.value_of("--journal-merged") {
+        checked += 1;
+        lint_journal(&path, true, &mut problems);
+    }
     if checked == 0 {
-        eprintln!("usage: trace_lint [--trace chrome.json] [--profile profile.json]");
+        eprintln!(
+            "usage: trace_lint [--trace chrome.json] [--profile profile.json] \
+             [--journal j.shard000.jsonl] [--journal-merged j.merged.jsonl]"
+        );
         return ExitCode::from(2);
     }
     if problems.is_empty() {

@@ -57,14 +57,38 @@ impl ScenarioArgs {
         self.value_of("--profile")
     }
 
-    /// A tracer for the scenario's designated run: enabled when `--trace`
-    /// or `--profile` was given, the free no-op handle otherwise.
+    /// The `--journal` base path (streamed per-shard JSONL journals),
+    /// if requested. Shard `s` streams to `{base}.shard{s:03}.jsonl`
+    /// and the merged export lands in `{base}.merged.jsonl`.
+    pub fn journal_base(&self) -> Option<String> {
+        self.value_of("--journal")
+    }
+
+    /// Worker threads for parallel shard execution (`--threads N`,
+    /// default 1 = inline).
+    pub fn threads(&self) -> usize {
+        self.parsed_or("--threads", 1usize).max(1)
+    }
+
+    /// A tracer for the scenario's designated run: enabled when
+    /// `--trace`, `--profile` or `--journal` was given, the free no-op
+    /// handle otherwise. With `--journal` the tracer streams every
+    /// event to per-shard JSONL files as it is emitted, so runs longer
+    /// than the in-memory ring stay fully journaled.
     pub fn tracer(&self) -> Tracer {
-        if self.trace_path().is_some() || self.profile_path().is_some() {
-            Tracer::enabled()
-        } else {
-            Tracer::disabled()
+        if self.trace_path().is_none()
+            && self.profile_path().is_none()
+            && self.journal_base().is_none()
+        {
+            return Tracer::disabled();
         }
+        let tracer = Tracer::enabled();
+        if let Some(base) = self.journal_base() {
+            tracer
+                .stream_to(&base)
+                .unwrap_or_else(|e| panic!("journal stream {base}: {e}"));
+        }
+        tracer
     }
 }
 
@@ -111,6 +135,19 @@ pub fn export_trace(tag: &str, args: &ScenarioArgs, tracer: &Tracer) {
             .unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("[{tag}] wrote {path}");
         eprint!("{report}");
+    }
+    if let Some(base) = args.journal_base() {
+        let shard_files = tracer
+            .flush_streams()
+            .unwrap_or_else(|e| panic!("flush journal streams {base}: {e}"));
+        let merged = format!("{base}.merged.jsonl");
+        let lines = tracer
+            .merge_streams(&merged)
+            .unwrap_or_else(|e| panic!("merge journal streams {base}: {e}"));
+        eprintln!(
+            "[{tag}] wrote {merged} ({lines} events from {} shard journal(s))",
+            shard_files.len()
+        );
     }
 }
 

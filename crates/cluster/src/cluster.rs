@@ -1,14 +1,25 @@
 //! The cluster front-end: streaming admission over a shard pool.
 
+use std::sync::mpsc;
+
 use rtr_apps::request::{Kernel, Request};
 use rtr_core::SystemKind;
 use rtr_service::{BatchPolicy, Service, ServiceConfig};
 use rtr_trace::Tracer;
 use vp2_sim::SimTime;
 
+use crate::pool::WorkerPool;
 use crate::route::{RoutePolicy, Router};
 use crate::shard::Shard;
 use crate::snapshot::ClusterSnapshot;
+
+/// The worker pool ships services across threads; this fails to compile
+/// if any layer of the stack regrows thread-bound state (the old
+/// `Rc<RefCell<_>>` tracer ring was exactly that).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Service>();
+};
 
 /// How to build one shard of the pool.
 #[derive(Debug, Clone)]
@@ -86,6 +97,13 @@ pub struct ClusterConfig {
     /// Trace journal handle, fanned out to every shard (each shard's
     /// events carry its id). Disabled by default.
     pub trace: Tracer,
+    /// Worker threads for shard boots and flushes. `1` (the default)
+    /// runs everything inline on the caller's thread; `> 1` spawns a
+    /// worker pool and ships each shard's flush to it, joining a
+    /// shard's outstanding flush only when a routing decision needs its
+    /// live state or a second flush targets it. Equal seeds produce
+    /// byte-identical snapshots and trace exports at any thread count.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -99,6 +117,7 @@ impl ClusterConfig {
             verify: true,
             quarantine_cooldown: SimTime::from_ms(5),
             trace: Tracer::disabled(),
+            threads: 1,
         }
     }
 }
@@ -108,6 +127,8 @@ pub struct Cluster {
     shards: Vec<Shard>,
     router: Router,
     flush_depth: usize,
+    /// Worker threads for shard flushes; `None` runs flushes inline.
+    pool: Option<WorkerPool>,
     /// Requests currently resident across all admission buffers, kept
     /// incrementally (+1 on admit, −buffered on flush) so tracking the
     /// peak costs O(1) per request instead of a sum over every shard.
@@ -128,27 +149,60 @@ impl Cluster {
             "a cluster needs at least one shard"
         );
         assert!(config.flush_depth > 0, "flush_depth must be positive");
-        let shards: Vec<Shard> = config
+        let pool = (config.threads > 1).then(|| WorkerPool::new(config.threads));
+        let service_configs: Vec<ServiceConfig> = config
             .shards
             .iter()
             .enumerate()
-            .map(|(id, spec)| {
-                let service = Service::new(ServiceConfig {
-                    verify: config.verify,
-                    kernels: config.kernels.clone(),
-                    batch: spec.batch,
-                    plane: spec.plane.clone(),
-                    quarantine_cooldown: config.quarantine_cooldown,
-                    trace: config.trace.with_shard(id as u32),
-                    ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
-                });
-                Shard::new(id, service)
+            .map(|(id, spec)| ServiceConfig {
+                verify: config.verify,
+                kernels: config.kernels.clone(),
+                batch: spec.batch,
+                plane: spec.plane.clone(),
+                quarantine_cooldown: config.quarantine_cooldown,
+                trace: config.trace.with_shard(id as u32),
+                ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
             })
+            .collect();
+        // Boot every shard — build, calibrate, warm up its machine.
+        // Boots are independent and deterministic per shard, so with a
+        // pool they run in parallel; results are collected in shard
+        // order, so the outcome is identical either way.
+        let services: Vec<Box<Service>> = match &pool {
+            Some(pool) => {
+                let rxs: Vec<mpsc::Receiver<Box<Service>>> = service_configs
+                    .into_iter()
+                    .map(|cfg| {
+                        let (tx, rx) = mpsc::channel();
+                        pool.submit(Box::new(move || {
+                            let _ = tx.send(Box::new(Service::new(cfg)));
+                        }));
+                        rx
+                    })
+                    .collect();
+                rxs.into_iter()
+                    .map(|rx| {
+                        rx.recv()
+                            .expect("shard boot worker disappeared (panicked?)")
+                    })
+                    .collect()
+            }
+            None => service_configs
+                .into_iter()
+                .map(|cfg| Box::new(Service::new(cfg)))
+                .collect(),
+        };
+        let shards: Vec<Shard> = services
+            .into_iter()
+            .zip(&config.shards)
+            .enumerate()
+            .map(|(id, (service, spec))| Shard::new(id, service, spec.fault_rate > 0.0))
             .collect();
         Cluster {
             shards,
             router: Router::new(config.policy),
             flush_depth: config.flush_depth,
+            pool,
             resident: 0,
             peak_buffered: 0,
             admitted: 0,
@@ -176,26 +230,36 @@ impl Cluster {
         self.peak_buffered
     }
 
+    /// Worker threads flushing shards (1 = inline, no pool).
+    pub fn threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
     /// Routes one request into a shard's buffer and returns the shard id;
-    /// flushes that shard if its buffer hit the bound.
+    /// flushes that shard if its buffer hit the bound (dispatching the
+    /// flush to a worker thread when the cluster has a pool).
     pub fn admit(&mut self, arrival: SimTime, request: Request) -> usize {
-        let id = self.router.pick(&self.shards, request.kernel());
+        let id = self.router.pick(&mut self.shards, request.kernel());
         self.shards[id].admit(arrival, request);
         self.admitted += 1;
         self.resident += 1;
         self.peak_buffered = self.peak_buffered.max(self.resident);
         if self.shards[id].buffered() >= self.flush_depth {
             self.resident -= self.shards[id].buffered();
-            self.shards[id].flush();
+            self.shards[id].flush(self.pool.as_ref());
         }
         id
     }
 
-    /// Flushes every shard's buffer into its machine.
+    /// Flushes every shard's buffer into its machine and joins every
+    /// in-flight flush — afterwards all shards are settled.
     pub fn flush_all(&mut self) {
         for shard in &mut self.shards {
             self.resident -= shard.buffered();
-            shard.flush();
+            shard.flush(self.pool.as_ref());
+        }
+        for shard in &mut self.shards {
+            shard.join();
         }
     }
 
@@ -215,10 +279,14 @@ impl Cluster {
         self.snapshot()
     }
 
-    /// Aggregates per-shard windows into the cluster-level snapshot.
+    /// Aggregates per-shard windows into the cluster-level snapshot,
+    /// joining any in-flight flushes first so every window is complete.
     /// Buffered-but-unflushed requests are not yet in any window; call
     /// [`Cluster::flush_all`] first (or use [`Cluster::run`]).
-    pub fn snapshot(&self) -> ClusterSnapshot {
+    pub fn snapshot(&mut self) -> ClusterSnapshot {
+        for shard in &mut self.shards {
+            shard.join();
+        }
         ClusterSnapshot::aggregate(&self.shards, self.router.stats, self.peak_buffered)
     }
 }

@@ -29,10 +29,22 @@
 //! [`ClusterSnapshot`] — makespan, total throughput, per-shard
 //! utilization and swap counts, and the cross-shard latency distribution
 //! (full percentile ladder + histogram buckets) — with JSON export.
+//!
+//! ## Parallel execution
+//!
+//! With [`ClusterConfig::threads`] > 1, shard flushes run on a small
+//! fixed pool of OS worker threads: the coordinator keeps routing
+//! single-threaded, ships a shard's buffered schedule to a worker at
+//! flush depth, and joins the outstanding flush only when a routing
+//! decision needs that shard's live state (or a second flush targets
+//! it). Because a flush's outcome depends only on service state and the
+//! schedule — never on coordinator timing — equal seeds produce
+//! byte-identical snapshots and trace journals at any thread count.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+mod pool;
 pub mod route;
 pub mod shard;
 pub mod snapshot;

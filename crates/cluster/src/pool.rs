@@ -1,0 +1,109 @@
+//! A small fixed-size worker pool for shard flushes (and boots).
+//!
+//! The shape is the classic queue-worker pipeline: the coordinator
+//! produces jobs into one channel, N OS threads drain it, and results
+//! travel back through per-job channels the submitter holds. There is
+//! deliberately no work stealing, no priorities and no shared mutable
+//! state — determinism comes from *where results are joined* (the
+//! shard state machine in [`crate::shard::Shard`]), not from how jobs
+//! interleave on the workers.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A unit of work: owns everything it touches.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed worker threads draining one shared injector channel.
+pub(crate) struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one).
+    pub(crate) fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("rtr-shard-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the dequeue, never while
+                        // running the job.
+                        let job = rx.lock().expect("injector poisoned").recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // coordinator dropped the sender
+                        }
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueues one job; some worker will run it.
+    pub(crate) fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(job)
+            .expect("all workers died");
+    }
+
+    /// Worker-thread count.
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the injector ends each worker's recv loop; joining
+        // bounds the process to no stray threads after the cluster drops.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_run_and_results_return_through_channels() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let mut rxs = Vec::new();
+        for i in 0..16u64 {
+            let (tx, rx) = mpsc::channel();
+            pool.submit(Box::new(move || {
+                let _ = tx.send(i * i);
+            }));
+            rxs.push(rx);
+        }
+        let squares: Vec<u64> = rxs.iter().map(|rx| rx.recv().unwrap()).collect();
+        assert_eq!(squares, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = tx.send(42u32);
+        }));
+        assert_eq!(rx.recv().unwrap(), 42);
+        drop(pool); // must not hang
+    }
+}

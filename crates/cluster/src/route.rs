@@ -7,7 +7,7 @@
 //! instead of accumulating work they can only serve in software.
 
 use rtr_apps::request::Kernel;
-use vp2_sim::Json;
+use vp2_sim::{Json, SimTime};
 
 use crate::shard::Shard;
 
@@ -89,19 +89,28 @@ impl Router {
 
     /// Picks the shard for one request. Deterministic: ties break on the
     /// lowest shard id.
-    pub(crate) fn pick(&mut self, shards: &[Shard], kernel: Kernel) -> usize {
+    ///
+    /// Takes the pool mutably because reading a shard's live state may
+    /// first have to join its in-flight flush. The probes are ordered
+    /// cheapest-first to keep a parallel pool pipelined: the quarantine
+    /// probe is free on fault-free shards, the buffered-count side of
+    /// `holds` never joins, and only `ready_at` (the load estimate)
+    /// always settles a shard — so least-loaded routing inherently
+    /// serializes, while round-robin and affinity home-hits never wait.
+    pub(crate) fn pick(&mut self, shards: &mut [Shard], kernel: Kernel) -> usize {
         debug_assert!(!shards.is_empty());
-        let healthy = |s: &Shard| !s.sheds(kernel);
-        let any_healthy = shards.iter().any(healthy);
+        let n = shards.len();
+        let healthy: Vec<bool> = shards.iter_mut().map(|s| !s.sheds_sync(kernel)).collect();
+        let any_healthy = healthy.iter().any(|&h| h);
         // With every shard quarantined for this kernel there is nothing
         // to shed to — software-path service beats refusing the request.
-        let admissible = |s: &Shard| !any_healthy || healthy(s);
+        let admissible = |i: usize| !any_healthy || healthy[i];
         match self.policy {
             RoutePolicy::RoundRobin => {
-                for step in 0..shards.len() {
-                    let id = (self.rr_next + step) % shards.len();
-                    if admissible(&shards[id]) {
-                        self.rr_next = (id + 1) % shards.len();
+                for step in 0..n {
+                    let id = (self.rr_next + step) % n;
+                    if admissible(id) {
+                        self.rr_next = (id + 1) % n;
                         if step == 0 {
                             self.stats.base += 1;
                         } else {
@@ -113,30 +122,29 @@ impl Router {
                 unreachable!("admissible() accepts every shard when none is healthy");
             }
             RoutePolicy::LeastLoaded => {
+                let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
                 // One pass tracks both minima: the admissible pick (the
                 // answer) and the unrestricted pick (the yardstick for
                 // counting quarantine diversions). Iteration is in shard-id
                 // order and the comparison is strict, so the lowest id
                 // wins ties exactly as `least_loaded` would.
-                let mut best: Option<&Shard> = None;
-                let mut best_overall: Option<&Shard> = None;
-                for s in shards {
-                    let beats = |b: &Option<&Shard>| {
-                        b.is_none_or(|b| (s.ready_at(), s.id()) < (b.ready_at(), b.id()))
-                    };
+                let mut best: Option<usize> = None;
+                let mut best_overall: Option<usize> = None;
+                for i in 0..n {
+                    let beats = |b: &Option<usize>| b.is_none_or(|b| (ready[i], i) < (ready[b], b));
                     if beats(&best_overall) {
-                        best_overall = Some(s);
+                        best_overall = Some(i);
                     }
-                    if admissible(s) && beats(&best) {
-                        best = Some(s);
+                    if admissible(i) && beats(&best) {
+                        best = Some(i);
                     }
                 }
-                let id = best.expect("at least one admissible shard").id();
+                let id = best.expect("at least one admissible shard");
                 // If the unrestricted pick is a quarantined shard, this
                 // request was diverted by the quarantine — count it as
                 // shed, not as a plain load-estimate placement. (With no
                 // healthy shard at all nothing is diverted anywhere.)
-                if any_healthy && !healthy(best_overall.expect("at least one shard")) {
+                if any_healthy && !healthy[best_overall.expect("at least one shard")] {
                     self.stats.shed += 1;
                 } else {
                     self.stats.base += 1;
@@ -147,14 +155,15 @@ impl Router {
                 // Sticky home first: once a kernel settles on a shard it
                 // stays there, so its module stays resident.
                 if let Some(id) = self.home[kernel.index()] {
-                    if admissible(&shards[id]) {
+                    if admissible(id) {
                         self.stats.affinity_hits += 1;
                         return id;
                     }
                     // Home quarantined: shed to the least-loaded healthy
                     // shard without reassigning home — the shard gets its
                     // kernel back once the cooldown expires.
-                    let id = least_loaded(shards, &admissible);
+                    let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
+                    let id = least_loaded(&ready, &admissible);
                     self.stats.shed += 1;
                     return id;
                 }
@@ -162,20 +171,19 @@ impl Router {
                 // the kernel. Every shard boots with the same warm-up
                 // module resident, so prefer holders serving the fewest
                 // home kernels — that spreads first-seen kernels instead
-                // of piling them onto shard 0.
-                let homes = self.homes_per_shard(shards.len());
+                // of piling them onto shard 0. This is the one affinity
+                // path that reads load estimates (and so settles every
+                // shard) — it runs once per kernel, not per request.
+                let homes = self.homes_per_shard(n);
+                let holds: Vec<bool> = shards.iter_mut().map(|s| s.holds_sync(kernel)).collect();
+                let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
+                let adoption_key = |i: &usize| (homes[*i], ready[*i], *i);
                 // The holder this kernel would adopt were no quarantine
                 // in play — the yardstick for counting diversions.
-                let unrestricted_holder = shards
-                    .iter()
-                    .filter(|s| s.holds(kernel))
-                    .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
-                    .map(Shard::id);
-                let adopted = shards
-                    .iter()
-                    .filter(|s| admissible(s) && s.holds(kernel))
-                    .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
-                    .map(Shard::id);
+                let unrestricted_holder = (0..n).filter(|&i| holds[i]).min_by_key(adoption_key);
+                let adopted = (0..n)
+                    .filter(|&i| admissible(i) && holds[i])
+                    .min_by_key(adoption_key);
                 let id = match adopted {
                     Some(id) => {
                         // Quarantine may have pushed the kernel off the
@@ -191,20 +199,16 @@ impl Router {
                     // the emptiest (fewest homes, then least-loaded)
                     // shard takes it.
                     None => {
-                        let id = shards
-                            .iter()
-                            .filter(|s| admissible(s))
-                            .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
-                            .expect("at least one admissible shard")
-                            .id();
-                        let emptiest_unrestricted = shards
-                            .iter()
-                            .min_by_key(|s| (homes[s.id()], s.ready_at(), s.id()))
-                            .expect("at least one shard");
+                        let id = (0..n)
+                            .filter(|&i| admissible(i))
+                            .min_by_key(adoption_key)
+                            .expect("at least one admissible shard");
+                        let emptiest_unrestricted =
+                            (0..n).min_by_key(adoption_key).expect("at least one shard");
                         // Shed if a quarantined holder existed, or the
                         // emptiest shard was itself quarantined away.
                         if unrestricted_holder.is_some()
-                            || (any_healthy && !healthy(emptiest_unrestricted))
+                            || (any_healthy && !healthy[emptiest_unrestricted])
                         {
                             self.stats.shed += 1;
                         } else {
@@ -232,11 +236,9 @@ impl Router {
 }
 
 /// The admissible shard with the earliest ready time (lowest id on ties).
-fn least_loaded(shards: &[Shard], admissible: &impl Fn(&Shard) -> bool) -> usize {
-    shards
-        .iter()
-        .filter(|s| admissible(s))
-        .min_by_key(|s| (s.ready_at(), s.id()))
+fn least_loaded(ready: &[SimTime], admissible: &impl Fn(usize) -> bool) -> usize {
+    (0..ready.len())
+        .filter(|&i| admissible(i))
+        .min_by_key(|&i| (ready[i], i))
         .expect("at least one admissible shard")
-        .id()
 }

@@ -6,33 +6,74 @@
 //! (or the stream ends) the shard flushes it as one open-loop schedule
 //! into the service and merges the resulting window metrics, so the
 //! full cluster workload never exists in memory at once.
+//!
+//! # Parallel flushes
+//!
+//! With a worker pool, [`Shard::flush`] ships the service (and the
+//! drained schedule) to a worker thread and keeps routing; the shard is
+//! then *in flight* until [`Shard::join`] receives the service back
+//! along with the window it produced. Determinism rests on a single
+//! discipline — **join before read**: any accessor that needs live
+//! service state (`ready_at`, a `holds` fallback to the resident
+//! module, `sheds` on a fault-injected shard, a second flush) first
+//! joins the outstanding flush. Because a flush's outcome depends only
+//! on the service state and the schedule — never on coordinator timing
+//! — the joined state is byte-identical to what inline execution would
+//! have produced, at any thread count.
+
+use std::sync::mpsc;
 
 use rtr_apps::request::{Kernel, Request};
 use rtr_service::{Metrics, Service};
 use rtr_trace::EventKind;
 use vp2_sim::SimTime;
 
+use crate::pool::WorkerPool;
+
+/// What a flush worker sends back: the service it borrowed and the
+/// window metrics the schedule produced.
+type FlushResult = (Box<Service>, Metrics);
+
 /// One machine of the cluster: a service plus its admission buffer.
 pub struct Shard {
     id: usize,
-    service: Service,
+    /// The service, when settled; `None` while a flush is in flight.
+    service: Option<Box<Service>>,
+    /// The in-flight flush's result channel, if any.
+    inflight: Option<mpsc::Receiver<FlushResult>>,
     origin: SimTime,
     buffer: Vec<(SimTime, Request)>,
-    buffered_cost: SimTime,
+    /// Buffered requests per kernel, kept incrementally on admit/flush
+    /// so `holds` answers in O(1) instead of scanning the buffer per
+    /// routing decision.
+    kernel_buffered: [u32; Kernel::ALL.len()],
+    /// Cost-model estimate of the buffered work, computed lazily at
+    /// `ready_at` (after any join, so it sees the post-flush cost
+    /// model — the same model inline execution would have used) and
+    /// cached until the next admit or flush.
+    cost_cache: Option<SimTime>,
+    /// Can this shard ever quarantine a kernel? Strikes only arise from
+    /// fault-induced degraded loads or verify fallbacks, so a shard
+    /// whose fault plan is empty (`fault_rate == 0`) answers `sheds`
+    /// without settling an in-flight flush.
+    can_quarantine: bool,
     window: Metrics,
     admitted: u64,
 }
 
 impl Shard {
     /// Wraps a freshly booted service as shard `id`.
-    pub(crate) fn new(id: usize, service: Service) -> Shard {
+    pub(crate) fn new(id: usize, service: Box<Service>, can_quarantine: bool) -> Shard {
         let origin = service.now();
         Shard {
             id,
-            service,
+            service: Some(service),
+            inflight: None,
             origin,
             buffer: Vec::new(),
-            buffered_cost: SimTime::ZERO,
+            kernel_buffered: [0; Kernel::ALL.len()],
+            cost_cache: None,
+            can_quarantine,
             window: Metrics::new(),
             admitted: 0,
         }
@@ -44,8 +85,18 @@ impl Shard {
     }
 
     /// The underlying service (cost model, manager, quarantine state).
+    ///
+    /// # Panics
+    /// Panics while a flush is in flight on a worker thread — settle the
+    /// cluster first ([`flush_all`]/[`snapshot`] join every shard; with
+    /// `threads <= 1` shards are always settled).
+    ///
+    /// [`flush_all`]: crate::Cluster::flush_all
+    /// [`snapshot`]: crate::Cluster::snapshot
     pub fn service(&self) -> &Service {
-        &self.service
+        self.service
+            .as_deref()
+            .expect("shard has a flush in flight; settle the cluster before reading live state")
     }
 
     /// Requests routed to this shard so far.
@@ -60,103 +111,195 @@ impl Shard {
 
     /// Simulated time this shard has spent serving since cluster boot.
     pub fn elapsed(&self) -> SimTime {
-        self.service.now() - self.origin
+        self.service().now() - self.origin
     }
 
     /// Estimated instant this shard would finish everything it has been
     /// given: its machine clock plus the cost-model estimate of the
     /// buffered (not yet flushed) work. The least-loaded router compares
-    /// shards on this.
+    /// shards on this. Panics while a flush is in flight (see
+    /// [`Shard::service`]); the router uses the joining variant.
     pub fn ready_at(&self) -> SimTime {
-        self.service.now() + self.buffered_cost
+        let service = self.service();
+        service.now() + buffered_cost(&self.buffer, service)
     }
 
     /// Does this shard's dynamic region already hold — or will it, once
-    /// the buffer flushes — the kernel's module?
+    /// the buffer flushes — the kernel's module? Panics while a flush is
+    /// in flight (see [`Shard::service`]).
     pub fn holds(&self, kernel: Kernel) -> bool {
-        if self.service.manager().loaded() == Some(kernel.module_name()) {
-            return true;
-        }
-        // A buffered request of the same kernel means the region is
-        // about to be reconfigured for it (if hardware pays off), so
-        // joining it amortizes the same swap.
-        self.buffer.iter().any(|(_, r)| r.kernel() == kernel)
+        self.kernel_buffered[kernel.index()] > 0
+            || self.service().manager().loaded() == Some(kernel.module_name())
     }
 
     /// Is the kernel's hardware path on this shard currently barred by
-    /// an active quarantine?
+    /// an active quarantine? Fault-free shards answer `false` without
+    /// touching live state; fault-injected shards panic while a flush
+    /// is in flight (see [`Shard::service`]).
     pub fn sheds(&self, kernel: Kernel) -> bool {
-        self.service.quarantined(kernel)
+        self.can_quarantine && self.service().quarantined(kernel)
+    }
+
+    /// Is a flush currently running on a worker thread?
+    pub fn in_flight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Waits for the outstanding flush (if any) and folds its window in.
+    pub(crate) fn join(&mut self) {
+        if let Some(rx) = self.inflight.take() {
+            let (service, window) = rx
+                .recv()
+                .expect("shard flush worker disappeared (panicked?)");
+            self.window.absorb(&window);
+            self.service = Some(service);
+        }
+    }
+
+    /// `ready_at` for the router: joins any in-flight flush first, and
+    /// caches the buffered-cost estimate until the buffer changes.
+    /// Post-join the estimate reads the same cost model inline
+    /// execution would have seen — the model only mutates during this
+    /// shard's own flushes, and buffered items never span one.
+    pub(crate) fn ready_at_sync(&mut self) -> SimTime {
+        self.join();
+        let service = self.service.as_deref().expect("joined");
+        let cost = *self
+            .cost_cache
+            .get_or_insert_with(|| buffered_cost(&self.buffer, service));
+        service.now() + cost
+    }
+
+    /// `holds` for the router: the O(1) buffered-count check never needs
+    /// live state; only the fallback to the resident module joins.
+    pub(crate) fn holds_sync(&mut self, kernel: Kernel) -> bool {
+        debug_assert_eq!(
+            self.kernel_buffered[kernel.index()] > 0,
+            self.buffer.iter().any(|(_, r)| r.kernel() == kernel),
+            "incremental per-kernel buffered count out of sync with the buffer"
+        );
+        if self.kernel_buffered[kernel.index()] > 0 {
+            return true;
+        }
+        self.join();
+        let service = self.service.as_deref().expect("joined");
+        service.manager().loaded() == Some(kernel.module_name())
+    }
+
+    /// `sheds` for the router: a shard that cannot quarantine (no fault
+    /// injection) answers without joining, which is what keeps
+    /// fault-free pools fully pipelined — the healthy-shard probe runs
+    /// on every admission for every policy.
+    pub(crate) fn sheds_sync(&mut self, kernel: Kernel) -> bool {
+        if !self.can_quarantine {
+            return false;
+        }
+        self.join();
+        let service = self.service.as_deref().expect("joined");
+        service.quarantined(kernel)
     }
 
     /// Buffers one request that arrived at absolute time `arrival`.
+    /// Trace buffer events are stamped at flush time (when the
+    /// authoritative next-admission id is in hand and no worker owns
+    /// the shard's journal), so admission touches no service state.
     pub(crate) fn admit(&mut self, arrival: SimTime, request: Request) {
-        let kernel = request.kernel();
-        let bytes = request.payload_bytes();
-        let cost = self.service.cost_model();
-        // Optimistic per-item cost: the cheaper path, ignoring swaps.
-        let sw = cost.sw_estimate(kernel, bytes);
-        let item = match cost.hw_estimate(kernel, bytes) {
-            Some(hw) => hw.min(sw),
-            None => sw,
-        };
-        self.buffered_cost += item;
-        let tracer = self.service.tracer();
-        if tracer.on() {
-            // The id this request will receive when the buffer flushes
-            // into the service's queues (admission ids are monotone).
-            let id = self.service.submitted() + self.buffer.len() as u64;
-            let machine_arrival = self.origin + arrival;
-            tracer.emit(
-                machine_arrival,
-                EventKind::RequestBuffer {
-                    id,
-                    kernel: kernel.module_name(),
-                    arrival: machine_arrival,
-                },
-            );
-        }
+        self.kernel_buffered[request.kernel().index()] += 1;
+        self.cost_cache = None;
         self.buffer.push((arrival, request));
         self.admitted += 1;
     }
 
-    /// Flushes the buffer into the service as one open-loop schedule and
-    /// merges the window metrics. Stream time is mapped onto the machine
-    /// clock via the shard's boot origin (stream instant 0 is the moment
-    /// the shard finished booting), so open-loop pacing gaps survive the
-    /// flush: the machine idles between arrivals it has kept up with.
-    /// Arrivals the machine has already run past (it was busy, or they
-    /// sat in the admission buffer) are served immediately, and the wait
-    /// shows up as latency, exactly as on a single machine.
-    pub(crate) fn flush(&mut self) {
+    /// Flushes the buffer into the service as one open-loop schedule —
+    /// inline without a pool, on a worker thread with one — after
+    /// joining any previous flush of this shard. Stream time is mapped
+    /// onto the machine clock via the shard's boot origin (stream
+    /// instant 0 is the moment the shard finished booting), so
+    /// open-loop pacing gaps survive the flush: the machine idles
+    /// between arrivals it has kept up with. Arrivals the machine has
+    /// already run past (it was busy, or they sat in the admission
+    /// buffer) are served immediately, and the wait shows up as
+    /// latency, exactly as on a single machine.
+    pub(crate) fn flush(&mut self, pool: Option<&WorkerPool>) {
         if self.buffer.is_empty() {
             return;
         }
+        self.join();
+        let mut service = self.service.take().expect("joined");
         let origin = self.origin;
+        let tracer = service.tracer().clone();
+        if tracer.on() {
+            // Buffer events, stamped with each request's machine-clock
+            // arrival and the id the service *will* assign on flush —
+            // read from the authoritative admission counter, so buffer
+            // events can never desync from the span ids.
+            for (id, (arrival, request)) in (service.next_request_id()..).zip(&self.buffer) {
+                let machine_arrival = origin + *arrival;
+                tracer.emit(
+                    machine_arrival,
+                    EventKind::RequestBuffer {
+                        id,
+                        kernel: request.kernel().module_name(),
+                        arrival: machine_arrival,
+                    },
+                );
+            }
+            tracer.emit(
+                service.now(),
+                EventKind::BufferFlush {
+                    count: self.buffer.len() as u32,
+                },
+            );
+        }
         let schedule: Vec<(SimTime, Request)> = self
             .buffer
             .drain(..)
             .map(|(arrival, request)| (origin + arrival, request))
             .collect();
-        self.buffered_cost = SimTime::ZERO;
-        let tracer = self.service.tracer();
-        if tracer.on() {
-            tracer.emit(
-                self.service.now(),
-                EventKind::BufferFlush {
-                    count: schedule.len() as u32,
-                },
-            );
+        self.kernel_buffered = [0; Kernel::ALL.len()];
+        self.cost_cache = None;
+        match pool {
+            Some(pool) => {
+                let (tx, rx) = mpsc::channel();
+                pool.submit(Box::new(move || {
+                    let window = service
+                        .process_window_at(&schedule)
+                        .expect("stream arrivals are monotone");
+                    let _ = tx.send((service, window));
+                }));
+                self.inflight = Some(rx);
+            }
+            None => {
+                let window = service
+                    .process_window_at(&schedule)
+                    .expect("stream arrivals are monotone");
+                self.window.absorb(&window);
+                self.service = Some(service);
+            }
         }
-        let window = self
-            .service
-            .process_window_at(&schedule)
-            .expect("stream arrivals are monotone");
-        self.window.absorb(&window);
     }
 
     /// The shard's merged window metrics since cluster boot.
     pub(crate) fn window(&self) -> &Metrics {
         &self.window
     }
+}
+
+/// Optimistic cost-model estimate of the buffered work: per item the
+/// cheaper path, ignoring swaps (the same per-item estimate admission
+/// used to accumulate incrementally — computed lazily now so it never
+/// needs the service while a flush is in flight).
+fn buffered_cost(buffer: &[(SimTime, Request)], service: &Service) -> SimTime {
+    let cost = service.cost_model();
+    let mut total = SimTime::ZERO;
+    for (_, request) in buffer {
+        let kernel = request.kernel();
+        let bytes = request.payload_bytes();
+        let sw = cost.sw_estimate(kernel, bytes);
+        total += match cost.hw_estimate(kernel, bytes) {
+            Some(hw) => hw.min(sw),
+            None => sw,
+        };
+    }
+    total
 }

@@ -46,6 +46,13 @@ impl AdmissionQueues {
         id
     }
 
+    /// The id the next admitted request will receive — the authoritative
+    /// counter trace producers should read instead of predicting ids
+    /// from other counters (which can silently desync).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Total queued items across all kernels.
     pub fn len(&self) -> usize {
         self.queues.iter().map(VecDeque::len).sum()

@@ -266,6 +266,16 @@ impl Service {
         self.submitted
     }
 
+    /// The id the next admitted request will be assigned, read straight
+    /// from the admission queues' monotone counter. This is the
+    /// authoritative source for trace events that must name a request
+    /// before the service has admitted it (e.g. cluster buffer events):
+    /// deriving the id from any other counter can desync from the span
+    /// ids the service itself journals.
+    pub fn next_request_id(&self) -> u64 {
+        self.queues.next_id()
+    }
+
     /// The service's trace handle (disabled unless one was configured).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer

@@ -70,6 +70,16 @@ impl TrafficConfig {
     /// without ever materialising it — the admission path for workloads
     /// too large to hold in memory.
     pub fn stream(&self) -> TrafficStream {
+        // An inverted payload range would underflow the span computation
+        // in the iterator (panic in debug, a near-u64 span in release) —
+        // reject the config up front with a message naming the fields.
+        assert!(
+            self.min_payload <= self.max_payload,
+            "TrafficConfig: min_payload ({}) exceeds max_payload ({}) — \
+             the payload range must satisfy min_payload <= max_payload",
+            self.min_payload,
+            self.max_payload
+        );
         let kernels = if self.kernels.is_empty() {
             Kernel::ALL.to_vec()
         } else {
@@ -189,6 +199,17 @@ mod tests {
             assert_eq!(ra.payload_bytes(), rb.payload_bytes());
             assert_eq!(ra.reference(), rb.reference(), "payload contents match");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_payload (4096) exceeds max_payload (512)")]
+    fn inverted_payload_range_is_rejected_up_front() {
+        let cfg = TrafficConfig {
+            min_payload: 4096,
+            max_payload: 512,
+            ..TrafficConfig::default()
+        };
+        let _ = cfg.stream();
     }
 
     #[test]

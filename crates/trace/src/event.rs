@@ -6,7 +6,35 @@
 //! graph (everything above it — manager, service, cluster — can emit
 //! without a type cycle).
 
-use vp2_sim::SimTime;
+use vp2_sim::{Json, SimTime};
+
+/// Every stable kind name [`TraceEvent::to_json`] can emit, for
+/// validators that want to reject unknown kinds in streamed journals.
+pub const KIND_NAMES: &[&str] = &[
+    "request_buffer",
+    "buffer_flush",
+    "request_admit",
+    "request_dequeue",
+    "sched_decision",
+    "request_complete",
+    "batch_begin",
+    "batch_end",
+    "swap_begin",
+    "swap_end",
+    "cache_lookup",
+    "diff_swap",
+    "slot_activate",
+    "slot_evict",
+    "icap_burst",
+    "fault_hit",
+    "verify_fail",
+    "repair",
+    "dma_program",
+    "dma_complete",
+    "quarantine_enter",
+    "quarantine_half_open",
+    "quarantine_exit",
+];
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +217,37 @@ pub enum EventKind {
     },
 }
 
+impl EventKind {
+    /// Stable snake_case kind name (one of [`KIND_NAMES`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RequestBuffer { .. } => "request_buffer",
+            EventKind::BufferFlush { .. } => "buffer_flush",
+            EventKind::RequestAdmit { .. } => "request_admit",
+            EventKind::RequestDequeue { .. } => "request_dequeue",
+            EventKind::SchedDecision { .. } => "sched_decision",
+            EventKind::RequestComplete { .. } => "request_complete",
+            EventKind::BatchBegin { .. } => "batch_begin",
+            EventKind::BatchEnd { .. } => "batch_end",
+            EventKind::SwapBegin { .. } => "swap_begin",
+            EventKind::SwapEnd { .. } => "swap_end",
+            EventKind::CacheLookup { .. } => "cache_lookup",
+            EventKind::DiffSwap { .. } => "diff_swap",
+            EventKind::SlotActivate { .. } => "slot_activate",
+            EventKind::SlotEvict { .. } => "slot_evict",
+            EventKind::IcapBurst { .. } => "icap_burst",
+            EventKind::FaultHit { .. } => "fault_hit",
+            EventKind::VerifyFail { .. } => "verify_fail",
+            EventKind::Repair { .. } => "repair",
+            EventKind::DmaProgram { .. } => "dma_program",
+            EventKind::DmaComplete { .. } => "dma_complete",
+            EventKind::QuarantineEnter { .. } => "quarantine_enter",
+            EventKind::QuarantineHalfOpen { .. } => "quarantine_half_open",
+            EventKind::QuarantineExit { .. } => "quarantine_exit",
+        }
+    }
+}
+
 /// One journal entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -196,6 +255,121 @@ pub struct TraceEvent {
     pub time: SimTime,
     /// Shard that produced it (0 for a bare service).
     pub shard: u32,
+    /// Per-shard emission sequence number: strictly increasing within a
+    /// shard's journal, so `(time, shard, seq)` totally orders a merged
+    /// multi-shard trace without relying on emission interleaving.
+    pub seq: u64,
     /// The event.
     pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// The `(time, shard, seq)` merge key that totally orders events.
+    pub fn key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.shard, self.seq)
+    }
+
+    /// One flat JSON object per event — the streamed-journal (JSONL)
+    /// line format. `time_ps`/`shard`/`seq`/`kind` always lead; the
+    /// kind-specific payload fields follow.
+    pub fn to_json(&self) -> Json {
+        let base = Json::obj()
+            .field("time_ps", self.time.as_ps())
+            .field("shard", self.shard)
+            .field("seq", self.seq)
+            .field("kind", self.kind.name());
+        match &self.kind {
+            EventKind::RequestBuffer {
+                id,
+                kernel,
+                arrival,
+            } => base
+                .field("id", *id)
+                .field("kernel", *kernel)
+                .field("arrival_ps", arrival.as_ps()),
+            EventKind::BufferFlush { count } => base.field("count", *count),
+            EventKind::RequestAdmit {
+                id,
+                kernel,
+                arrival,
+            } => base
+                .field("id", *id)
+                .field("kernel", *kernel)
+                .field("arrival_ps", arrival.as_ps()),
+            EventKind::RequestDequeue { id } => base.field("id", *id),
+            EventKind::SchedDecision {
+                policy,
+                chosen,
+                candidates,
+            } => base
+                .field("policy", *policy)
+                .field("chosen", *chosen)
+                .field(
+                    "candidates",
+                    Json::Arr(candidates.iter().map(|c| Json::Str((*c).into())).collect()),
+                ),
+            EventKind::RequestComplete { id, kernel, hw } => base
+                .field("id", *id)
+                .field("kernel", *kernel)
+                .field("hw", *hw),
+            EventKind::BatchBegin { kernel, size, hw } => base
+                .field("kernel", *kernel)
+                .field("size", *size)
+                .field("hw", *hw),
+            EventKind::BatchEnd { kernel, hw } => base.field("kernel", *kernel).field("hw", *hw),
+            EventKind::SwapBegin { module } => base.field("module", module.as_str()),
+            EventKind::SwapEnd {
+                module,
+                frames,
+                words,
+                attempts,
+                repaired_frames,
+                verified,
+            } => base
+                .field("module", module.as_str())
+                .field("frames", *frames)
+                .field("words", *words)
+                .field("attempts", *attempts)
+                .field("repaired_frames", *repaired_frames)
+                .field("verified", *verified),
+            EventKind::CacheLookup { module, hit } => {
+                base.field("module", module.as_str()).field("hit", *hit)
+            }
+            EventKind::DiffSwap {
+                module,
+                frames_full,
+                frames_sent,
+                words_full,
+                words_sent,
+                compressed,
+            } => base
+                .field("module", module.as_str())
+                .field("frames_full", *frames_full)
+                .field("frames_sent", *frames_sent)
+                .field("words_full", *words_full)
+                .field("words_sent", *words_sent)
+                .field("compressed", *compressed),
+            EventKind::SlotActivate { module, slot } | EventKind::SlotEvict { module, slot } => {
+                base.field("module", module.as_str()).field("slot", *slot)
+            }
+            EventKind::IcapBurst { words, done } => {
+                base.field("words", *words).field("done_ps", done.as_ps())
+            }
+            EventKind::FaultHit { frames }
+            | EventKind::VerifyFail { frames }
+            | EventKind::Repair { frames } => base.field("frames", *frames),
+            EventKind::DmaProgram {
+                bytes,
+                to_dock,
+                interleaved,
+            } => base
+                .field("bytes", *bytes)
+                .field("to_dock", *to_dock)
+                .field("interleaved", *interleaved),
+            EventKind::DmaComplete { bytes_moved } => base.field("bytes_moved", *bytes_moved),
+            EventKind::QuarantineEnter { kernel }
+            | EventKind::QuarantineHalfOpen { kernel }
+            | EventKind::QuarantineExit { kernel } => base.field("kernel", *kernel),
+        }
+    }
 }

@@ -3,16 +3,23 @@
 //! The paper's whole argument is a time-accounting one: reconfiguration
 //! overhead vs amortized hardware speedup. The service and cluster
 //! layers report end-of-run aggregates; this crate records *where the
-//! time went*. A [`Tracer`] is a cheaply cloneable handle onto one
-//! bounded ring of typed [`TraceEvent`]s, threaded through every layer
-//! of the stack (admission buffers, queues, the module manager's retry
-//! ladder, the HWICAP, the DMA engine and the quarantine machinery).
+//! time went*. A [`Tracer`] is a cheaply cloneable, `Send` handle onto
+//! a registry of **per-shard journals** — bounded rings of typed
+//! [`TraceEvent`]s carrying a per-shard sequence number — threaded
+//! through every layer of the stack (admission buffers, queues, the
+//! module manager's retry ladder, the HWICAP, the DMA engine and the
+//! quarantine machinery). [`Tracer::stream_to`] adds a buffered JSONL
+//! sink per journal so run length is disk-bounded, not ring-bounded.
 //!
 //! Design rules:
 //!
 //! * **Sim clock only.** Every event is stamped with the simulated
 //!   clock, never the wall clock, so traces are byte-identical across
 //!   runs with equal seeds.
+//! * **Thread-interleaving independent.** Each shard journals into its
+//!   own ring; consumers read the merged view, totally ordered by
+//!   `(time, shard, seq)`, so a cluster flushing shards on worker
+//!   threads exports the same bytes at any thread count.
 //! * **Zero observer effect.** Recording never touches a clock, an RNG
 //!   or any model state: a traced run produces bit-identical results to
 //!   an untraced one.
@@ -41,7 +48,7 @@ pub mod span;
 pub mod tracer;
 
 pub use chrome::chrome_trace;
-pub use event::{EventKind, TraceEvent};
+pub use event::{EventKind, TraceEvent, KIND_NAMES};
 pub use profile::{AttributionReport, Profiler, ShardAttribution};
 pub use span::{spans, RequestSpan};
 pub use tracer::Tracer;

@@ -330,6 +330,7 @@ mod tests {
         TraceEvent {
             time: SimTime::from_us(time_us),
             shard,
+            seq: 0,
             kind,
         }
     }

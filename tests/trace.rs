@@ -176,6 +176,43 @@ fn profiler_partition_sums_to_each_shards_makespan() {
 }
 
 #[test]
+fn buffer_events_reconcile_with_span_ids() {
+    use vp2_repro::trace::EventKind;
+
+    let tracer = Tracer::enabled();
+    traced_cluster_run(tracer.clone());
+    let events = tracer.events();
+    // Buffer events are stamped at flush time from the service's
+    // authoritative admission counter, so every (shard, id) a buffer
+    // event predicts must be exactly the (shard, id) the service then
+    // admits — a desync here means the journal narrates requests that
+    // never existed (the old predicted-id bug).
+    let mut buffered: Vec<(u32, u64)> = Vec::new();
+    let mut admitted: Vec<(u32, u64)> = Vec::new();
+    for ev in &events {
+        match ev.kind {
+            EventKind::RequestBuffer { id, .. } => buffered.push((ev.shard, id)),
+            EventKind::RequestAdmit { id, .. } => admitted.push((ev.shard, id)),
+            _ => {}
+        }
+    }
+    assert!(!buffered.is_empty(), "a cluster run journals buffer events");
+    assert_eq!(
+        buffered.len(),
+        admitted.len(),
+        "every buffered request is admitted exactly once"
+    );
+    let mut buffered_sorted = buffered.clone();
+    buffered_sorted.sort_unstable();
+    let mut admitted_sorted = admitted;
+    admitted_sorted.sort_unstable();
+    assert_eq!(
+        buffered_sorted, admitted_sorted,
+        "buffer-event ids must match the service-assigned admission ids"
+    );
+}
+
+#[test]
 fn disabled_tracer_journals_nothing() {
     let tracer = Tracer::disabled();
     let mut svc = Service::new(ServiceConfig {
