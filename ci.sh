@@ -68,6 +68,30 @@ cargo run --release -p rtr-bench --bin trace_lint -- \
     --journal "$obs_dir/cluster_journal.shard000.jsonl" \
     --journal-merged "$obs_dir/cluster_journal.merged.jsonl"
 
+echo "== federation smoke run =="
+# Two invocations of the same skewed flash-crowd workload over three
+# heterogeneous pools — inline and on a 4-wide worker pool per pool.
+# The bin asserts cost-model routing beats round-robin-over-pools on
+# makespan and deadline-lane p99, that the flash crowd engages work
+# stealing and lane-aware shedding, and that the inline and pooled
+# snapshots match byte-for-byte; gate on the JSON claims and on `cmp`
+# across the two invocations too, then lint the federation's own
+# journal shard (0xFED0 = 65232) plus the cross-pool merge.
+cargo run --release -p rtr-bench --bin federation_scenario -- \
+    --threads 1 --json "$obs_dir/federation_t1.json" \
+    --snapshot-out "$obs_dir/fed_snap_t1.json" 2> /dev/null
+cargo run --release -p rtr-bench --bin federation_scenario -- \
+    --threads 4 --json BENCH_federation.json \
+    --snapshot-out "$obs_dir/fed_snap_t4.json" \
+    --journal "$obs_dir/fed_journal" 2> /dev/null
+cmp "$obs_dir/fed_snap_t1.json" "$obs_dir/fed_snap_t4.json"
+grep -q '"cost_model_beats_round_robin": true' BENCH_federation.json
+grep -q '"steal_engaged": true' BENCH_federation.json
+grep -q '"shed_engaged": true' BENCH_federation.json
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --journal "$obs_dir/fed_journal.shard65232.jsonl" \
+    --journal-merged "$obs_dir/fed_journal.merged.jsonl"
+
 echo "== configuration-plane smoke run =="
 # The bin asserts the plane's headline claims (differential + cache cut
 # time and ICAP words, sub-slots cut full swaps, determinism, plane-off

@@ -92,6 +92,7 @@ fn main() {
         deadline_percent: 20,
         deadline_budget: SimTime::from_ms(10),
         high_percent: 10,
+        ..TrafficConfig::default()
     }
     .generate();
 

@@ -11,6 +11,10 @@
 //!   too: `cache lookup` must carry a module and a boolean verdict,
 //!   `diff swap` a word/frame accounting that never exceeds the full
 //!   image, and `slot activate`/`slot evict` a module and slot index.
+//!   Federation instants must be self-describing as well: `fed route`
+//!   names its pool, kernel and scoring estimate; `fed steal` moves at
+//!   least one request between two distinct pools; `fed shed` diverts
+//!   between two distinct pools.
 //! * `--profile p.json` — the file must parse as JSON and every
 //!   shard's `busy_frac + reconfig_frac + idle_frac + quarantined_frac`
 //!   must sum to 1 (±1e-9), or to 0 for an empty makespan.
@@ -162,6 +166,46 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
                         problems.push(format!("{path}: event {i}: {name} missing module/slot"));
                     }
                 }
+                // Federation decisions: a route names its pool, kernel
+                // and the estimate it was scored on; a steal moves at
+                // least one request between two distinct pools; a shed
+                // diverts a named kernel between two distinct pools.
+                "fed route" => {
+                    plane_events += 1;
+                    let pool = args.and_then(|a| a.get("pool")).and_then(Json::as_f64);
+                    let kernel = args.and_then(|a| a.get("kernel")).and_then(Json::as_str);
+                    let est = args
+                        .and_then(|a| a.get("estimate_us"))
+                        .and_then(Json::as_f64);
+                    if pool.is_none_or(|p| p < 0.0)
+                        || kernel.is_none_or(str::is_empty)
+                        || est.is_none_or(|e| e < 0.0)
+                    {
+                        problems.push(format!(
+                            "{path}: event {i}: fed route missing pool/kernel/estimate_us"
+                        ));
+                    }
+                }
+                "fed steal" | "fed shed" => {
+                    plane_events += 1;
+                    let pool = |key: &str| args.and_then(|a| a.get(key)).and_then(Json::as_f64);
+                    match (pool("from_pool"), pool("to_pool")) {
+                        (Some(from), Some(to)) if from == to => {
+                            problems.push(format!(
+                                "{path}: event {i}: {name} from pool {from} to itself"
+                            ));
+                        }
+                        (Some(_), Some(_)) => {}
+                        _ => problems.push(format!(
+                            "{path}: event {i}: {name} missing from_pool/to_pool"
+                        )),
+                    }
+                    if name == "fed steal" && pool("moved").is_none_or(|m| m < 1.0) {
+                        problems.push(format!(
+                            "{path}: event {i}: fed steal moved fewer than one request"
+                        ));
+                    }
+                }
                 _ => {}
             }
         }
@@ -262,6 +306,44 @@ fn lint_journal(path: &str, merged: bool, problems: &mut Vec<String>) {
                 "{path}: line {}: unknown event kind {kind:?}",
                 i + 1
             ));
+        }
+        // Federation decisions must be self-describing in the raw
+        // journal too, not just in the Chrome export.
+        match kind {
+            "fed_route" => {
+                let kernel = ev.get("kernel").and_then(Json::as_str);
+                if int("pool").is_none_or(|p| p < 0)
+                    || kernel.is_none_or(str::is_empty)
+                    || int("estimate_ps").is_none_or(|e| e < 0)
+                {
+                    problems.push(format!(
+                        "{path}: line {}: fed_route missing pool/kernel/estimate_ps",
+                        i + 1
+                    ));
+                }
+            }
+            "fed_steal" | "fed_shed" => {
+                match (int("from_pool"), int("to_pool")) {
+                    (Some(from), Some(to)) if from == to => {
+                        problems.push(format!(
+                            "{path}: line {}: {kind} from pool {from} to itself",
+                            i + 1
+                        ));
+                    }
+                    (Some(_), Some(_)) => {}
+                    _ => problems.push(format!(
+                        "{path}: line {}: {kind} missing from_pool/to_pool",
+                        i + 1
+                    )),
+                }
+                if kind == "fed_steal" && int("moved").is_none_or(|m| m < 1) {
+                    problems.push(format!(
+                        "{path}: line {}: fed_steal moved fewer than one request",
+                        i + 1
+                    ));
+                }
+            }
+            _ => {}
         }
         if merged {
             let key = (time, shard, seq);

@@ -97,6 +97,18 @@ pub struct ClusterConfig {
     /// Trace journal handle, fanned out to every shard (each shard's
     /// events carry its id). Disabled by default.
     pub trace: Tracer,
+    /// Offset added to every shard's trace id, so several clusters can
+    /// share one journal registry with disjoint shard-id spaces (the
+    /// federation gives pool `p` base `100·p`). Zero by default.
+    pub shard_base: u32,
+    /// Compare shards on *stale* ready estimates instead of settling
+    /// every in-flight flush per routing decision. Off (the default),
+    /// load-estimating policies see exact state but serialize the pool;
+    /// on, estimates lag by at most one in-flight flush and the pool
+    /// stays fully pipelined. Either way equal seeds stay byte-identical
+    /// at any thread count — the stale state is re-synced only at flush
+    /// boundaries, which are deterministic in admission order.
+    pub stale_estimates: bool,
     /// Worker threads for shard boots and flushes. `1` (the default)
     /// runs everything inline on the caller's thread; `> 1` spawns a
     /// worker pool and ships each shard's flush to it, joining a
@@ -117,6 +129,8 @@ impl ClusterConfig {
             verify: true,
             quarantine_cooldown: SimTime::from_ms(5),
             trace: Tracer::disabled(),
+            shard_base: 0,
+            stale_estimates: false,
             threads: 1,
         }
     }
@@ -160,7 +174,7 @@ impl Cluster {
                 batch: spec.batch,
                 plane: spec.plane.clone(),
                 quarantine_cooldown: config.quarantine_cooldown,
-                trace: config.trace.with_shard(id as u32),
+                trace: config.trace.with_shard(config.shard_base + id as u32),
                 ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
             })
             .collect();
@@ -200,7 +214,7 @@ impl Cluster {
             .collect();
         Cluster {
             shards,
-            router: Router::new(config.policy),
+            router: Router::new(config.policy, config.stale_estimates),
             flush_depth: config.flush_depth,
             pool,
             resident: 0,
@@ -233,6 +247,70 @@ impl Cluster {
     /// Worker threads flushing shards (1 = inline, no pool).
     pub fn threads(&self) -> usize {
         self.pool.as_ref().map_or(1, WorkerPool::threads)
+    }
+
+    /// Requests resident in admission buffers right now — the O(1)
+    /// backlog signal the federation's watermarks compare pools on.
+    pub fn backlog(&self) -> usize {
+        self.resident
+    }
+
+    /// Estimated queueing delay a request arriving at stream instant
+    /// `arrival` would see on this cluster's least-backed shard. Reads
+    /// only stale per-shard state (no joins), and is relative to the
+    /// arrival rather than any machine clock, so estimates are
+    /// comparable across clusters whose shards booted at different
+    /// origins.
+    pub fn backlog_estimate(&self, arrival: SimTime) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.backlog_stale(arrival))
+            .min()
+            .expect("at least one shard")
+    }
+
+    /// Cheapest snapshot-priced estimate of serving one `(kernel,
+    /// bytes)` item anywhere on this cluster, amortizing a hardware
+    /// path's measured reconfiguration EWMA over one flush batch. The
+    /// federation's per-cluster per-kernel routing input: a Bit64 pool's
+    /// cheap reconfiguration (and SHA-1's software-only fate on Bit32
+    /// regions) shows up here, fed back from each shard's live
+    /// measurements at every flush boundary.
+    pub fn kernel_estimate(&self, kernel: Kernel, bytes: usize) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.estimate_for(kernel, bytes, self.flush_depth))
+            .min()
+            .expect("at least one shard")
+    }
+
+    /// Hands back up to `max` of the newest buffered requests from this
+    /// cluster's most-backed-up shard (ties to the lowest id), fixing
+    /// the admission counters — the requests are no longer this
+    /// cluster's. The federation's work-stealing hook; touches no
+    /// service state, so stealing never stalls a pipelined pool.
+    pub fn give_back(&mut self, max: usize) -> Vec<(SimTime, Request)> {
+        let donor = (0..self.shards.len())
+            .max_by_key(|&i| (self.shards[i].buffered(), usize::MAX - i))
+            .expect("at least one shard");
+        let taken = self.shards[donor].take_back(max);
+        self.resident -= taken.len();
+        self.admitted -= taken.len() as u64;
+        taken
+    }
+
+    /// Joins every shard and folds their window metrics into one
+    /// accumulator — the raw latency series the federation pools across
+    /// clusters (percentiles do not merge; samples do).
+    pub fn fold_window(&mut self) -> rtr_service::Metrics {
+        let mut all = rtr_service::Metrics::new();
+        for shard in &mut self.shards {
+            shard.join();
+        }
+        for shard in &self.shards {
+            all.absorb(shard.window());
+        }
+        all
     }
 
     /// Routes one request into a shard's buffer and returns the shard id;

@@ -68,18 +68,35 @@ impl RoutingStats {
 #[derive(Debug)]
 pub(crate) struct Router {
     policy: RoutePolicy,
+    /// Compare shards on stale ready estimates (never joining an
+    /// in-flight flush) instead of settling every shard per decision.
+    /// Estimates lag reality by at most one in-flight flush; in exchange
+    /// load-estimating policies stay fully pipelined.
+    stale: bool,
     rr_next: usize,
     home: [Option<usize>; Kernel::ALL.len()],
     pub(crate) stats: RoutingStats,
 }
 
 impl Router {
-    pub(crate) fn new(policy: RoutePolicy) -> Router {
+    pub(crate) fn new(policy: RoutePolicy, stale: bool) -> Router {
         Router {
             policy,
+            stale,
             rr_next: 0,
             home: [None; Kernel::ALL.len()],
             stats: RoutingStats::default(),
+        }
+    }
+
+    /// Per-shard ready estimates for load comparison: exact (settling
+    /// every shard — the pipeline bottleneck) or stale (no joins at
+    /// all), per the cluster's `stale_estimates` mode.
+    fn ready_estimates(&self, shards: &mut [Shard]) -> Vec<SimTime> {
+        if self.stale {
+            shards.iter().map(Shard::ready_at_stale).collect()
+        } else {
+            shards.iter_mut().map(Shard::ready_at_sync).collect()
         }
     }
 
@@ -122,7 +139,7 @@ impl Router {
                 unreachable!("admissible() accepts every shard when none is healthy");
             }
             RoutePolicy::LeastLoaded => {
-                let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
+                let ready = self.ready_estimates(shards);
                 // One pass tracks both minima: the admissible pick (the
                 // answer) and the unrestricted pick (the yardstick for
                 // counting quarantine diversions). Iteration is in shard-id
@@ -162,7 +179,7 @@ impl Router {
                     // Home quarantined: shed to the least-loaded healthy
                     // shard without reassigning home — the shard gets its
                     // kernel back once the cooldown expires.
-                    let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
+                    let ready = self.ready_estimates(shards);
                     let id = least_loaded(&ready, &admissible);
                     self.stats.shed += 1;
                     return id;
@@ -176,7 +193,7 @@ impl Router {
                 // shard) — it runs once per kernel, not per request.
                 let homes = self.homes_per_shard(n);
                 let holds: Vec<bool> = shards.iter_mut().map(|s| s.holds_sync(kernel)).collect();
-                let ready: Vec<SimTime> = shards.iter_mut().map(Shard::ready_at_sync).collect();
+                let ready = self.ready_estimates(shards);
                 let adoption_key = |i: &usize| (homes[*i], ready[*i], *i);
                 // The holder this kernel would adopt were no quarantine
                 // in play — the yardstick for counting diversions.

@@ -24,7 +24,7 @@
 use std::sync::mpsc;
 
 use rtr_apps::request::{Kernel, Request};
-use rtr_service::{Metrics, Service};
+use rtr_service::{CostModel, Metrics, Service};
 use rtr_trace::EventKind;
 use vp2_sim::SimTime;
 
@@ -59,12 +59,28 @@ pub struct Shard {
     can_quarantine: bool,
     window: Metrics,
     admitted: u64,
+    /// Clone of the service's cost model, re-synced at deterministic
+    /// points only (boot and each flush boundary, post-join — where the
+    /// service state is byte-identical whether flushes ran inline or on
+    /// workers). Stale load estimates and federation routing price work
+    /// against this snapshot without ever settling an in-flight flush.
+    cost_snapshot: CostModel,
+    /// Predicted machine-clock instant at which everything shipped to
+    /// the service so far (all past flushes) completes. Updated only at
+    /// flush boundaries; between them it drifts by at most one flush's
+    /// misprediction — the "bounded staleness" the stale router mode
+    /// trades for full pipelining.
+    stale_busy_until: SimTime,
+    /// Snapshot-priced cost of the current buffer, kept incrementally
+    /// on admit and rebuilt on flush/steal.
+    stale_buffered_cost: SimTime,
 }
 
 impl Shard {
     /// Wraps a freshly booted service as shard `id`.
     pub(crate) fn new(id: usize, service: Box<Service>, can_quarantine: bool) -> Shard {
         let origin = service.now();
+        let cost_snapshot = service.cost_model().clone();
         Shard {
             id,
             service: Some(service),
@@ -76,6 +92,9 @@ impl Shard {
             can_quarantine,
             window: Metrics::new(),
             admitted: 0,
+            cost_snapshot,
+            stale_busy_until: origin,
+            stale_buffered_cost: SimTime::ZERO,
         }
     }
 
@@ -170,6 +189,44 @@ impl Shard {
         service.now() + cost
     }
 
+    /// `ready_at` from stale state only: the last flush boundary's
+    /// predicted completion instant plus the snapshot-priced buffer.
+    /// Never joins, never blocks — the stale-estimates router mode and
+    /// the federation front-end read load through this, so a pool stays
+    /// fully pipelined while estimates lag reality by at most one
+    /// in-flight flush.
+    pub(crate) fn ready_at_stale(&self) -> SimTime {
+        self.stale_busy_until + self.stale_buffered_cost
+    }
+
+    /// Estimated queueing delay a request arriving at stream instant
+    /// `arrival` would see ahead of it on this shard — the stale ready
+    /// instant relative to the arrival mapped onto this machine's
+    /// timeline. Comparable across shards of *different* clusters, whose
+    /// boot origins differ.
+    pub(crate) fn backlog_stale(&self, arrival: SimTime) -> SimTime {
+        self.ready_at_stale().saturating_sub(self.origin + arrival)
+    }
+
+    /// Snapshot-priced estimate of serving one `(kernel, bytes)` item on
+    /// this shard: the cheaper of the software path and the hardware
+    /// path with the measured reconfiguration EWMA amortized over a
+    /// flush batch of `amortize` requests. Reads only the cost snapshot,
+    /// so it never settles an in-flight flush.
+    pub(crate) fn estimate_for(&self, kernel: Kernel, bytes: usize, amortize: usize) -> SimTime {
+        let sw = self.cost_snapshot.sw_estimate(kernel, bytes);
+        match self.cost_snapshot.hw_estimate(kernel, bytes) {
+            Some(hw) => {
+                let share = SimTime::from_ps(
+                    self.cost_snapshot.reconfig_estimate_for(kernel).as_ps()
+                        / amortize.max(1) as u64,
+                );
+                sw.min(hw + share)
+            }
+            None => sw,
+        }
+    }
+
     /// `holds` for the router: the O(1) buffered-count check never needs
     /// live state; only the fallback to the resident module joins.
     pub(crate) fn holds_sync(&mut self, kernel: Kernel) -> bool {
@@ -203,11 +260,48 @@ impl Shard {
     /// Trace buffer events are stamped at flush time (when the
     /// authoritative next-admission id is in hand and no worker owns
     /// the shard's journal), so admission touches no service state.
+    ///
+    /// The buffer is kept sorted by arrival. A monotone stream appends
+    /// in O(1); only re-admitted stolen work (whose arrivals predate the
+    /// buffer tail) pays the ordered insert — which is what lets a
+    /// flush's schedule stay monotone after cross-cluster stealing.
     pub(crate) fn admit(&mut self, arrival: SimTime, request: Request) {
         self.kernel_buffered[request.kernel().index()] += 1;
         self.cost_cache = None;
-        self.buffer.push((arrival, request));
+        self.stale_buffered_cost += item_cost(&self.cost_snapshot, &request);
+        let at = if self.buffer.last().is_none_or(|(t, _)| *t <= arrival) {
+            self.buffer.len()
+        } else {
+            // Insert after every equal arrival so admission order is
+            // preserved among ties.
+            self.buffer.partition_point(|(t, _)| *t <= arrival)
+        };
+        self.buffer.insert(at, (arrival, request));
         self.admitted += 1;
+    }
+
+    /// Hands back up to `max` of the newest buffered requests (the
+    /// buffer tail — the work least committed to this shard), fixing the
+    /// incremental counters. The federation's work-stealing hook; the
+    /// caller re-admits the returned `(arrival, request)` pairs
+    /// elsewhere. Touches no service state.
+    pub(crate) fn take_back(&mut self, max: usize) -> Vec<(SimTime, Request)> {
+        let n = max.min(self.buffer.len());
+        let taken: Vec<(SimTime, Request)> = self.buffer.split_off(self.buffer.len() - n);
+        for (_, request) in &taken {
+            self.kernel_buffered[request.kernel().index()] -= 1;
+        }
+        self.admitted -= taken.len() as u64;
+        self.cost_cache = None;
+        // Rebuild rather than subtract: the snapshot may have advanced
+        // since these items were priced in, and drifting the accumulator
+        // negative-ward across many steals would corrupt the estimate.
+        self.stale_buffered_cost = self
+            .buffer
+            .iter()
+            .map(|(_, request)| item_cost(&self.cost_snapshot, request))
+            .sum();
+        taken
     }
 
     /// Flushes the buffer into the service as one open-loop schedule —
@@ -227,6 +321,18 @@ impl Shard {
         self.join();
         let mut service = self.service.take().expect("joined");
         let origin = self.origin;
+        // Re-sync the stale-estimate state while the settled service is
+        // in hand. Both inputs (the post-join cost model and clock) are
+        // byte-identical across inline and pooled execution, so every
+        // stale read between here and the next flush is too. The
+        // prediction: the machine resumes at its clock or the last
+        // arrival (whichever is later — open-loop gaps idle the machine)
+        // and then works through the whole buffer.
+        self.cost_snapshot = service.cost_model().clone();
+        let last_arrival = origin + self.buffer.last().expect("non-empty buffer").0;
+        self.stale_busy_until =
+            service.now().max(last_arrival) + buffered_cost(&self.buffer, &service);
+        self.stale_buffered_cost = SimTime::ZERO;
         let tracer = service.tracer().clone();
         if tracer.on() {
             // Buffer events, stamped with each request's machine-clock
@@ -291,15 +397,20 @@ impl Shard {
 /// needs the service while a flush is in flight).
 fn buffered_cost(buffer: &[(SimTime, Request)], service: &Service) -> SimTime {
     let cost = service.cost_model();
-    let mut total = SimTime::ZERO;
-    for (_, request) in buffer {
-        let kernel = request.kernel();
-        let bytes = request.payload_bytes();
-        let sw = cost.sw_estimate(kernel, bytes);
-        total += match cost.hw_estimate(kernel, bytes) {
-            Some(hw) => hw.min(sw),
-            None => sw,
-        };
+    buffer
+        .iter()
+        .map(|(_, request)| item_cost(cost, request))
+        .sum()
+}
+
+/// One request's optimistic estimate — the cheaper path, ignoring swaps
+/// — against any cost model (live or a stale snapshot).
+fn item_cost(cost: &CostModel, request: &Request) -> SimTime {
+    let kernel = request.kernel();
+    let bytes = request.payload_bytes();
+    let sw = cost.sw_estimate(kernel, bytes);
+    match cost.hw_estimate(kernel, bytes) {
+        Some(hw) => hw.min(sw),
+        None => sw,
     }
-    total
 }

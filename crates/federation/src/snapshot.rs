@@ -1,0 +1,118 @@
+//! Federated end-of-run aggregates.
+
+use rtr_cluster::ClusterSnapshot;
+use rtr_service::MetricsSnapshot;
+use vp2_sim::{Json, SimTime};
+
+use crate::federation::FedPolicy;
+
+/// One pool's view: its cluster snapshot plus the federation-level
+/// traffic accounting for it.
+#[derive(Debug, Clone)]
+pub struct PoolSnapshot {
+    /// Pool index within the federation.
+    pub id: usize,
+    /// Requests the front-end placed here (home picks and diversions
+    /// both; excludes stolen arrivals, which are counted separately).
+    pub routed: u64,
+    /// Requests shed *to* this pool from backed-up homes.
+    pub shed_in: u64,
+    /// Requests shed *away* from this pool while it was backed up.
+    pub shed_out: u64,
+    /// Requests stolen into this pool's buffers.
+    pub stolen_in: u64,
+    /// Requests stolen out of this pool's buffers.
+    pub stolen_out: u64,
+    /// The pool's own aggregate (per-shard breakdown, makespan,
+    /// routing stats).
+    pub cluster: ClusterSnapshot,
+}
+
+impl PoolSnapshot {
+    /// Machine-readable form: the federation accounting fields plus the
+    /// full nested cluster snapshot.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id as u64)
+            .field("routed", self.routed)
+            .field("shed_in", self.shed_in)
+            .field("shed_out", self.shed_out)
+            .field("stolen_in", self.stolen_in)
+            .field("stolen_out", self.stolen_out)
+            .field("makespan_us", self.cluster.makespan.as_us_f64())
+            .field("cluster", self.cluster.to_json())
+    }
+}
+
+/// Point-in-time summary of a federated run.
+#[derive(Debug, Clone)]
+pub struct FederationSnapshot {
+    /// Home-pool selection policy the run used.
+    pub policy: FedPolicy,
+    /// Pooled metrics across every pool: raw latency series merged,
+    /// percentiles re-ranked over the union, computed over the
+    /// federated makespan.
+    pub total: MetricsSnapshot,
+    /// The slowest pool's makespan — the federated completion time.
+    pub makespan: SimTime,
+    /// Requests admitted through the front-end.
+    pub admitted: u64,
+    /// Steal events fired (each moved ≥ 1 request).
+    pub steal_events: u64,
+    /// Requests moved by stealing.
+    pub stolen: u64,
+    /// Requests diverted by lane-aware shedding.
+    pub sheds: u64,
+    /// Per-pool breakdown, in pool-id order.
+    pub pools: Vec<PoolSnapshot>,
+}
+
+impl FederationSnapshot {
+    /// Machine-readable form (bench tables, CI gates).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("policy", self.policy.name())
+            .field("pool_count", self.pools.len() as u64)
+            .field("admitted", self.admitted)
+            .field("makespan_us", self.makespan.as_us_f64())
+            .field("steal_events", self.steal_events)
+            .field("stolen", self.stolen)
+            .field("sheds", self.sheds)
+            .field(
+                "pools",
+                Json::Arr(self.pools.iter().map(PoolSnapshot::to_json).collect()),
+            )
+            .field("total", self.total.to_json())
+    }
+}
+
+impl std::fmt::Display for FederationSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "federation: {} pools, policy {}, makespan {}",
+            self.pools.len(),
+            self.policy,
+            self.makespan
+        )?;
+        writeln!(
+            f,
+            "  admitted {:>6}   stolen {} ({} steal events), shed {}",
+            self.admitted, self.stolen, self.steal_events, self.sheds
+        )?;
+        for pool in &self.pools {
+            writeln!(
+                f,
+                "  pool {}: routed {}, +{} stolen in / -{} out, +{} shed in / -{} out, makespan {}",
+                pool.id,
+                pool.routed,
+                pool.stolen_in,
+                pool.stolen_out,
+                pool.shed_in,
+                pool.shed_out,
+                pool.cluster.makespan
+            )?;
+        }
+        write!(f, "{}", self.total)
+    }
+}

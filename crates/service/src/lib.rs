@@ -40,4 +40,4 @@ pub use queue::{AdmissionQueues, Pending};
 pub use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
 pub use sched::{BatchPolicy, Candidate, LaneRank};
 pub use service::{Policy, Service, ServiceConfig, ServiceError};
-pub use traffic::{TrafficConfig, TrafficStream};
+pub use traffic::{FlashCrowd, TrafficConfig, TrafficStream};

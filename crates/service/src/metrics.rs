@@ -18,6 +18,11 @@ const LATENCY_BUCKETS: usize = 16;
 #[derive(Debug, Default)]
 pub struct Metrics {
     latencies_ps: Vec<u64>,
+    /// Latencies of deadline-lane requests only — a subset of
+    /// `latencies_ps`, kept separately so lane tails (deadline p99 vs
+    /// best-effort p99) survive window pooling the way the combined
+    /// series does.
+    deadline_latencies_ps: Vec<u64>,
     hw_items: u64,
     sw_items: u64,
     hw_batches: u64,
@@ -51,7 +56,18 @@ impl Metrics {
 
     /// Records one completed request.
     pub fn record_item(&mut self, latency: SimTime, hw: bool) {
+        self.record_item_in_lane(latency, hw, false);
+    }
+
+    /// Records one completed request, tagging which lane it rode:
+    /// `deadline` requests feed the deadline-lane latency series so
+    /// snapshots can report per-lane tails. [`Metrics::record_item`] is
+    /// the best-effort shorthand.
+    pub fn record_item_in_lane(&mut self, latency: SimTime, hw: bool, deadline: bool) {
         self.latencies_ps.push(latency.as_ps());
+        if deadline {
+            self.deadline_latencies_ps.push(latency.as_ps());
+        }
         if hw {
             self.hw_items += 1;
         } else {
@@ -126,6 +142,8 @@ impl Metrics {
     /// observation window into the service-lifetime totals).
     pub fn absorb(&mut self, other: &Metrics) {
         self.latencies_ps.extend_from_slice(&other.latencies_ps);
+        self.deadline_latencies_ps
+            .extend_from_slice(&other.deadline_latencies_ps);
         self.hw_items += other.hw_items;
         self.sw_items += other.sw_items;
         self.hw_batches += other.hw_batches;
@@ -154,13 +172,29 @@ impl Metrics {
     pub fn snapshot(&self, elapsed: SimTime) -> MetricsSnapshot {
         let mut sorted = self.latencies_ps.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| -> SimTime {
-            if sorted.is_empty() {
+        let pct_of = |series: &[u64], p: f64| -> SimTime {
+            if series.is_empty() {
                 return SimTime::ZERO;
             }
-            let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-            SimTime::from_ps(sorted[rank.min(sorted.len() - 1)])
+            let rank = (p * (series.len() - 1) as f64).round() as usize;
+            SimTime::from_ps(series[rank.min(series.len() - 1)])
         };
+        let pct = |p: f64| pct_of(&sorted, p);
+        // Per-lane tails: the deadline series is stored, the best-effort
+        // series is the sorted multiset difference (each deadline sample
+        // removes one equal-valued instance — values are interchangeable
+        // for ranking, so which instance is immaterial).
+        let mut deadline_sorted = self.deadline_latencies_ps.clone();
+        deadline_sorted.sort_unstable();
+        let mut effort_sorted = Vec::with_capacity(sorted.len() - deadline_sorted.len());
+        let mut next_deadline = 0;
+        for &ps in &sorted {
+            if next_deadline < deadline_sorted.len() && deadline_sorted[next_deadline] == ps {
+                next_deadline += 1;
+            } else {
+                effort_sorted.push(ps);
+            }
+        }
         let mean = if sorted.is_empty() {
             SimTime::ZERO
         } else {
@@ -197,6 +231,9 @@ impl Metrics {
             quarantined_batches: self.quarantined_batches,
             deadline_met: self.deadline_met,
             deadline_missed: self.deadline_missed,
+            deadline_items: deadline_sorted.len() as u64,
+            latency_p99_deadline: pct_of(&deadline_sorted, 0.99),
+            latency_p99_effort: pct_of(&effort_sorted, 0.99),
             elapsed,
             throughput_per_s: if secs > 0.0 {
                 self.completed() as f64 / secs
@@ -260,6 +297,13 @@ pub struct MetricsSnapshot {
     pub deadline_met: u64,
     /// Deadline-carrying requests that completed past their budget.
     pub deadline_missed: u64,
+    /// Requests recorded on the deadline lane (the per-lane latency
+    /// series' sample count; zero when lanes were never used).
+    pub deadline_items: u64,
+    /// 99th-percentile latency over deadline-lane requests only.
+    pub latency_p99_deadline: SimTime,
+    /// 99th-percentile latency over best-effort requests only.
+    pub latency_p99_effort: SimTime,
     /// Simulated observation window.
     pub elapsed: SimTime,
     /// Completed requests per simulated second.
@@ -317,6 +361,18 @@ impl MetricsSnapshot {
         let json = if self.deadline_met + self.deadline_missed > 0 {
             json.field("deadline_met", self.deadline_met)
                 .field("deadline_missed", self.deadline_missed)
+        } else {
+            json
+        };
+        // Per-lane tails only exist once a deadline-lane request was
+        // recorded — lane-free runs keep their exact historical JSON.
+        let json = if self.deadline_items > 0 {
+            json.field("deadline_items", self.deadline_items)
+                .field(
+                    "latency_p99_deadline_us",
+                    self.latency_p99_deadline.as_us_f64(),
+                )
+                .field("latency_p99_effort_us", self.latency_p99_effort.as_us_f64())
         } else {
             json
         };
@@ -433,6 +489,13 @@ impl fmt::Display for MetricsSnapshot {
                 f,
                 "\n  deadlines {} met / {} missed",
                 self.deadline_met, self.deadline_missed
+            )?;
+        }
+        if self.deadline_items > 0 {
+            write!(
+                f,
+                "\n  lanes     deadline p99 {} over {} items / best-effort p99 {}",
+                self.latency_p99_deadline, self.deadline_items, self.latency_p99_effort
             )?;
         }
         // And for the configuration plane: only runs that enabled it.
@@ -570,6 +633,40 @@ mod tests {
         let buckets = hist.get("buckets").and_then(Json::as_arr).expect("buckets");
         let total: f64 = buckets.iter().filter_map(Json::as_f64).sum();
         assert_eq!(total as u64, 50, "histogram survives the round trip");
+    }
+
+    #[test]
+    fn lane_tagged_items_split_the_tail_per_lane() {
+        let mut m = Metrics::new();
+        // Deadline lane: fast (1..=50us). Best effort: slow (100..=200us).
+        for i in 1..=50u64 {
+            m.record_item_in_lane(SimTime::from_us(i), true, true);
+        }
+        for i in 100..=200u64 {
+            m.record_item_in_lane(SimTime::from_us(i), false, false);
+        }
+        let s = m.snapshot(SimTime::from_ms(1));
+        assert_eq!(s.deadline_items, 50);
+        assert!(s.latency_p99_deadline <= SimTime::from_us(50));
+        assert!(s.latency_p99_effort >= SimTime::from_us(190));
+        // The combined series still ranks the union.
+        assert_eq!(s.completed, 151);
+        let json = s.to_json().render();
+        assert!(json.contains("\"deadline_items\":50"));
+        assert!(json.contains("\"latency_p99_deadline_us\""));
+        assert!(s.to_string().contains("lanes"));
+        // Lane-free accumulators export byte-identical JSON to builds
+        // that predate per-lane tails.
+        let mut plain = Metrics::new();
+        plain.record_item(SimTime::from_us(7), true);
+        let plain_json = plain.snapshot(SimTime::from_us(10)).to_json().render();
+        assert!(!plain_json.contains("deadline_items"));
+        assert!(!plain_json.contains("latency_p99_deadline_us"));
+        // Lane series pool across windows like the combined series.
+        let mut pooled = Metrics::new();
+        pooled.absorb(&m);
+        pooled.absorb(&plain);
+        assert_eq!(pooled.snapshot(SimTime::from_ms(2)).deadline_items, 50);
     }
 
     #[test]

@@ -631,7 +631,11 @@ impl Service {
             // Latency is wall time on the simulated clock — it includes
             // queueing, the swap and the execution, not just the call.
             let latency = self.machine.now().saturating_sub(pending.arrival);
-            self.metrics.record_item(latency, served_hw);
+            self.metrics.record_item_in_lane(
+                latency,
+                served_hw,
+                pending.request.lane.deadline.is_some(),
+            );
             if let Some(expires) = pending.request.lane.expires_at(pending.arrival) {
                 self.metrics.record_deadline(self.machine.now() <= expires);
             }

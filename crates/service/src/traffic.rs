@@ -5,9 +5,31 @@
 //! makes consecutive requests repeat the previous kernel — long
 //! same-kernel runs are exactly the workloads where a reconfiguration
 //! amortizes, so the knob directly exercises the scheduler's cost model.
+//!
+//! Two shape knobs skew the mix beyond uniform draws: a Zipf popularity
+//! exponent (fresh kernels draw rank-weighted over the kernel list, so
+//! the first kernel listed is the hottest) and a flash-crowd window (a
+//! run of requests whose gaps compress and whose kernel is pinned to
+//! the hottest one). Both default off and, off, draw nothing extra from
+//! the RNG — streams stay byte-identical to pre-knob builds.
 
 use rtr_apps::request::{Kernel, Priority, Request};
 use vp2_sim::{SimTime, SplitMix64};
+
+/// A flash-crowd burst: for [`FlashCrowd::len`] requests starting at
+/// request index [`FlashCrowd::start`], inter-arrival gaps divide by
+/// [`FlashCrowd::gap_divisor`] and every request targets the stream's
+/// hottest kernel (the first kernel listed). Indexed by request count,
+/// not time, so the window is deterministic and seed-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashCrowd {
+    /// Request index the crowd arrives at.
+    pub start: usize,
+    /// Requests in the crowd.
+    pub len: usize,
+    /// How much the inter-arrival gap compresses during the crowd.
+    pub gap_divisor: u64,
+}
 
 /// Traffic shape.
 #[derive(Debug, Clone)]
@@ -37,6 +59,16 @@ pub struct TrafficConfig {
     /// Probability (out of 100) that a request rides the high-priority
     /// lane. 0 (the default) draws nothing from the RNG.
     pub high_percent: u64,
+    /// Zipf popularity exponent over the kernel list: fresh-kernel draws
+    /// weight rank `r` (0-based list position) by `1/(r+1)^s`, so the
+    /// first kernel listed is the most popular. 0.0 (the default) keeps
+    /// the uniform draw — same single RNG draw either way, so turning
+    /// the knob never desynchronises the other streams' draws.
+    pub zipf_skew: f64,
+    /// Optional flash-crowd window. `None` (the default) changes
+    /// nothing; `Some` compresses gaps and pins the kernel for the
+    /// window without consuming extra RNG draws.
+    pub flash: Option<FlashCrowd>,
 }
 
 impl Default for TrafficConfig {
@@ -52,6 +84,8 @@ impl Default for TrafficConfig {
             deadline_percent: 0,
             deadline_budget: SimTime::from_ms(1),
             high_percent: 0,
+            zipf_skew: 0.0,
+            flash: None,
         }
     }
 }
@@ -80,15 +114,44 @@ impl TrafficConfig {
             self.min_payload,
             self.max_payload
         );
+        assert!(
+            self.zipf_skew >= 0.0 && self.zipf_skew.is_finite(),
+            "TrafficConfig: zipf_skew must be a finite non-negative exponent"
+        );
+        if let Some(flash) = self.flash {
+            assert!(
+                flash.gap_divisor >= 1,
+                "TrafficConfig: flash.gap_divisor must be at least 1"
+            );
+        }
         let kernels = if self.kernels.is_empty() {
             Kernel::ALL.to_vec()
         } else {
             self.kernels.clone()
         };
+        // Precompute the Zipf CDF once: cumulative normalized weights
+        // `1/(r+1)^s` over list ranks. A single uniform draw in [0, 1)
+        // maps through it per fresh kernel.
+        let zipf_cdf = (self.zipf_skew > 0.0).then(|| {
+            let weights: Vec<f64> = (0..kernels.len())
+                .map(|r| 1.0 / ((r + 1) as f64).powf(self.zipf_skew))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            weights
+                .iter()
+                .map(|w| {
+                    acc += w / total;
+                    acc
+                })
+                .collect::<Vec<f64>>()
+        });
         let prev = kernels[0];
         TrafficStream {
             rng: SplitMix64::new(self.seed),
             kernels,
+            zipf_cdf,
+            flash: self.flash,
             remaining: self.requests,
             emitted: 0,
             t: SimTime::ZERO,
@@ -109,6 +172,9 @@ impl TrafficConfig {
 pub struct TrafficStream {
     rng: SplitMix64,
     kernels: Vec<Kernel>,
+    /// Cumulative Zipf weights per kernel rank; `None` = uniform draws.
+    zipf_cdf: Option<Vec<f64>>,
+    flash: Option<FlashCrowd>,
     remaining: usize,
     emitted: usize,
     t: SimTime,
@@ -130,9 +196,27 @@ impl Iterator for TrafficStream {
             return None;
         }
         self.remaining -= 1;
-        self.t += SimTime::from_ps(self.rng.below(2 * self.mean_gap.as_ps().max(1) + 1));
-        let kernel = if self.emitted > 0 && self.rng.chance(self.burst_percent, 100) {
+        let in_flash = self
+            .flash
+            .is_some_and(|f| self.emitted >= f.start && self.emitted < f.start + f.len);
+        let mut gap = self.rng.below(2 * self.mean_gap.as_ps().max(1) + 1);
+        if in_flash {
+            gap /= self.flash.expect("in_flash").gap_divisor;
+        }
+        self.t += SimTime::from_ps(gap);
+        // During a flash-crowd window the kernel is pinned to the
+        // hottest one without touching the RNG; off-window draws are
+        // unaffected because the gap draw above always happens.
+        let kernel = if in_flash {
+            self.kernels[0]
+        } else if self.emitted > 0 && self.rng.chance(self.burst_percent, 100) {
             self.prev
+        } else if let Some(cdf) = &self.zipf_cdf {
+            // One 53-bit uniform draw in [0, 1) mapped through the CDF —
+            // the same single draw the uniform branch consumes.
+            let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let rank = cdf.partition_point(|&c| c <= u).min(cdf.len() - 1);
+            self.kernels[rank]
         } else {
             self.kernels[self.rng.below(self.kernels.len() as u64) as usize]
         };
@@ -210,6 +294,79 @@ mod tests {
             ..TrafficConfig::default()
         };
         let _ = cfg.stream();
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_popularity_in_list_order() {
+        let cfg = TrafficConfig {
+            requests: 600,
+            burst_percent: 0,
+            zipf_skew: 1.2,
+            ..TrafficConfig::default()
+        };
+        let sched = cfg.generate();
+        let mut counts = [0usize; Kernel::ALL.len()];
+        for (_, r) in &sched {
+            counts[r.kernel().index()] += 1;
+        }
+        // Rank 0 (Sha1, first in Kernel::ALL) must clearly dominate the
+        // last-ranked kernel, and the head must hold most of the mass.
+        assert!(
+            counts[0] > 3 * counts[Kernel::ALL.len() - 1],
+            "head/tail split too flat: {counts:?}"
+        );
+        assert!(
+            counts[0] + counts[1] > sched.len() / 2,
+            "top two ranks hold under half the stream: {counts:?}"
+        );
+        // Seeded and deterministic like every other knob.
+        assert_eq!(
+            cfg.generate().len(),
+            sched.len(),
+            "regeneration is reproducible"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_compresses_gaps_and_pins_the_hot_kernel() {
+        let flash = FlashCrowd {
+            start: 40,
+            len: 30,
+            gap_divisor: 8,
+        };
+        let cfg = TrafficConfig {
+            requests: 120,
+            burst_percent: 0,
+            flash: Some(flash),
+            ..TrafficConfig::default()
+        };
+        let sched = cfg.generate();
+        let crowd = &sched[flash.start..flash.start + flash.len];
+        assert!(
+            crowd.iter().all(|(_, r)| r.kernel() == Kernel::ALL[0]),
+            "the crowd targets the hottest kernel"
+        );
+        let crowd_span = crowd.last().unwrap().0 - crowd.first().unwrap().0;
+        let calm = &sched[..flash.start];
+        let calm_span = calm.last().unwrap().0 - calm.first().unwrap().0;
+        // Per-request pacing inside the window is ~8x tighter.
+        assert!(
+            crowd_span / (flash.len as u64 - 1) < calm_span / (flash.start as u64 - 1) / 4,
+            "crowd span {crowd_span} vs calm span {calm_span}"
+        );
+        // Off (None), the stream is byte-identical to the default shape.
+        let plain = TrafficConfig {
+            requests: 120,
+            burst_percent: 0,
+            ..TrafficConfig::default()
+        }
+        .generate();
+        let unflashed = TrafficConfig { flash: None, ..cfg }.generate();
+        assert_eq!(plain.len(), unflashed.len());
+        for ((ta, ra), (tb, rb)) in plain.iter().zip(&unflashed) {
+            assert_eq!(ta, tb);
+            assert_eq!(ra.kernel(), rb.kernel());
+        }
     }
 
     #[test]

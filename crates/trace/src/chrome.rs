@@ -18,7 +18,7 @@
 
 use vp2_sim::{Json, SimTime};
 
-use crate::event::{EventKind, TraceEvent};
+use crate::event::{EventKind, TraceEvent, FEDERATION_SHARD};
 use crate::span::spans;
 
 /// Scheduler track (batches, request instants).
@@ -56,12 +56,12 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
     for ev in events {
         if !named_shards.contains(&ev.shard) {
             named_shards.push(ev.shard);
-            out.push(meta(
-                "process_name",
-                ev.shard,
-                TID_SCHED,
-                &format!("shard {}", ev.shard),
-            ));
+            let process = if ev.shard == FEDERATION_SHARD {
+                "federation".to_string()
+            } else {
+                format!("shard {}", ev.shard)
+            };
+            out.push(meta("process_name", ev.shard, TID_SCHED, &process));
             out.push(meta("thread_name", ev.shard, TID_SCHED, "scheduler"));
             out.push(meta("thread_name", ev.shard, TID_CONFIG, "config plane"));
             out.push(meta("thread_name", ev.shard, TID_DMA, "dma"));
@@ -311,6 +311,59 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                     base("quarantine exit", "i", ts, pid, TID_CONFIG)
                         .field("s", "p")
                         .field("args", Json::obj().field("kernel", *kernel)),
+                );
+            }
+            EventKind::FedRoute {
+                pool,
+                kernel,
+                estimate,
+            } => {
+                out.push(
+                    base("fed route", "i", ts, pid, TID_SCHED)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("pool", *pool)
+                                .field("kernel", *kernel)
+                                .field("estimate_us", estimate.as_us_f64()),
+                        ),
+                );
+            }
+            EventKind::FedSteal {
+                from_pool,
+                to_pool,
+                moved,
+            } => {
+                out.push(
+                    base("fed steal", "i", ts, pid, TID_SCHED)
+                        .field("s", "p")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("from_pool", *from_pool)
+                                .field("to_pool", *to_pool)
+                                .field("moved", *moved),
+                        ),
+                );
+            }
+            EventKind::FedShed {
+                from_pool,
+                to_pool,
+                kernel,
+                deadline,
+            } => {
+                out.push(
+                    base("fed shed", "i", ts, pid, TID_SCHED)
+                        .field("s", "p")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("from_pool", *from_pool)
+                                .field("to_pool", *to_pool)
+                                .field("kernel", *kernel)
+                                .field("deadline", *deadline),
+                        ),
                 );
             }
         }

@@ -34,7 +34,16 @@ pub const KIND_NAMES: &[&str] = &[
     "quarantine_enter",
     "quarantine_half_open",
     "quarantine_exit",
+    "fed_route",
+    "fed_steal",
+    "fed_shed",
 ];
+
+/// Reserved shard id the federation front-end journals under. High
+/// enough that no real pool shard collides with it, so federation
+/// decisions sort after same-instant pool events in a merged journal
+/// and stream to their own `.shard…jsonl` file.
+pub const FEDERATION_SHARD: u32 = 0xFED0;
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +224,38 @@ pub enum EventKind {
         /// Kernel module name.
         kernel: &'static str,
     },
+    /// The federation front-end placed a request on a pool.
+    FedRoute {
+        /// Pool index the request was routed to.
+        pool: u32,
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Estimated completion delay the router compared pools on
+        /// (zero under round-robin, which does not estimate).
+        estimate: SimTime,
+    },
+    /// Bounded work stealing moved buffered requests between pools.
+    FedSteal {
+        /// Pool the requests were taken from.
+        from_pool: u32,
+        /// Pool that received them.
+        to_pool: u32,
+        /// Requests moved by this steal event.
+        moved: u32,
+    },
+    /// Lane-aware shedding diverted a request off its backed-up home
+    /// pool at admission time.
+    FedShed {
+        /// The home pool the request was diverted away from.
+        from_pool: u32,
+        /// The lightly loaded pool that took it.
+        to_pool: u32,
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Did the request carry a deadline (deadline-lane traffic
+        /// diverts before best-effort traffic)?
+        deadline: bool,
+    },
 }
 
 impl EventKind {
@@ -244,6 +285,9 @@ impl EventKind {
             EventKind::QuarantineEnter { .. } => "quarantine_enter",
             EventKind::QuarantineHalfOpen { .. } => "quarantine_half_open",
             EventKind::QuarantineExit { .. } => "quarantine_exit",
+            EventKind::FedRoute { .. } => "fed_route",
+            EventKind::FedSteal { .. } => "fed_steal",
+            EventKind::FedShed { .. } => "fed_shed",
         }
     }
 }
@@ -370,6 +414,32 @@ impl TraceEvent {
             EventKind::QuarantineEnter { kernel }
             | EventKind::QuarantineHalfOpen { kernel }
             | EventKind::QuarantineExit { kernel } => base.field("kernel", *kernel),
+            EventKind::FedRoute {
+                pool,
+                kernel,
+                estimate,
+            } => base
+                .field("pool", *pool)
+                .field("kernel", *kernel)
+                .field("estimate_ps", estimate.as_ps()),
+            EventKind::FedSteal {
+                from_pool,
+                to_pool,
+                moved,
+            } => base
+                .field("from_pool", *from_pool)
+                .field("to_pool", *to_pool)
+                .field("moved", *moved),
+            EventKind::FedShed {
+                from_pool,
+                to_pool,
+                kernel,
+                deadline,
+            } => base
+                .field("from_pool", *from_pool)
+                .field("to_pool", *to_pool)
+                .field("kernel", *kernel)
+                .field("deadline", *deadline),
         }
     }
 }

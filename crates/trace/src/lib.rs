@@ -48,7 +48,7 @@ pub mod span;
 pub mod tracer;
 
 pub use chrome::chrome_trace;
-pub use event::{EventKind, TraceEvent, KIND_NAMES};
+pub use event::{EventKind, TraceEvent, FEDERATION_SHARD, KIND_NAMES};
 pub use profile::{AttributionReport, Profiler, ShardAttribution};
 pub use span::{spans, RequestSpan};
 pub use tracer::Tracer;

@@ -19,6 +19,8 @@
 //! * [`apps`] — the paper's six evaluation workloads
 //! * [`service`] — the request-driven reconfiguration scheduler
 //! * [`cluster`] — the sharded multi-machine service front-end
+//! * [`federation`] — the multi-cluster tier: heterogeneous pools,
+//!   cost-model routing, bounded stealing and lane-aware shedding
 //! * [`trace`] — deterministic event journal, spans and the profiler
 
 pub use coreconnect_sim as coreconnect;
@@ -28,6 +30,7 @@ pub use rtr_apps as apps;
 pub use rtr_cluster as cluster;
 pub use rtr_configplane as configplane;
 pub use rtr_core as rtr;
+pub use rtr_federation as federation;
 pub use rtr_service as service;
 pub use rtr_trace as trace;
 pub use vp2_bitstream as bitstream;

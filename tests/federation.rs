@@ -1,0 +1,186 @@
+//! Integration tests for the multi-cluster federation tier: equal seeds
+//! must produce byte-identical federated snapshots and merged journals
+//! at every thread count and at every pool count, cost-model routing
+//! must beat round-robin-over-pools on the skewed workload, and the
+//! flash crowd must engage bounded work stealing.
+
+use vp2_repro::apps::request::Kernel;
+use vp2_repro::cluster::{ClusterConfig, RoutePolicy, ShardSpec};
+use vp2_repro::federation::{FedPolicy, Federation, FederationConfig, FederationSnapshot};
+use vp2_repro::rtr::SystemKind;
+use vp2_repro::service::{FlashCrowd, TrafficConfig};
+use vp2_repro::sim::SimTime;
+use vp2_repro::trace::Tracer;
+
+/// Thread counts every determinism assertion sweeps: inline, a pool
+/// smaller than the shard count, and a pool wider than it.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Heterogeneous pools, scaled down from `federation_scenario`: an
+/// all-Bit32 pool (no SHA-1 hardware), an all-Bit64 pool, and a mixed
+/// pool. `count` trims the list from the front — `count == 1` leaves a
+/// single all-Bit32 pool, the degenerate federation.
+fn pools(count: usize, threads: usize) -> Vec<ClusterConfig> {
+    let pool = |shards: Vec<ShardSpec>| ClusterConfig {
+        shards,
+        kernels: vec![Kernel::Sha1, Kernel::Brightness, Kernel::Jenkins],
+        stale_estimates: true,
+        threads,
+        ..ClusterConfig::uniform(SystemKind::Bit32, 1, RoutePolicy::LeastLoaded)
+    };
+    let mut all = vec![
+        pool(vec![
+            ShardSpec::new(SystemKind::Bit32),
+            ShardSpec::new(SystemKind::Bit32),
+        ]),
+        pool(vec![
+            ShardSpec::new(SystemKind::Bit64),
+            ShardSpec::new(SystemKind::Bit64),
+        ]),
+        pool(vec![
+            ShardSpec::new(SystemKind::Bit32),
+            ShardSpec::new(SystemKind::Bit64),
+        ]),
+    ];
+    all.truncate(count);
+    all
+}
+
+/// The Zipf-skewed flash-crowd stream: SHA-1 hottest (and hardware-less
+/// on Bit32), a quarter of the traffic on deadlines, and the middle
+/// third arriving 16x faster pinned to SHA-1.
+fn traffic() -> TrafficConfig {
+    let requests = 120;
+    TrafficConfig {
+        seed: 0xFED_2026,
+        requests,
+        kernels: vec![Kernel::Sha1, Kernel::Brightness, Kernel::Jenkins],
+        mean_gap: SimTime::from_us(40),
+        burst_percent: 30,
+        min_payload: 4 * 1024,
+        max_payload: 12 * 1024,
+        deadline_percent: 25,
+        deadline_budget: SimTime::from_ms(2),
+        zipf_skew: 1.1,
+        flash: Some(FlashCrowd {
+            start: requests / 3,
+            len: requests / 3,
+            gap_divisor: 16,
+        }),
+        ..TrafficConfig::default()
+    }
+}
+
+/// One federated run with streamed journals: returns the snapshot (for
+/// field asserts), its pretty JSON render and the merged journal text —
+/// the latter two must be pure functions of the seed and pool count,
+/// never of the thread count.
+fn fed_run(
+    pool_count: usize,
+    policy: FedPolicy,
+    threads: usize,
+) -> (FederationSnapshot, String, String) {
+    let base = std::env::temp_dir().join(format!(
+        "vp2_federation_journal_{}_{pool_count}_{}_{threads}",
+        std::process::id(),
+        policy.name()
+    ));
+    let base = base.to_str().expect("utf-8 temp path").to_string();
+    let tracer = Tracer::enabled();
+    tracer.stream_to(&base).expect("attach journal streams");
+    let mut fed = Federation::new(FederationConfig {
+        policy,
+        shed_watermark: 9,
+        steal_watermark: 12,
+        steal_batch: 3,
+        trace: tracer.clone(),
+        ..FederationConfig::new(pools(pool_count, threads))
+    });
+    let snap = fed.run(traffic().stream());
+    let merged_path = format!("{base}.merged.jsonl");
+    let lines = tracer.merge_streams(&merged_path).expect("merge journals");
+    assert!(lines > 0, "a traced federation streams events");
+    let merged = std::fs::read_to_string(&merged_path).expect("read merged journal");
+    for path in tracer.flush_streams().expect("stream paths") {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_file(&merged_path);
+    let render = snap_render(&snap);
+    (snap, render, merged)
+}
+
+fn snap_render(snap: &FederationSnapshot) -> String {
+    snap.to_json().render_pretty()
+}
+
+#[test]
+fn federated_snapshots_and_journals_are_identical_at_any_thread_count() {
+    let (snap, render_inline, journal_inline) = fed_run(3, FedPolicy::CostModel, 1);
+    assert_eq!(snap.admitted, 120, "every request admitted");
+    assert_eq!(snap.total.completed, 120, "every request served");
+    // One fed_route line per request plus shard-level events: the
+    // journal must cover the federation's own decisions too.
+    assert!(
+        journal_inline.contains("\"kind\":\"fed_route\""),
+        "routing decisions are journaled"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let (_, render, journal) = fed_run(3, FedPolicy::CostModel, *threads);
+        assert_eq!(
+            render_inline, render,
+            "federated snapshot diverged at {threads} threads"
+        );
+        assert_eq!(
+            journal_inline, journal,
+            "merged journal diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn a_single_pool_federation_is_deterministic_and_never_sheds_or_steals() {
+    let (snap, render_inline, journal_inline) = fed_run(1, FedPolicy::CostModel, 1);
+    assert_eq!(snap.total.completed, 120, "every request served");
+    // With nowhere to divert to, the shed and steal paths must stay
+    // cold — the degenerate federation is just a cluster.
+    assert_eq!(snap.sheds, 0, "one pool cannot shed");
+    assert_eq!(snap.steal_events, 0, "one pool cannot steal");
+    for threads in &THREAD_COUNTS[1..] {
+        let (_, render, journal) = fed_run(1, FedPolicy::CostModel, *threads);
+        assert_eq!(
+            render_inline, render,
+            "single-pool snapshot diverged at {threads} threads"
+        );
+        assert_eq!(
+            journal_inline, journal,
+            "single-pool journal diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cost_model_routing_beats_round_robin_and_the_flash_crowd_engages_stealing() {
+    let (rr, _, _) = fed_run(3, FedPolicy::RoundRobin, 2);
+    let (cost, _, _) = fed_run(3, FedPolicy::CostModel, 2);
+    assert!(
+        cost.makespan < rr.makespan,
+        "cost-model makespan {} must undercut round-robin {}",
+        cost.makespan,
+        rr.makespan
+    );
+    assert!(
+        cost.total.latency_p99_deadline < rr.total.latency_p99_deadline,
+        "cost-model deadline p99 {} must undercut round-robin {}",
+        cost.total.latency_p99_deadline,
+        rr.total.latency_p99_deadline
+    );
+    assert!(
+        cost.steal_events > 0,
+        "the flash crowd must engage work stealing"
+    );
+    assert!(cost.stolen > 0, "steal events move requests");
+    assert!(
+        cost.sheds > 0,
+        "the backed-up home pool must shed deadline traffic"
+    );
+}

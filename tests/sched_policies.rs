@@ -27,6 +27,7 @@ fn interleaved_mix() -> Vec<(SimTime, Request)> {
         deadline_percent: 20,
         deadline_budget: SimTime::from_ms(10),
         high_percent: 10,
+        ..TrafficConfig::default()
     }
     .generate()
 }
