@@ -79,18 +79,25 @@ echo "== federation smoke run =="
 # journal shard (0xFED0 = 65232) plus the cross-pool merge.
 cargo run --release -p rtr-bench --bin federation_scenario -- \
     --threads 1 --json "$obs_dir/federation_t1.json" \
-    --snapshot-out "$obs_dir/fed_snap_t1.json" 2> /dev/null
+    --snapshot-out "$obs_dir/fed_snap_t1.json" \
+    --telemetry "$obs_dir/fed_tl_t1" 2> /dev/null
 cargo run --release -p rtr-bench --bin federation_scenario -- \
     --threads 4 --json BENCH_federation.json \
     --snapshot-out "$obs_dir/fed_snap_t4.json" \
-    --journal "$obs_dir/fed_journal" 2> /dev/null
+    --journal "$obs_dir/fed_journal" \
+    --telemetry "$obs_dir/fed_tl_t4" 2> /dev/null
 cmp "$obs_dir/fed_snap_t1.json" "$obs_dir/fed_snap_t4.json"
+# The merged telemetry stream is pure simulated state too: the inline
+# and pooled invocations must produce equal bytes.
+cmp "$obs_dir/fed_tl_t1.merged.tl.jsonl" "$obs_dir/fed_tl_t4.merged.tl.jsonl"
 grep -q '"cost_model_beats_round_robin": true' BENCH_federation.json
 grep -q '"steal_engaged": true' BENCH_federation.json
 grep -q '"shed_engaged": true' BENCH_federation.json
 cargo run --release -p rtr-bench --bin trace_lint -- \
     --journal "$obs_dir/fed_journal.shard65232.jsonl" \
-    --journal-merged "$obs_dir/fed_journal.merged.jsonl"
+    --journal-merged "$obs_dir/fed_journal.merged.jsonl" \
+    --telemetry "$obs_dir/fed_tl_t4.shard65232.tl.jsonl" \
+    --telemetry-merged "$obs_dir/fed_tl_t4.merged.tl.jsonl"
 
 echo "== configuration-plane smoke run =="
 # The bin asserts the plane's headline claims (differential + cache cut
@@ -104,5 +111,32 @@ grep -q '"plane_beats_baseline": true' BENCH_config.json
 # must be self-describing and never claim to beat the full image.
 cargo run --release -p rtr-bench --bin trace_lint -- \
     --trace "$obs_dir/config_trace.json"
+
+echo "== telemetry report =="
+# The per-phase gauge summary of the federation run lands in the bench
+# artifact set alongside the scenario summaries.
+cargo run --release -p rtr-bench --bin telemetry_report -- \
+    --input "$obs_dir/fed_tl_t4.merged.tl.jsonl" \
+    --phases 4 --json BENCH_telemetry.json
+grep -q '"telemetry_report"' BENCH_telemetry.json
+
+echo "== bench trajectory gate =="
+# First run seeds the committed baseline; later runs diff the fresh
+# BENCH_*.json summaries against it and fail on a >15% makespan or
+# tail-latency regression. The deliberate 2x-makespan injection proves
+# the gate can actually fail (a gate that cannot fail gates nothing).
+if [ ! -d BENCH_BASELINE ]; then
+    mkdir BENCH_BASELINE
+    cp BENCH_*.json BENCH_BASELINE/
+    echo "seeded BENCH_BASELINE/ from this run"
+fi
+cargo run --release -p rtr-bench --bin bench_diff -- \
+    --baseline BENCH_BASELINE --current .
+if cargo run --release -p rtr-bench --bin bench_diff -- \
+    --baseline BENCH_BASELINE --current . \
+    --inject-makespan-scale 2 2> /dev/null; then
+    echo "bench_diff failed to flag a 2x makespan regression" >&2
+    exit 1
+fi
 
 echo "CI OK"

@@ -55,8 +55,10 @@ fn main() {
     let snapshot_out = args.value_of("--snapshot-out");
     let json_path = args.json_path();
     // The journal covers the kernel-affinity mixed run — the pool whose
-    // time accounting the scenario's headline claim is about.
+    // time accounting the scenario's headline claim is about. Telemetry
+    // samples the same run.
     let tracer = args.tracer();
+    let telemetry = args.telemetry();
 
     // Experiment 1: mixed-kernel workload, 4 shards, every policy. The
     // mix makes region residency the contended resource: every shard
@@ -85,14 +87,18 @@ fn main() {
         eprintln!(
             "[cluster] mixed-kernel / {policy}: {requests} requests on {shard_count} shards..."
         );
-        let trace = if policy == RoutePolicy::KernelAffinity {
-            tracer.clone()
+        let (trace, tl) = if policy == RoutePolicy::KernelAffinity {
+            (tracer.clone(), telemetry.clone())
         } else {
-            rtr_trace::Tracer::disabled()
+            (
+                rtr_trace::Tracer::disabled(),
+                rtr_telemetry::Telemetry::disabled(),
+            )
         };
         let mut cluster = Cluster::new(ClusterConfig {
             kernels: mixed_kernels.clone(),
             trace,
+            telemetry: tl,
             threads,
             ..ClusterConfig::uniform(SystemKind::Bit64, shard_count, policy)
         });
@@ -289,4 +295,5 @@ fn main() {
     );
     scenario::emit("cluster", json_path.as_deref(), &summary);
     scenario::export_trace("cluster", &args, &tracer);
+    scenario::export_telemetry("cluster", &args, &telemetry);
 }

@@ -121,11 +121,13 @@ fn run_service(
     rounds: usize,
     round: &[(SimTime, Request)],
     trace: Tracer,
+    telemetry: rtr_telemetry::Telemetry,
 ) -> MetricsSnapshot {
     let mut svc = Service::new(ServiceConfig {
         kernels: vec![Kernel::PatMatch, Kernel::Fade],
         plane,
         trace,
+        telemetry,
         ..ServiceConfig::new(SystemKind::Bit32)
     });
     for _ in 0..rounds {
@@ -143,6 +145,9 @@ fn main() {
     let seed: u64 = args.parsed_or("--seed", 11);
     let json_path = args.json_path();
     let tracer = args.tracer();
+    // Telemetry covers the service-level warm run (claim 3) — the only
+    // stage with a service to sample.
+    let telemetry = args.telemetry();
     let kind = SystemKind::Bit32;
 
     // ------------------------------------------------------------------
@@ -273,6 +278,7 @@ fn main() {
         rounds,
         &round,
         Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
     );
     eprintln!("[config] service: {rounds} repeated-swap rounds, plane on...");
     let svc_warm = run_service(
@@ -280,6 +286,7 @@ fn main() {
         rounds,
         &round,
         tracer.with_shard(0),
+        telemetry.with_shard(0),
     );
     assert!(svc_cold.plane.is_none(), "plane off exports no counters");
     let plane_stats = svc_warm.plane.expect("plane on exports counters");
@@ -299,6 +306,7 @@ fn main() {
         rounds,
         &round,
         Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
     );
     assert_eq!(
         rerun.to_json().render(),
@@ -316,7 +324,13 @@ fn main() {
     // ------------------------------------------------------------------
     // Claim 4 — every feature off is the pre-plane service, bit for bit.
     // ------------------------------------------------------------------
-    let baseline = run_service(ConfigPlaneConfig::default(), 1, &round, Tracer::disabled());
+    let baseline = run_service(
+        ConfigPlaneConfig::default(),
+        1,
+        &round,
+        Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
+    );
     let mut svc = Service::new(ServiceConfig {
         kernels: vec![Kernel::PatMatch, Kernel::Fade],
         batch: BatchPolicy::FcfsDrain,
@@ -380,4 +394,5 @@ fn main() {
     );
     scenario::emit("config", json_path.as_deref(), &summary);
     scenario::export_trace("config", &args, &tracer);
+    scenario::export_telemetry("config", &args, &telemetry);
 }

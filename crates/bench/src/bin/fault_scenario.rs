@@ -25,7 +25,9 @@ fn main() {
     // One journal across the whole sweep: run (system, rate) is journaled
     // as shard `system × rates + rate_index`, so the trace shows the
     // fault plane's verify/repair ladder at every corruption level.
+    // Telemetry samples the same runs into the same shard-id space.
     let tracer = args.tracer();
+    let telemetry = args.telemetry();
 
     let mut systems = Vec::new();
     for (sys_index, kind) in [SystemKind::Bit32, SystemKind::Bit64]
@@ -51,6 +53,7 @@ fn main() {
             let shard = (sys_index * RATES.len() + rate_index) as u32;
             let mut svc = Service::new(ServiceConfig {
                 trace: tracer.with_shard(shard),
+                telemetry: telemetry.with_shard(shard),
                 ..ServiceConfig::with_faults(kind, rate, seed ^ 0xFA17)
             });
             let snap = svc.process(&traffic).expect("generated traffic is sorted");
@@ -82,4 +85,5 @@ fn main() {
     let summary = Json::obj().field("fault_scenarios", Json::Arr(systems));
     scenario::emit("fault", json_path.as_deref(), &summary);
     scenario::export_trace("fault", &args, &tracer);
+    scenario::export_telemetry("fault", &args, &telemetry);
 }

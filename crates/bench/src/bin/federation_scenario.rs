@@ -22,6 +22,7 @@
 //! federation_scenario --threads 4        # pooled shard flushes
 //! federation_scenario --snapshot-out s.json  # federated snapshot (for cmp)
 //! federation_scenario --journal base     # streamed per-shard journals
+//! federation_scenario --telemetry base   # streamed per-shard time-series
 //! federation_scenario --json out.json    # write the summary to a file
 //! ```
 
@@ -89,6 +90,7 @@ fn main() {
     let snapshot_out = args.value_of("--snapshot-out");
     let json_path = args.json_path();
     let tracer = args.tracer();
+    let telemetry = args.telemetry();
 
     // Zipf-skewed mix with SHA-1 as the hottest kernel — the one kernel
     // that has *no* hardware path on Bit32 regions, so pool choice (not
@@ -115,7 +117,10 @@ fn main() {
         ..TrafficConfig::default()
     };
 
-    let run = |policy: FedPolicy, threads: usize, trace: rtr_trace::Tracer| {
+    let run = |policy: FedPolicy,
+               threads: usize,
+               trace: rtr_trace::Tracer,
+               telemetry: rtr_telemetry::Telemetry| {
         eprintln!(
             "[federation] {policy}: {requests} requests over 3 pools, {threads} thread(s)..."
         );
@@ -126,6 +131,7 @@ fn main() {
             steal_batch: 3,
             steal_budget: u64::MAX,
             trace,
+            telemetry,
             ..FederationConfig::new(pool_configs(threads))
         });
         let snap = fed.run(traffic.stream());
@@ -160,8 +166,14 @@ fn main() {
         FedPolicy::RoundRobin,
         threads,
         rtr_trace::Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
     );
-    let cost = run(FedPolicy::CostModel, threads, tracer.clone());
+    let cost = run(
+        FedPolicy::CostModel,
+        threads,
+        tracer.clone(),
+        telemetry.clone(),
+    );
     // The headline claims are asserted on the reference workload (the
     // CI gate); custom --requests/--seed/watermark runs only report, so
     // the bin stays usable for exploration. Determinism is asserted
@@ -193,7 +205,12 @@ fn main() {
 
     // Experiment 2: the determinism contract — the same cost-model run
     // inline must match the pooled run above byte-for-byte.
-    let inline = run(FedPolicy::CostModel, 1, rtr_trace::Tracer::disabled());
+    let inline = run(
+        FedPolicy::CostModel,
+        1,
+        rtr_trace::Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
+    );
     let snap_pool = cost.to_json().render_pretty();
     let snap_inline = inline.to_json().render_pretty();
     assert_eq!(
@@ -231,4 +248,5 @@ fn main() {
     );
     scenario::emit("federation", json_path.as_deref(), &summary);
     scenario::export_trace("federation", &args, &tracer);
+    scenario::export_telemetry("federation", &args, &telemetry);
 }

@@ -42,11 +42,13 @@ fn run(
     batch: BatchPolicy,
     schedule: &[(SimTime, Request)],
     trace: Tracer,
+    telemetry: rtr_telemetry::Telemetry,
 ) -> MetricsSnapshot {
     let mut svc = Service::new(ServiceConfig {
         batch,
         kernels: kernels.to_vec(),
         trace,
+        telemetry,
         ..ServiceConfig::new(kind)
     });
     let snap = svc.process(schedule).expect("generated traffic is sorted");
@@ -65,6 +67,7 @@ fn main() {
     let seed: u64 = args.parsed_or("--seed", 0x0007_AF1C_2026);
     let json_path = args.json_path();
     let tracer = args.tracer();
+    let telemetry = args.telemetry();
 
     // Interleaved mix on the 64-bit system, tuned to the band where the
     // policies genuinely diverge. PatMatch is the anchor: its software
@@ -104,12 +107,12 @@ fn main() {
     let mut snaps = Vec::new();
     for batch in policies {
         eprintln!("[sched] {} / {requests} requests...", batch.name());
-        let trace = if batch == BatchPolicy::swap_aware() {
-            tracer.clone()
+        let (trace, tl) = if batch == BatchPolicy::swap_aware() {
+            (tracer.clone(), telemetry.clone())
         } else {
-            Tracer::disabled()
+            (Tracer::disabled(), rtr_telemetry::Telemetry::disabled())
         };
-        let snap = run(SystemKind::Bit64, &kernels, batch, &traffic, trace);
+        let snap = run(SystemKind::Bit64, &kernels, batch, &traffic, trace, tl);
         eprintln!(
             "[sched]   makespan {}, swaps {}, hw {} / sw {}, deadlines {} met / {} missed",
             snap.elapsed,
@@ -149,6 +152,7 @@ fn main() {
         BatchPolicy::swap_aware(),
         &traffic,
         Tracer::disabled(),
+        rtr_telemetry::Telemetry::disabled(),
     );
     assert_eq!(
         rerun.to_json().render(),
@@ -199,4 +203,5 @@ fn main() {
     );
     scenario::emit("sched", json_path.as_deref(), &summary);
     scenario::export_trace("sched", &args, &tracer);
+    scenario::export_telemetry("sched", &args, &telemetry);
 }

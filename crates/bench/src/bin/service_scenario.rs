@@ -20,7 +20,9 @@ fn main() {
     let json_path = args.json_path();
     // One journal across both systems: the cost-model run of system i is
     // journaled as shard i (tracing changes no result — sim clock only).
+    // Telemetry samples the same runs into the same shard-id space.
     let tracer = args.tracer();
+    let telemetry = args.telemetry();
 
     let mut systems = Vec::new();
     for (sys_index, kind) in [SystemKind::Bit32, SystemKind::Bit64]
@@ -43,14 +45,21 @@ fn main() {
         let mut makespans = Vec::new();
         for policy in [Policy::SwOnly, Policy::CostModel] {
             eprintln!("[service] {kind:?} / {policy:?}: {requests} requests...");
-            let trace = if policy == Policy::CostModel {
-                tracer.with_shard(sys_index as u32)
+            let (trace, tl) = if policy == Policy::CostModel {
+                (
+                    tracer.with_shard(sys_index as u32),
+                    telemetry.with_shard(sys_index as u32),
+                )
             } else {
-                rtr_trace::Tracer::disabled()
+                (
+                    rtr_trace::Tracer::disabled(),
+                    rtr_telemetry::Telemetry::disabled(),
+                )
             };
             let mut svc = Service::new(ServiceConfig {
                 policy,
                 trace,
+                telemetry: tl,
                 ..ServiceConfig::new(kind)
             });
             let snap = svc.process(&traffic).expect("generated traffic is sorted");
@@ -78,4 +87,5 @@ fn main() {
     let summary = Json::obj().field("service_scenarios", Json::Arr(systems));
     scenario::emit("service", json_path.as_deref(), &summary);
     scenario::export_trace("service", &args, &tracer);
+    scenario::export_telemetry("service", &args, &telemetry);
 }

@@ -1,0 +1,196 @@
+//! Summarizes a merged telemetry stream as per-phase text tables with
+//! sparklines — the human-readable view of what `--telemetry` recorded.
+//!
+//! The merged `.tl.jsonl` stream is grouped by `(shard, scope, gauge)`
+//! into one series per gauge. The tick span of the whole run is split
+//! into `--phases` equal windows and each series reports its per-phase
+//! means next to a min/mean/max summary and a sparkline, so a drift
+//! (a queue filling up, a cache warming, a backlog draining) is visible
+//! at a glance without plotting anything.
+//!
+//! ```text
+//! telemetry_report --input t.merged.tl.jsonl              # text tables
+//! telemetry_report --input t.merged.tl.jsonl --phases 8   # finer windows
+//! telemetry_report --input t.merged.tl.jsonl --json out.json
+//! ```
+//!
+//! `--json` writes the same summary machine-readably (CI stores it as
+//! `BENCH_telemetry.json` so the gauge inventory lands in the bench
+//! artifact set alongside the scenario summaries).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rtr_bench::scenario::{self, ScenarioArgs};
+use vp2_sim::Json;
+
+/// Sparkline ramp, lowest to highest.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// One gauge's samples, in stream order.
+#[derive(Default)]
+struct Series {
+    ticks: Vec<u64>,
+    values: Vec<f64>,
+}
+
+/// Renders per-phase means as a sparkline; phases with no samples show
+/// as `·` so gaps stay distinguishable from low values.
+fn sparkline(phases: &[Option<f64>]) -> String {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in phases.iter().flatten() {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    phases
+        .iter()
+        .map(|v| match v {
+            None => '·',
+            Some(_) if hi <= lo => RAMP[0],
+            Some(v) => {
+                let t = (v - lo) / (hi - lo);
+                RAMP[((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = ScenarioArgs::parse();
+    let Some(input) = args.value_of("--input") else {
+        eprintln!(
+            "usage: telemetry_report --input t.merged.tl.jsonl [--phases 4] [--json out.json]"
+        );
+        return ExitCode::from(2);
+    };
+    let phases: usize = args.parsed_or("--phases", 4);
+    let phases = phases.max(1);
+    let json_path = args.json_path();
+
+    let text = match std::fs::read_to_string(&input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[report] {input}: cannot read: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // (shard, scope, gauge) -> series, BTreeMap for deterministic order.
+    let mut series: BTreeMap<(u64, String, String), Series> = BTreeMap::new();
+    let (mut min_tick, mut max_tick) = (u64::MAX, 0u64);
+    let mut rows = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = match Json::parse(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("[report] {input}: line {}: not valid JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let num = |key: &str| ev.get(key).and_then(Json::as_f64);
+        let (Some(tick), Some(shard), Some(scope), Some(Json::Obj(gauges))) = (
+            num("tick"),
+            num("shard"),
+            ev.get("scope").and_then(Json::as_str),
+            ev.get("gauges"),
+        ) else {
+            eprintln!("[report] {input}: line {}: not a telemetry row", i + 1);
+            return ExitCode::FAILURE;
+        };
+        rows += 1;
+        let tick = tick as u64;
+        min_tick = min_tick.min(tick);
+        max_tick = max_tick.max(tick);
+        for (name, value) in gauges {
+            let Some(value) = value.as_f64() else {
+                continue;
+            };
+            let entry = series
+                .entry((shard as u64, scope.to_string(), name.clone()))
+                .or_default();
+            entry.ticks.push(tick);
+            entry.values.push(value);
+        }
+    }
+    if rows == 0 {
+        eprintln!("[report] {input}: telemetry stream is empty");
+        return ExitCode::FAILURE;
+    }
+
+    // Phase windows split the run's tick span evenly; the last window
+    // absorbs the remainder so every sample lands in exactly one phase.
+    let span = max_tick - min_tick + 1;
+    let width = span.div_ceil(phases as u64).max(1);
+    let phase_of = |tick: u64| (((tick - min_tick) / width) as usize).min(phases - 1);
+
+    eprintln!(
+        "[report] {input}: {rows} samples, {} series, ticks {min_tick}..{max_tick}, \
+         {phases} phase(s) of {width} tick(s)",
+        series.len()
+    );
+    println!(
+        "{:>5}  {:<10} {:<18} {:>12} {:>12} {:>12}  {:<8}  per-phase means",
+        "shard", "scope", "gauge", "min", "mean", "max", "trend"
+    );
+    let mut out_series = Vec::new();
+    for ((shard, scope, gauge), s) in &series {
+        let (mut sums, mut counts) = (vec![0.0f64; phases], vec![0usize; phases]);
+        for (tick, value) in s.ticks.iter().zip(&s.values) {
+            let p = phase_of(*tick);
+            sums[p] += value;
+            counts[p] += 1;
+        }
+        let phase_means: Vec<Option<f64>> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(sum, n)| (*n > 0).then(|| sum / *n as f64))
+            .collect();
+        let min = s.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = s.values.iter().sum::<f64>() / s.values.len() as f64;
+        let means_text: Vec<String> = phase_means
+            .iter()
+            .map(|v| v.map_or_else(|| "·".to_string(), |v| format!("{v:.3}")))
+            .collect();
+        println!(
+            "{shard:>5}  {scope:<10} {gauge:<18} {min:>12.3} {mean:>12.3} {max:>12.3}  \
+             {:<8}  {}",
+            sparkline(&phase_means),
+            means_text.join(" ")
+        );
+        out_series.push(
+            Json::obj()
+                .field("shard", *shard)
+                .field("scope", scope.as_str())
+                .field("gauge", gauge.as_str())
+                .field("samples", s.values.len())
+                .field("min", min)
+                .field("mean", mean)
+                .field("max", max)
+                .field(
+                    "phase_means",
+                    Json::Arr(
+                        phase_means
+                            .iter()
+                            .map(|v| v.map_or(Json::Null, Json::Num))
+                            .collect(),
+                    ),
+                ),
+        );
+    }
+
+    let summary = Json::obj().field(
+        "telemetry_report",
+        Json::obj()
+            .field("input", input.as_str())
+            .field("samples", rows)
+            .field("tick_min", min_tick)
+            .field("tick_max", max_tick)
+            .field("phases", phases)
+            .field("series", Json::Arr(out_series)),
+    );
+    scenario::emit("report", json_path.as_deref(), &summary);
+    ExitCode::SUCCESS
+}

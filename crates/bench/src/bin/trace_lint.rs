@@ -27,6 +27,14 @@
 //! * `--journal-merged j.merged.jsonl` — the cross-shard merge: the
 //!   same per-line checks, plus the `(time_ps, shard, seq)` key must
 //!   strictly increase — the canonical total order the merge sorts by.
+//! * `--telemetry t.shard000.tl.jsonl` — a per-shard telemetry stream:
+//!   every line parses as JSON with `tick`/`time_ps`/`shard`/`seq`/
+//!   `scope`/`gauges`, the scope is non-empty, the gauges object is a
+//!   non-empty map of finite numbers, all lines carry the same shard
+//!   id, `tick` never steps back and `seq` strictly increases.
+//! * `--telemetry-merged t.merged.tl.jsonl` — the cross-shard merge:
+//!   the same per-line checks, plus the `(tick, shard, seq)` key must
+//!   strictly increase — the total order the merge sorts by.
 //!
 //! Exits non-zero with one line per violation; CI runs it after the
 //! scenario smoke runs so a malformed export fails the build.
@@ -386,6 +394,121 @@ fn lint_journal(path: &str, merged: bool, problems: &mut Vec<String>) {
     eprintln!("[lint] {path}: {lines} {flavor} journal event(s)");
 }
 
+/// Checks a streamed telemetry time-series. `merged` selects the
+/// ordering invariant: a per-shard stream carries one constant shard
+/// id, a never-decreasing `tick` and a strictly increasing `seq`; the
+/// merged file is in the canonical `(tick, shard, seq)` total order.
+/// Every row must be self-describing: a non-empty scope and a
+/// non-empty gauge map whose values are all finite numbers.
+fn lint_telemetry(path: &str, merged: bool, problems: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            problems.push(format!("{path}: cannot read: {e}"));
+            return;
+        }
+    };
+    let mut lines = 0usize;
+    let mut stream_shard: Option<i64> = None;
+    let mut last_tick: Option<i64> = None;
+    let mut last_seq: Option<i64> = None;
+    let mut last_key: Option<(i64, i64, i64)> = None;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let ev = match Json::parse(line) {
+            Ok(ev) => ev,
+            Err(e) => {
+                problems.push(format!("{path}: line {}: not valid JSON: {e}", i + 1));
+                continue;
+            }
+        };
+        let int = |key: &str| ev.get(key).and_then(Json::as_f64).map(|v| v as i64);
+        let scope = ev.get("scope").and_then(Json::as_str);
+        let (Some(tick), Some(_), Some(shard), Some(seq), Some(scope)) =
+            (int("tick"), int("time_ps"), int("shard"), int("seq"), scope)
+        else {
+            problems.push(format!(
+                "{path}: line {}: missing one of tick/time_ps/shard/seq/scope",
+                i + 1
+            ));
+            continue;
+        };
+        if scope.is_empty() {
+            problems.push(format!("{path}: line {}: empty scope", i + 1));
+        }
+        // Each sample must describe itself: at least one gauge, every
+        // value a finite number (NaN/inf would poison any aggregation
+        // downstream and render as invalid JSON anyway).
+        match ev.get("gauges") {
+            Some(Json::Obj(gauges)) if !gauges.is_empty() => {
+                for (name, value) in gauges {
+                    match value.as_f64() {
+                        Some(v) if v.is_finite() => {}
+                        _ => problems.push(format!(
+                            "{path}: line {}: gauge {name:?} is not a finite number",
+                            i + 1
+                        )),
+                    }
+                }
+            }
+            _ => problems.push(format!(
+                "{path}: line {}: missing or empty gauges object",
+                i + 1
+            )),
+        }
+        if merged {
+            let key = (tick, shard, seq);
+            if let Some(last) = last_key {
+                if key <= last {
+                    problems.push(format!(
+                        "{path}: line {}: (tick, shard, seq) key {key:?} \
+                         does not advance past {last:?}",
+                        i + 1
+                    ));
+                }
+            }
+            last_key = Some(key);
+        } else {
+            match stream_shard {
+                None => stream_shard = Some(shard),
+                Some(expected) if expected != shard => {
+                    problems.push(format!(
+                        "{path}: line {}: shard {shard} in a shard-{expected} stream",
+                        i + 1
+                    ));
+                }
+                Some(_) => {}
+            }
+            if let Some(last) = last_tick {
+                if tick < last {
+                    problems.push(format!(
+                        "{path}: line {}: tick {tick} steps back from {last}",
+                        i + 1
+                    ));
+                }
+            }
+            last_tick = Some(tick);
+            if let Some(last) = last_seq {
+                if seq <= last {
+                    problems.push(format!(
+                        "{path}: line {}: seq {seq} does not advance past {last}",
+                        i + 1
+                    ));
+                }
+            }
+            last_seq = Some(seq);
+        }
+    }
+    if lines == 0 {
+        problems.push(format!("{path}: telemetry stream is empty"));
+    }
+    let flavor = if merged { "merged" } else { "per-shard" };
+    eprintln!("[lint] {path}: {lines} {flavor} telemetry sample(s)");
+}
+
 /// Checks that each shard's fractions partition its makespan.
 fn lint_profile(path: &str, doc: &Json, problems: &mut Vec<String>) {
     let Some(shards) = doc.get("shards").and_then(Json::as_arr) else {
@@ -440,10 +563,19 @@ fn main() -> ExitCode {
         checked += 1;
         lint_journal(&path, true, &mut problems);
     }
+    if let Some(path) = args.value_of("--telemetry") {
+        checked += 1;
+        lint_telemetry(&path, false, &mut problems);
+    }
+    if let Some(path) = args.value_of("--telemetry-merged") {
+        checked += 1;
+        lint_telemetry(&path, true, &mut problems);
+    }
     if checked == 0 {
         eprintln!(
             "usage: trace_lint [--trace chrome.json] [--profile profile.json] \
-             [--journal j.shard000.jsonl] [--journal-merged j.merged.jsonl]"
+             [--journal j.shard000.jsonl] [--journal-merged j.merged.jsonl] \
+             [--telemetry t.shard000.tl.jsonl] [--telemetry-merged t.merged.tl.jsonl]"
         );
         return ExitCode::from(2);
     }

@@ -8,8 +8,9 @@
 use std::io::Write as _;
 use std::str::FromStr;
 
+use rtr_telemetry::Telemetry;
 use rtr_trace::{chrome_trace, Profiler, Tracer};
-use vp2_sim::Json;
+use vp2_sim::{Json, SimTime};
 
 /// Parsed command-line arguments of a scenario binary.
 pub struct ScenarioArgs {
@@ -68,6 +69,34 @@ impl ScenarioArgs {
     /// default 1 = inline).
     pub fn threads(&self) -> usize {
         self.parsed_or("--threads", 1usize).max(1)
+    }
+
+    /// The `--telemetry` base path (streamed per-shard time-series),
+    /// if requested. Shard `s` streams to `{base}.shard{s:03}.tl.jsonl`
+    /// and the merged export lands in `{base}.merged.tl.jsonl`.
+    pub fn telemetry_base(&self) -> Option<String> {
+        self.value_of("--telemetry")
+    }
+
+    /// The telemetry sampling tick in picoseconds (`--tick PS`, default
+    /// 1 ms of simulated time).
+    pub fn tick_ps(&self) -> u64 {
+        self.parsed_or("--tick", rtr_telemetry::DEFAULT_TICK_PS)
+            .max(1)
+    }
+
+    /// A telemetry handle for the scenario's designated run: enabled
+    /// (and streaming) when `--telemetry` was given, the free no-op
+    /// handle otherwise. `--tick` sets the sampling period.
+    pub fn telemetry(&self) -> Telemetry {
+        let Some(base) = self.telemetry_base() else {
+            return Telemetry::disabled();
+        };
+        let telemetry = Telemetry::with_tick(SimTime::from_ps(self.tick_ps()));
+        telemetry
+            .stream_to(&base)
+            .unwrap_or_else(|e| panic!("telemetry stream {base}: {e}"));
+        telemetry
     }
 
     /// A tracer for the scenario's designated run: enabled when
@@ -149,6 +178,30 @@ pub fn export_trace(tag: &str, args: &ScenarioArgs, tracer: &Tracer) {
             shard_files.len()
         );
     }
+}
+
+/// Exports the telemetry streams the scenario's sampled run produced:
+/// flushes every per-shard `.tl.jsonl` sink and writes the merged,
+/// `(tick, shard, seq)`-ordered series to `{base}.merged.tl.jsonl`.
+/// No-op on a disabled handle.
+pub fn export_telemetry(tag: &str, args: &ScenarioArgs, telemetry: &Telemetry) {
+    if !telemetry.on() {
+        return;
+    }
+    let Some(base) = args.telemetry_base() else {
+        return;
+    };
+    let shard_files = telemetry
+        .flush_streams()
+        .unwrap_or_else(|e| panic!("flush telemetry streams {base}: {e}"));
+    let merged = format!("{base}.merged.tl.jsonl");
+    let rows = telemetry
+        .merge_streams(&merged)
+        .unwrap_or_else(|e| panic!("merge telemetry streams {base}: {e}"));
+    eprintln!(
+        "[{tag}] wrote {merged} ({rows} samples from {} shard series)",
+        shard_files.len()
+    );
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ use std::sync::mpsc;
 use rtr_apps::request::{Kernel, Request};
 use rtr_core::SystemKind;
 use rtr_service::{BatchPolicy, Service, ServiceConfig};
+use rtr_telemetry::Telemetry;
 use rtr_trace::Tracer;
 use vp2_sim::SimTime;
 
@@ -97,6 +98,18 @@ pub struct ClusterConfig {
     /// Trace journal handle, fanned out to every shard (each shard's
     /// events carry its id). Disabled by default.
     pub trace: Tracer,
+    /// Telemetry handle, fanned out to every shard like the tracer
+    /// (each shard samples into its own series, offset by
+    /// `shard_base`). Disabled by default; sampling is read-only, so
+    /// snapshots are byte-identical with it on or off.
+    pub telemetry: Telemetry,
+    /// When set, each shard's merged metrics window keeps only this
+    /// many of the most recent latency samples — constant memory for
+    /// arbitrarily long runs. Counters and busy-time totals stay exact;
+    /// cluster-level latency percentiles rank the retained windows
+    /// instead of the full history. `None` (the default) keeps the
+    /// exact unbounded series, byte-identical to prior builds.
+    pub bounded_windows: Option<usize>,
     /// Offset added to every shard's trace id, so several clusters can
     /// share one journal registry with disjoint shard-id spaces (the
     /// federation gives pool `p` base `100·p`). Zero by default.
@@ -129,6 +142,8 @@ impl ClusterConfig {
             verify: true,
             quarantine_cooldown: SimTime::from_ms(5),
             trace: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
+            bounded_windows: None,
             shard_base: 0,
             stale_estimates: false,
             threads: 1,
@@ -175,6 +190,7 @@ impl Cluster {
                 plane: spec.plane.clone(),
                 quarantine_cooldown: config.quarantine_cooldown,
                 trace: config.trace.with_shard(config.shard_base + id as u32),
+                telemetry: config.telemetry.with_shard(config.shard_base + id as u32),
                 ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
             })
             .collect();
@@ -210,7 +226,9 @@ impl Cluster {
             .into_iter()
             .zip(&config.shards)
             .enumerate()
-            .map(|(id, (service, spec))| Shard::new(id, service, spec.fault_rate > 0.0))
+            .map(|(id, (service, spec))| {
+                Shard::new(id, service, spec.fault_rate > 0.0, config.bounded_windows)
+            })
             .collect();
         Cluster {
             shards,

@@ -25,6 +25,7 @@ use std::sync::mpsc;
 
 use rtr_apps::request::{Kernel, Request};
 use rtr_service::{CostModel, Metrics, Service};
+use rtr_telemetry::{Gauge, Telemetry};
 use rtr_trace::EventKind;
 use vp2_sim::SimTime;
 
@@ -74,13 +75,28 @@ pub struct Shard {
     /// Snapshot-priced cost of the current buffer, kept incrementally
     /// on admit and rebuilt on flush/steal.
     stale_buffered_cost: SimTime,
+    /// Payload bytes currently buffered, kept incrementally like
+    /// `kernel_buffered` — the `buffered_bytes` telemetry gauge.
+    buffered_bytes: u64,
+    /// The shard's telemetry handle (cloned from the service's, so both
+    /// write the same per-shard series).
+    telemetry: Telemetry,
 }
 
 impl Shard {
-    /// Wraps a freshly booted service as shard `id`.
-    pub(crate) fn new(id: usize, service: Box<Service>, can_quarantine: bool) -> Shard {
+    /// Wraps a freshly booted service as shard `id`. With
+    /// `bounded_window` set, the shard's merged window keeps only that
+    /// many of the most recent latency samples (counters stay exact) —
+    /// the constant-memory mode for very long runs.
+    pub(crate) fn new(
+        id: usize,
+        service: Box<Service>,
+        can_quarantine: bool,
+        bounded_window: Option<usize>,
+    ) -> Shard {
         let origin = service.now();
         let cost_snapshot = service.cost_model().clone();
+        let telemetry = service.telemetry().clone();
         Shard {
             id,
             service: Some(service),
@@ -90,11 +106,13 @@ impl Shard {
             kernel_buffered: [0; Kernel::ALL.len()],
             cost_cache: None,
             can_quarantine,
-            window: Metrics::new(),
+            window: bounded_window.map_or_else(Metrics::new, Metrics::bounded),
             admitted: 0,
             cost_snapshot,
             stale_busy_until: origin,
             stale_buffered_cost: SimTime::ZERO,
+            buffered_bytes: 0,
+            telemetry,
         }
     }
 
@@ -171,7 +189,27 @@ impl Shard {
                 .recv()
                 .expect("shard flush worker disappeared (panicked?)");
             self.window.absorb(&window);
+            self.sample_window(&service, &window);
             self.service = Some(service);
+        }
+    }
+
+    /// Telemetry `"window"` row at the absorb point, stamped with the
+    /// post-window machine clock. Inline and pooled flushes reach this
+    /// with byte-identical `(service, window)` state — inline right
+    /// after processing, pooled at [`Shard::join`] — and a flush always
+    /// joins before emitting its own rows, so the per-shard emission
+    /// order is the same at any thread count.
+    fn sample_window(&self, service: &Service, window: &Metrics) {
+        if self.telemetry.on() {
+            self.telemetry.sample(
+                service.now(),
+                "window",
+                &[
+                    Gauge::value("window_items", window.completed() as f64),
+                    Gauge::value("window_swaps", window.swaps() as f64),
+                ],
+            );
         }
     }
 
@@ -269,6 +307,7 @@ impl Shard {
         self.kernel_buffered[request.kernel().index()] += 1;
         self.cost_cache = None;
         self.stale_buffered_cost += item_cost(&self.cost_snapshot, &request);
+        self.buffered_bytes += request.payload_bytes() as u64;
         let at = if self.buffer.last().is_none_or(|(t, _)| *t <= arrival) {
             self.buffer.len()
         } else {
@@ -290,6 +329,7 @@ impl Shard {
         let taken: Vec<(SimTime, Request)> = self.buffer.split_off(self.buffer.len() - n);
         for (_, request) in &taken {
             self.kernel_buffered[request.kernel().index()] -= 1;
+            self.buffered_bytes -= request.payload_bytes() as u64;
         }
         self.admitted -= taken.len() as u64;
         self.cost_cache = None;
@@ -333,6 +373,21 @@ impl Shard {
         self.stale_busy_until =
             service.now().max(last_arrival) + buffered_cost(&self.buffer, &service);
         self.stale_buffered_cost = SimTime::ZERO;
+        // The "buffer" sample is the coordinator's: taken post-join
+        // (no worker owns this shard's series) and pre-drain, stamped
+        // with the settled machine clock — all inputs byte-identical
+        // across inline and pooled execution.
+        if self.telemetry.on() {
+            self.telemetry.sample(
+                service.now(),
+                "buffer",
+                &[
+                    Gauge::value("buffer_depth", self.buffer.len() as f64),
+                    Gauge::value("buffered_bytes", self.buffered_bytes as f64),
+                ],
+            );
+        }
+        self.buffered_bytes = 0;
         let tracer = service.tracer().clone();
         if tracer.on() {
             // Buffer events, stamped with each request's machine-clock
@@ -380,6 +435,7 @@ impl Shard {
                     .process_window_at(&schedule)
                     .expect("stream arrivals are monotone");
                 self.window.absorb(&window);
+                self.sample_window(&service, &window);
                 self.service = Some(service);
             }
         }

@@ -2,6 +2,7 @@
 
 use rtr_apps::request::Request;
 use rtr_cluster::{Cluster, ClusterConfig};
+use rtr_telemetry::{Gauge, Telemetry};
 use rtr_trace::{EventKind, Tracer, FEDERATION_SHARD};
 use vp2_sim::SimTime;
 
@@ -68,6 +69,11 @@ pub struct FederationConfig {
     /// under [`FEDERATION_SHARD`]; pool `p`'s shards under
     /// `p · POOL_STRIDE + shard`.
     pub trace: Tracer,
+    /// Shared telemetry registry, fanned out the same way the journal
+    /// is: the federation samples its own admission-plane gauges under
+    /// [`FEDERATION_SHARD`]; pool `p`'s shards sample under
+    /// `p · POOL_STRIDE + shard`. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl FederationConfig {
@@ -82,6 +88,7 @@ impl FederationConfig {
             steal_batch: 4,
             steal_budget: u64::MAX,
             trace: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -95,6 +102,7 @@ pub struct Federation {
     steal_batch: usize,
     steal_budget: u64,
     tracer: Tracer,
+    telemetry: Telemetry,
     rr_next: usize,
     admitted: u64,
     routed: Vec<u64>,
@@ -133,6 +141,7 @@ impl Federation {
                 );
                 cfg.shard_base = p as u32 * POOL_STRIDE;
                 cfg.trace = config.trace.clone();
+                cfg.telemetry = config.telemetry.clone();
                 Cluster::new(cfg)
             })
             .collect();
@@ -144,6 +153,7 @@ impl Federation {
             steal_batch: config.steal_batch,
             steal_budget: config.steal_budget,
             tracer: config.trace.with_shard(FEDERATION_SHARD),
+            telemetry: config.telemetry.with_shard(FEDERATION_SHARD),
             rr_next: 0,
             admitted: 0,
             routed: vec![0; n],
@@ -241,6 +251,23 @@ impl Federation {
         self.routed[chosen] += 1;
         self.admitted += 1;
         self.maybe_steal(arrival, chosen);
+        // The admission-plane sample, stamped with the stream instant
+        // (the federation has no machine clock of its own). Cumulative
+        // counters become per-second rates in the handle; the tick grid
+        // bounds the emission however dense the stream.
+        if self.telemetry.on() {
+            let backlog: usize = self.pools.iter().map(Cluster::backlog).sum();
+            self.telemetry.sample(
+                arrival,
+                "federation",
+                &[
+                    Gauge::value("backlog_total", backlog as f64),
+                    Gauge::rate("admitted_per_s", self.admitted as f64),
+                    Gauge::rate("stolen_per_s", self.stolen as f64),
+                    Gauge::rate("sheds_per_s", self.sheds as f64),
+                ],
+            );
+        }
         chosen
     }
 

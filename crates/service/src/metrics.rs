@@ -40,12 +40,51 @@ pub struct Metrics {
     quarantined_batches: u64,
     deadline_met: u64,
     deadline_missed: u64,
+    /// When set, the latency series (combined and deadline-lane) keep
+    /// only the most recent `bound` samples — counters stay exact, only
+    /// percentile ranking turns from exact-over-lifetime into
+    /// exact-over-window. `None` keeps the historical unbounded series.
+    bound: Option<usize>,
 }
 
 impl Metrics {
     /// Fresh accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Accumulator whose latency series are bounded streaming windows:
+    /// at most `bound` of the most recent samples are retained, so a
+    /// traced 10M-request run holds constant memory. Every counter and
+    /// busy-time total stays exact; only the percentile series windows.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero — percentiles need at least one sample.
+    pub fn bounded(bound: usize) -> Self {
+        assert!(bound > 0, "a bounded window must hold at least 1 sample");
+        Metrics {
+            bound: Some(bound),
+            ..Self::default()
+        }
+    }
+
+    /// The latency-series bound, if this accumulator windows its series.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Keeps only the most recent `bound` samples of each latency
+    /// series. Counters are never touched.
+    fn trim(&mut self) {
+        let Some(bound) = self.bound else { return };
+        if self.latencies_ps.len() > bound {
+            let excess = self.latencies_ps.len() - bound;
+            self.latencies_ps.drain(..excess);
+        }
+        if self.deadline_latencies_ps.len() > bound {
+            let excess = self.deadline_latencies_ps.len() - bound;
+            self.deadline_latencies_ps.drain(..excess);
+        }
     }
 
     /// Raw per-request latencies in picoseconds, in completion order
@@ -73,6 +112,7 @@ impl Metrics {
         } else {
             self.sw_items += 1;
         }
+        self.trim();
     }
 
     /// Records one dispatched batch and the time its path was busy.
@@ -161,11 +201,22 @@ impl Metrics {
         self.quarantined_batches += other.quarantined_batches;
         self.deadline_met += other.deadline_met;
         self.deadline_missed += other.deadline_missed;
+        self.trim();
     }
 
     /// Completed request count so far.
     pub fn completed(&self) -> u64 {
         self.hw_items + self.sw_items
+    }
+
+    /// Reconfigurations (module swaps) recorded so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Cumulative time the dynamic region spent computing.
+    pub fn hw_busy(&self) -> SimTime {
+        self.hw_busy
     }
 
     /// Snapshot over an observation window of length `elapsed`.
@@ -186,9 +237,17 @@ impl Metrics {
         // for ranking, so which instance is immaterial).
         let mut deadline_sorted = self.deadline_latencies_ps.clone();
         deadline_sorted.sort_unstable();
-        let mut effort_sorted = Vec::with_capacity(sorted.len() - deadline_sorted.len());
+        let mut effort_sorted =
+            Vec::with_capacity(sorted.len().saturating_sub(deadline_sorted.len()));
         let mut next_deadline = 0;
         for &ps in &sorted {
+            // A bounded window can trim a combined sample whose deadline
+            // twin survived; step over deadline values absent from the
+            // combined series so one stale value cannot shift the whole
+            // difference.
+            while next_deadline < deadline_sorted.len() && deadline_sorted[next_deadline] < ps {
+                next_deadline += 1;
+            }
             if next_deadline < deadline_sorted.len() && deadline_sorted[next_deadline] == ps {
                 next_deadline += 1;
             } else {
@@ -667,6 +726,82 @@ mod tests {
         pooled.absorb(&m);
         pooled.absorb(&plain);
         assert_eq!(pooled.snapshot(SimTime::from_ms(2)).deadline_items, 50);
+    }
+
+    #[test]
+    fn lane_p99_fields_stay_absent_without_deadline_traffic() {
+        // A run with real traffic — but none of it on the deadline lane —
+        // must export byte-identical JSON to builds that predate lanes:
+        // no `deadline_items`, no per-lane p99 keys, in compact or
+        // pretty form.
+        let mut m = Metrics::new();
+        for i in 1..=200u64 {
+            m.record_item_in_lane(SimTime::from_us(i), i % 2 == 0, false);
+        }
+        m.record_batch(true, SimTime::from_us(90));
+        let s = m.snapshot(SimTime::from_ms(1));
+        assert_eq!(s.deadline_items, 0);
+        for text in [s.to_json().render(), s.to_json().render_pretty()] {
+            assert!(!text.contains("deadline_items"), "leaked into {text}");
+            assert!(!text.contains("latency_p99_deadline_us"));
+            assert!(!text.contains("latency_p99_effort_us"));
+        }
+        assert!(!s.to_string().contains("lanes"));
+    }
+
+    #[test]
+    fn absorbing_an_empty_window_is_a_no_op() {
+        let mut m = Metrics::new();
+        for i in 1..=10u64 {
+            m.record_item_in_lane(SimTime::from_us(i), true, i % 3 == 0);
+        }
+        m.record_batch(true, SimTime::from_us(5));
+        m.record_swap(SimTime::from_us(2));
+        let before = m.snapshot(SimTime::from_us(100));
+        m.absorb(&Metrics::new());
+        m.absorb(&Metrics::bounded(4));
+        assert_eq!(
+            m.snapshot(SimTime::from_us(100)),
+            before,
+            "empty windows (bounded or not) must not perturb the fold"
+        );
+        // And the symmetric case: an empty bounded accumulator absorbing
+        // an empty window stays empty.
+        let mut empty = Metrics::bounded(8);
+        empty.absorb(&Metrics::new());
+        assert_eq!(empty.completed(), 0);
+        assert_eq!(empty.latencies_ps().len(), 0);
+    }
+
+    #[test]
+    fn bounded_windows_trim_series_but_keep_counters_exact() {
+        let mut b = Metrics::bounded(100);
+        for i in 1..=1000u64 {
+            b.record_item_in_lane(SimTime::from_us(i), i % 2 == 0, i % 4 == 0);
+        }
+        assert_eq!(b.latencies_ps().len(), 100, "series windowed to bound");
+        let s = b.snapshot(SimTime::from_ms(10));
+        // Counters never window.
+        assert_eq!(s.completed, 1000);
+        assert_eq!(s.hw_items, 500);
+        assert_eq!(s.deadline_met + s.deadline_missed, 0);
+        // Percentiles rank the retained window: the last 100 samples.
+        assert!(s.latency_p50 >= SimTime::from_us(900));
+        assert_eq!(s.latency_max, SimTime::from_us(1000));
+        // The deadline series windows independently, so it can retain
+        // values whose combined twins were trimmed — the multiset
+        // difference must absorb that without panicking or stalling.
+        assert_eq!(s.deadline_items, 100, "250 deadline samples, bound 100");
+        assert!(s.latency_p99_effort > SimTime::ZERO);
+        // Absorbing a big window into a bounded fold trims too.
+        let mut big = Metrics::new();
+        for i in 1..=500u64 {
+            big.record_item(SimTime::from_us(i), false);
+        }
+        let mut fold = Metrics::bounded(64);
+        fold.absorb(&big);
+        assert_eq!(fold.latencies_ps().len(), 64);
+        assert_eq!(fold.completed(), 500);
     }
 
     #[test]

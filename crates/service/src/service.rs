@@ -11,6 +11,7 @@
 use rtr_apps::request::{component_for, component_for_slot, factory_for, Driver, Kernel, Request};
 use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
 use rtr_core::{build_system, FaultPlan, LoadOutcome, Machine, ModuleManager, SystemKind};
+use rtr_telemetry::{Gauge, Telemetry};
 use rtr_trace::{EventKind, Tracer};
 use vp2_sim::SimTime;
 
@@ -63,6 +64,13 @@ pub struct ServiceConfig {
     /// Tracing never touches the simulated clock or any model state, so
     /// results are bit-identical with it on or off.
     pub trace: Tracer,
+    /// Telemetry handle. The default ([`Telemetry::disabled`]) records
+    /// nothing and costs one branch per sampling point; an enabled
+    /// handle samples queue depth, throughput, region utilization, the
+    /// reconfiguration EWMA and per-lane tails on its tick grid.
+    /// Sampling is read-only — results are bit-identical with it on or
+    /// off.
+    pub telemetry: Telemetry,
 }
 
 impl ServiceConfig {
@@ -80,6 +88,7 @@ impl ServiceConfig {
             quarantine_cooldown: SimTime::from_ms(5),
             plane: ConfigPlaneConfig::default(),
             trace: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -146,6 +155,7 @@ pub struct Service {
     boot_origin: SimTime,
     submitted: u64,
     tracer: Tracer,
+    telemetry: Telemetry,
 }
 
 impl Service {
@@ -194,6 +204,7 @@ impl Service {
         // Install the journal before the warm-up load so boot-time
         // reconfiguration is captured too.
         let tracer = config.trace.clone();
+        let telemetry = config.telemetry.clone();
         machine.set_tracer(tracer.clone());
         manager.set_tracer(tracer.clone());
         let mut cost = CostModel::calibrate(config.kind, &kernels);
@@ -234,6 +245,7 @@ impl Service {
             boot_origin,
             submitted: 0,
             tracer,
+            telemetry,
         };
         if let Some(kernel) = warmup_degraded {
             svc.strike(kernel, boot_origin);
@@ -279,6 +291,12 @@ impl Service {
     /// The service's trace handle (disabled unless one was configured).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The service's telemetry handle (disabled unless one was
+    /// configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs an open-loop schedule of `(arrival, request)` pairs (arrival
@@ -631,11 +649,10 @@ impl Service {
             // Latency is wall time on the simulated clock — it includes
             // queueing, the swap and the execution, not just the call.
             let latency = self.machine.now().saturating_sub(pending.arrival);
-            self.metrics.record_item_in_lane(
-                latency,
-                served_hw,
-                pending.request.lane.deadline.is_some(),
-            );
+            let deadline_lane = pending.request.lane.deadline.is_some();
+            self.metrics
+                .record_item_in_lane(latency, served_hw, deadline_lane);
+            self.telemetry.record_latency(deadline_lane, latency);
             if let Some(expires) = pending.request.lane.expires_at(pending.arrival) {
                 self.metrics.record_deadline(self.machine.now() <= expires);
             }
@@ -652,6 +669,9 @@ impl Service {
         }
         let batch_end = self.machine.now();
         self.metrics.record_batch(use_hw, batch_end - batch_start);
+        if self.telemetry.on() {
+            self.sample_telemetry(batch_end);
+        }
         if self.tracer.on() {
             self.tracer.emit(
                 batch_end,
@@ -673,6 +693,39 @@ impl Service {
                 },
             );
         }
+    }
+
+    /// Takes the `"service"`-scope telemetry sample at a batch boundary.
+    /// Cumulative totals (completed, swaps, region busy-seconds) span
+    /// the whole service life — the handle turns them into rates per
+    /// simulated second; region utilization falls out of the
+    /// busy-seconds rate directly. Read-only: the sample never touches
+    /// the machine or any scheduling state.
+    fn sample_telemetry(&self, now: SimTime) {
+        let completed = self.lifetime.completed() + self.metrics.completed();
+        let swaps = self.lifetime.swaps() + self.metrics.swaps();
+        let hw_busy = self.lifetime.hw_busy() + self.metrics.hw_busy();
+        let mut gauges = vec![
+            Gauge::value("queue_depth", self.queues.len() as f64),
+            Gauge::rate("completed_per_s", completed as f64),
+            Gauge::rate("swaps_per_s", swaps as f64),
+            Gauge::rate("region_util", hw_busy.as_secs_f64()),
+            Gauge::value(
+                "reconfig_ewma_us",
+                self.cost.reconfig_estimate().as_us_f64(),
+            ),
+        ];
+        if self.config.plane.enabled() {
+            let stats = self.manager.plane_stats();
+            let lookups = stats.cache_hits + stats.cache_misses;
+            let hit_rate = if lookups > 0 {
+                stats.cache_hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            gauges.push(Gauge::value("cache_hit_rate", hit_rate));
+        }
+        self.telemetry.sample_with_tails(now, "service", &gauges);
     }
 
     /// Counts a hardware-path failure against the kernel; after

@@ -22,6 +22,8 @@
 //! * [`federation`] — the multi-cluster tier: heterogeneous pools,
 //!   cost-model routing, bounded stealing and lane-aware shedding
 //! * [`trace`] — deterministic event journal, spans and the profiler
+//! * [`telemetry`] — streaming time-series metrics plane: tick-sampled
+//!   gauges, counters and ring-windowed tails
 
 pub use coreconnect_sim as coreconnect;
 pub use dock;
@@ -32,6 +34,7 @@ pub use rtr_configplane as configplane;
 pub use rtr_core as rtr;
 pub use rtr_federation as federation;
 pub use rtr_service as service;
+pub use rtr_telemetry as telemetry;
 pub use rtr_trace as trace;
 pub use vp2_bitstream as bitstream;
 pub use vp2_fabric as fabric;
