@@ -112,6 +112,25 @@ grep -q '"plane_beats_baseline": true' BENCH_config.json
 cargo run --release -p rtr-bench --bin trace_lint -- \
     --trace "$obs_dir/config_trace.json"
 
+echo "== fault-lab smoke run =="
+# The bin asserts the fault-lab claims under correlated upset bursts:
+# background scrubbing strictly cuts degraded loads versus the no-scrub
+# run, canary readmission holds fewer batches in quarantine than the
+# fixed worst-case cooldown, and a rate-0 burst plan is byte-invisible.
+# Gate on the JSON claims too so a silently-skipped assert still fails.
+cargo run --release -p rtr-bench --bin fault_scenario -- \
+    --json BENCH_faults.json --journal "$obs_dir/fault_journal" \
+    2> /dev/null
+grep -q '"scrub_beats_noscrub": true' BENCH_faults.json
+grep -q '"canary_beats_fixed": true' BENCH_faults.json
+grep -q '"rate0_identical": true' BENCH_faults.json
+# The fault-hit, scrub-pass/repair and quarantine/canary instants of the
+# no-scrub burst shard (006) and the cross-shard merge must satisfy the
+# journal lint invariants.
+cargo run --release -p rtr-bench --bin trace_lint -- \
+    --journal "$obs_dir/fault_journal.shard006.jsonl" \
+    --journal-merged "$obs_dir/fault_journal.merged.jsonl"
+
 echo "== telemetry report =="
 # The per-phase gauge summary of the federation run lands in the bench
 # artifact set alongside the scenario summaries.
@@ -130,6 +149,16 @@ if [ ! -d BENCH_BASELINE ]; then
     cp BENCH_*.json BENCH_BASELINE/
     echo "seeded BENCH_BASELINE/ from this run"
 fi
+# A summary added after the baseline directory was first seeded (a new
+# scenario bin landing in an existing checkout) enters the baseline on
+# its first run — bench_diff would otherwise flag it as missing history
+# and later regressions in it would never be caught.
+for f in BENCH_*.json; do
+    if [ ! -f "BENCH_BASELINE/$f" ]; then
+        cp "$f" BENCH_BASELINE/
+        echo "seeded BENCH_BASELINE/$f from this run"
+    fi
+done
 cargo run --release -p rtr-bench --bin bench_diff -- \
     --baseline BENCH_BASELINE --current .
 if cargo run --release -p rtr-bench --bin bench_diff -- \

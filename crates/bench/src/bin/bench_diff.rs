@@ -16,9 +16,12 @@
 //! ```
 //!
 //! A summary present today but missing from the baseline is reported
-//! and skipped (first run after adding a scenario); a *worse-than*
-//! `--threshold` relative increase on any compared metric exits
-//! non-zero with one line per regression. `--inject-makespan-scale`
+//! and skipped (first run after adding a scenario), and a current-only
+//! metric inside a paired summary only warns — but a metric the
+//! baseline tracks that the current summary *dropped* fails the gate:
+//! retiring a gated claim must be an explicit baseline edit, never a
+//! silent skip. A *worse-than* `--threshold` relative increase on any
+//! compared metric exits non-zero with one line per regression. `--inject-makespan-scale`
 //! multiplies every current makespan before comparing — CI uses it as
 //! a negative test proving the gate can actually fail.
 
@@ -122,6 +125,19 @@ fn main() -> ExitCode {
         let mut cur_metrics = Vec::new();
         collect(&parse(&base_path, &base_text), "", &mut base_metrics);
         collect(&parse(&cur_path, &cur_text), "", &mut cur_metrics);
+        // A metric the baseline tracked but the current summary no
+        // longer exports is a regression, not a skip: a silently
+        // dropped key would otherwise retire a gated claim without
+        // anyone noticing. New current-only metrics merely warn — they
+        // gain a baseline on the next seeding.
+        for (path, base) in &base_metrics {
+            if !cur_metrics.iter().any(|(p, _)| p == path) {
+                regressions.push(format!(
+                    "{name}: {path}: baseline has {base:.1} but the \
+                     current summary dropped the metric"
+                ));
+            }
+        }
         for (path, cur) in &cur_metrics {
             let Some((_, base)) = base_metrics.iter().find(|(p, _)| p == path) else {
                 eprintln!("[diff] {name}: {path}: new metric — skipped");

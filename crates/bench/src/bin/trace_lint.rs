@@ -214,6 +214,50 @@ fn lint_trace(path: &str, doc: &Json, problems: &mut Vec<String>) {
                         ));
                     }
                 }
+                // Scrub instants account for themselves: a pass can
+                // never find more mismatches than frames it compared,
+                // and a repair always re-writes at least one frame.
+                "scrub pass" => {
+                    plane_events += 1;
+                    let count = |key: &str| args.and_then(|a| a.get(key)).and_then(Json::as_f64);
+                    match (count("frames"), count("mismatched")) {
+                        (Some(frames), Some(mismatched)) if mismatched > frames => {
+                            problems.push(format!(
+                                "{path}: event {i}: scrub pass found {mismatched} \
+                                 mismatches in only {frames} frames"
+                            ));
+                        }
+                        (Some(_), Some(_)) => {}
+                        _ => problems.push(format!(
+                            "{path}: event {i}: scrub pass missing frames/mismatched"
+                        )),
+                    }
+                }
+                "scrub repair" => {
+                    plane_events += 1;
+                    let frames = args.and_then(|a| a.get("frames")).and_then(Json::as_f64);
+                    if frames.is_none_or(|f| f < 1.0) {
+                        problems.push(format!(
+                            "{path}: event {i}: scrub repair re-wrote fewer than one frame"
+                        ));
+                    }
+                }
+                // Canary instants name their kernel; a result also says
+                // whether the probe readmitted it.
+                "canary probe" | "canary result" => {
+                    plane_events += 1;
+                    let kernel = args.and_then(|a| a.get("kernel")).and_then(Json::as_str);
+                    if kernel.is_none_or(str::is_empty) {
+                        problems.push(format!("{path}: event {i}: {name} without a kernel"));
+                    }
+                    if name == "canary result"
+                        && !matches!(args.and_then(|a| a.get("admitted")), Some(Json::Bool(_)))
+                    {
+                        problems.push(format!(
+                            "{path}: event {i}: canary result without a boolean verdict"
+                        ));
+                    }
+                }
                 _ => {}
             }
         }
@@ -347,6 +391,40 @@ fn lint_journal(path: &str, merged: bool, problems: &mut Vec<String>) {
                 if kind == "fed_steal" && int("moved").is_none_or(|m| m < 1) {
                     problems.push(format!(
                         "{path}: line {}: fed_steal moved fewer than one request",
+                        i + 1
+                    ));
+                }
+            }
+            // Scrub and canary events carry the same invariants in the
+            // raw journal as in the Chrome export.
+            "scrub_pass" => match (int("frames"), int("mismatched")) {
+                (Some(frames), Some(mismatched)) if mismatched > frames => {
+                    problems.push(format!(
+                        "{path}: line {}: scrub_pass found {mismatched} \
+                         mismatches in only {frames} frames",
+                        i + 1
+                    ));
+                }
+                (Some(_), Some(_)) => {}
+                _ => problems.push(format!(
+                    "{path}: line {}: scrub_pass missing frames/mismatched",
+                    i + 1
+                )),
+            },
+            "scrub_repair" if int("frames").is_none_or(|f| f < 1) => {
+                problems.push(format!(
+                    "{path}: line {}: scrub_repair re-wrote fewer than one frame",
+                    i + 1
+                ));
+            }
+            "canary_probe" | "canary_result" => {
+                let kernel = ev.get("kernel").and_then(Json::as_str);
+                if kernel.is_none_or(str::is_empty) {
+                    problems.push(format!("{path}: line {}: {kind} without a kernel", i + 1));
+                }
+                if kind == "canary_result" && !matches!(ev.get("admitted"), Some(Json::Bool(_))) {
+                    problems.push(format!(
+                        "{path}: line {}: canary_result without a boolean verdict",
                         i + 1
                     ));
                 }

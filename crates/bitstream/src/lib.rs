@@ -31,7 +31,7 @@ pub use builder::{
     partial_bitstream, ApplyError, ApplyReport,
 };
 pub use compress::{compress_words, decompress_words, is_compressed, COMPRESSED_MAGIC};
-pub use fault::FaultPlan;
+pub use fault::{apply_upset, BurstConfig, BurstPlan, FaultPlan, Upset};
 pub use packet::{Bitstream, ConfigRegister, Packet, SYNC_WORD};
 
 /// IDCODE of the XC2VP7 (matches the real part's JTAG IDCODE).

@@ -41,6 +41,13 @@ pub struct ShardSpec {
     /// Per-shard: a pool can dedicate a multi-module shard to small
     /// co-resident kernels while the rest run whole-region swaps.
     pub plane: rtr_configplane::ConfigPlaneConfig,
+    /// Correlated ambient-upset bursts striking this shard's fabric
+    /// (`None` disables them). Per-shard so a pool can model one rack
+    /// position catching more radiation than another.
+    pub burst: Option<rtr_service::BurstConfig>,
+    /// Background configuration scrubbing on this shard (`None` leaves
+    /// the scrubber off).
+    pub scrub: Option<rtr_service::ScrubPolicy>,
 }
 
 impl ShardSpec {
@@ -52,6 +59,8 @@ impl ShardSpec {
             fault_seed: 0x5EED_FA57,
             batch: BatchPolicy::FcfsDrain,
             plane: rtr_configplane::ConfigPlaneConfig::default(),
+            burst: None,
+            scrub: None,
         }
     }
 
@@ -72,6 +81,22 @@ impl ShardSpec {
     /// Same shard with the given configuration-plane features.
     pub fn with_plane(self, plane: rtr_configplane::ConfigPlaneConfig) -> ShardSpec {
         ShardSpec { plane, ..self }
+    }
+
+    /// Same shard under correlated ambient-upset bursts.
+    pub fn with_burst(self, burst: rtr_service::BurstConfig) -> ShardSpec {
+        ShardSpec {
+            burst: Some(burst),
+            ..self
+        }
+    }
+
+    /// Same shard with background scrubbing on.
+    pub fn with_scrub(self, scrub: rtr_service::ScrubPolicy) -> ShardSpec {
+        ShardSpec {
+            scrub: Some(scrub),
+            ..self
+        }
     }
 }
 
@@ -189,6 +214,8 @@ impl Cluster {
                 batch: spec.batch,
                 plane: spec.plane.clone(),
                 quarantine_cooldown: config.quarantine_cooldown,
+                burst: spec.burst,
+                scrub: spec.scrub,
                 trace: config.trace.with_shard(config.shard_base + id as u32),
                 telemetry: config.telemetry.with_shard(config.shard_base + id as u32),
                 ..ServiceConfig::with_faults(spec.kind, spec.fault_rate, spec.fault_seed)
@@ -227,7 +254,8 @@ impl Cluster {
             .zip(&config.shards)
             .enumerate()
             .map(|(id, (service, spec))| {
-                Shard::new(id, service, spec.fault_rate > 0.0, config.bounded_windows)
+                let faulty = spec.fault_rate > 0.0 || spec.burst.is_some();
+                Shard::new(id, service, faulty, config.bounded_windows)
             })
             .collect();
         Cluster {

@@ -31,7 +31,8 @@ pub mod timing;
 pub use machine::{Machine, Platform};
 pub use manager::{
     LoadError, LoadOutcome, ModuleHealth, ModuleManager, RegisteredModule, RetryPolicy,
+    ScrubPolicy, ScrubStats,
 };
 pub use system::{build_system, SystemKind};
 pub use timing::SystemTiming;
-pub use vp2_bitstream::FaultPlan;
+pub use vp2_bitstream::{BurstConfig, BurstPlan, FaultPlan};

@@ -17,7 +17,8 @@ use dock::{OpbDock, PlbDock};
 use ppc405_sim::mem::{MemoryPort, LINE_BYTES};
 use ppc405_sim::{Cpu, CpuConfig, Program, StepOutcome};
 use rtr_trace::{EventKind, Tracer};
-use vp2_fabric::{ConfigMemory, Device, DynamicRegion};
+use vp2_bitstream::{apply_upset, BurstConfig, BurstPlan, Upset};
+use vp2_fabric::{ConfigMemory, Device, DynamicRegion, FrameAddress};
 use vp2_sim::SimTime;
 
 /// External memory: SRAM (32-bit system) or DDR (64-bit system).
@@ -77,6 +78,16 @@ struct DmaRun {
     ready_at: SimTime,
 }
 
+/// Installed ambient-upset process: the correlated burst plan plus the
+/// frame order its indices refer to.
+struct SeuState {
+    plan: BurstPlan,
+    /// Frame the plan's index `i` strikes.
+    order: Vec<FrameAddress>,
+    /// Scratch buffer reused across materializations.
+    pending: Vec<Upset>,
+}
+
 /// Everything except the CPU core.
 pub struct Platform {
     /// Which of the paper's two systems this is.
@@ -114,6 +125,9 @@ pub struct Platform {
     dma_run: Option<DmaRun>,
     /// DMA CSR scratch registers (src, dst, len).
     csr_scratch: (u32, u32, u32),
+    /// Ambient correlated-upset process over configuration memory
+    /// (`None` — the default — is bit-identical to a build without it).
+    seu: Option<SeuState>,
     /// Trace journal handle (disabled by default).
     tracer: Tracer,
 }
@@ -179,8 +193,59 @@ impl Platform {
             jtag: JtagPpc::new(),
             dma_run: None,
             csr_scratch: (0, 0, 0),
+            seu: None,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs an ambient correlated-upset process striking `order`
+    /// (typically the dynamic region's frames, in a deterministic
+    /// order). The plan's frame indices map onto `order`; upsets are
+    /// materialized lazily by [`Platform::materialize_upsets`].
+    pub fn install_seu(&mut self, config: BurstConfig, order: Vec<FrameAddress>) {
+        let plan = BurstPlan::new(config, order.len());
+        self.seu = Some(SeuState {
+            plan,
+            order,
+            pending: Vec::new(),
+        });
+    }
+
+    /// The installed burst plan, for reading its counters.
+    pub fn seu_plan(&self) -> Option<&BurstPlan> {
+        self.seu.as_ref().map(|s| &s.plan)
+    }
+
+    /// Materializes every ambient upset with a timestamp up to `now`
+    /// into live configuration memory; returns upsets applied. Called
+    /// at the deterministic sync points where configuration state is
+    /// about to be observed (load start, readback verify, scrub pass),
+    /// which — because the plan's draws are tied to process state, not
+    /// call granularity — yields the same fabric contents as stepping
+    /// the process continuously.
+    pub fn materialize_upsets(&mut self, now: SimTime) -> usize {
+        let Some(mut seu) = self.seu.take() else {
+            return 0;
+        };
+        seu.pending.clear();
+        seu.plan.advance(now, &mut seu.pending);
+        let struck = seu.pending.len();
+        for u in &seu.pending {
+            let addr = seu.order[u.frame];
+            let mut words = self.config.frame(addr).words.clone();
+            apply_upset(&mut words, u.seed, u.flips);
+            self.config.write_frame(addr, &words);
+        }
+        self.seu = Some(seu);
+        if struck > 0 && self.tracer.on() {
+            self.tracer.emit(
+                now,
+                EventKind::FaultHit {
+                    frames: struck as u32,
+                },
+            );
+        }
+        struck
     }
 
     /// Installs a tracer handle on the platform and its HWICAP. DMA
@@ -862,6 +927,13 @@ impl Machine {
     /// Installs a tracer on the platform (see [`Platform::set_tracer`]).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.platform.set_tracer(tracer);
+    }
+
+    /// Materializes pending ambient upsets up to the machine's current
+    /// instant (see [`Platform::materialize_upsets`]).
+    pub fn materialize_upsets(&mut self) -> usize {
+        let now = self.cpu.now();
+        self.platform.materialize_upsets(now)
     }
 
     /// One CPU instruction plus platform catch-up and interrupt sampling.

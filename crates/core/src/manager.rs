@@ -26,9 +26,9 @@ use rtr_configplane::{
     SlotPlanError,
 };
 use rtr_trace::{EventKind, Tracer};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use vp2_bitstream::{AssembleError, BitLinker, Bitstream, Component};
-use vp2_fabric::ConfigMemory;
+use vp2_fabric::{ConfigMemory, FrameAddress};
 use vp2_sim::SimTime;
 
 /// Factory producing a fresh behavioural model for a module.
@@ -105,6 +105,36 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Background configuration-memory scrubbing policy.
+///
+/// Scrubbing walks the resident slots' frames in a deterministic
+/// round-robin on the machine clock: every `period`, one pass readback-
+/// compares the next `frames_per_pass` frames against the linked golden
+/// image and repairs any mismatch through the differential
+/// partial-bitstream path. The readback occupies the ICAP (scrubbing
+/// visibly contends with swaps); repairs additionally charge the normal
+/// CPU→OPB→HWICAP feed cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubPolicy {
+    /// Machine-clock interval between passes.
+    pub period: SimTime,
+    /// Frames readback-compared per pass.
+    pub frames_per_pass: u32,
+}
+
+/// Scrubbing counters, accumulated across the manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Scrub passes run.
+    pub passes: u64,
+    /// Frames readback-compared.
+    pub frames_scrubbed: u64,
+    /// Frames found mismatched and re-written from the golden image.
+    pub frames_repaired: u64,
+    /// Targeted repair streams fed.
+    pub repairs: u64,
+}
+
 /// Per-module load health, accumulated across the manager's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModuleHealth {
@@ -149,6 +179,29 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// Feeds every word to the HWICAP data register over the bus, then hits
+/// the control register. This is the paper's configuration path:
+/// CPU → OPB → HWICAP → ICAP. The CPU then waits for the ICAP to finish
+/// shifting. Shared by [`ModuleManager::load`]'s retry ladder and the
+/// background scrub repairs.
+fn feed(m: &mut Machine, bs: &Bitstream) -> Result<(), LoadError> {
+    let mut t = m.cpu.now();
+    for &w in &bs.words {
+        t += m
+            .platform
+            .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
+    }
+    t += m
+        .platform
+        .write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
+    if m.platform.icap.error() {
+        return Err(LoadError::Icap("commit failed".to_string()));
+    }
+    let done = t.max(m.platform.icap.busy_until());
+    m.cpu.advance_time_to(done);
+    Ok(())
+}
+
 /// The run-time reconfiguration manager.
 pub struct ModuleManager {
     kind: SystemKind,
@@ -178,6 +231,15 @@ pub struct ModuleManager {
     health: HashMap<String, ModuleHealth>,
     /// Retry/repair policy applied by [`ModuleManager::load`].
     pub retry: RetryPolicy,
+    /// Background scrubbing policy (`None` — the default — leaves the
+    /// load path bit-identical to a build without scrubbing).
+    scrub: Option<ScrubPolicy>,
+    /// Round-robin cursor into the scrub domain.
+    scrub_cursor: usize,
+    /// Next pass is due at this instant (zero = arm on the next tick).
+    next_scrub: SimTime,
+    /// Scrubbing counters.
+    scrub_stats: ScrubStats,
     /// Cumulative time spent reconfiguring.
     pub total_reconfig_time: SimTime,
     /// Number of reconfigurations performed.
@@ -216,6 +278,10 @@ impl ModuleManager {
             stats: ConfigPlaneStats::default(),
             health: HashMap::new(),
             retry: RetryPolicy::default(),
+            scrub: None,
+            scrub_cursor: 0,
+            next_scrub: SimTime::ZERO,
+            scrub_stats: ScrubStats::default(),
             total_reconfig_time: SimTime::ZERO,
             reconfigurations: 0,
             tracer: Tracer::disabled(),
@@ -281,6 +347,164 @@ impl ModuleManager {
     /// ladder (swap begin/end, verify failures, repair passes).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Installs (or clears) the background scrubbing policy. The first
+    /// pass runs one period after the next [`ModuleManager::scrub_tick`].
+    ///
+    /// # Panics
+    /// Panics on a zero period or a zero frames-per-pass budget.
+    pub fn set_scrub(&mut self, policy: Option<ScrubPolicy>) {
+        if let Some(p) = &policy {
+            assert!(!p.period.is_zero(), "ScrubPolicy period must be nonzero");
+            assert!(
+                p.frames_per_pass > 0,
+                "ScrubPolicy frames_per_pass must be >= 1"
+            );
+        }
+        self.scrub = policy;
+        self.next_scrub = SimTime::ZERO;
+    }
+
+    /// The active scrubbing policy, if any.
+    pub fn scrub_policy(&self) -> Option<&ScrubPolicy> {
+        self.scrub.as_ref()
+    }
+
+    /// Accumulated scrubbing counters.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.scrub_stats
+    }
+
+    /// The instant the next scrub pass falls due, once the period has
+    /// been armed by a first [`ModuleManager::scrub_tick`]. Idle loops
+    /// use this to stop at scrub deadlines instead of sleeping past
+    /// them.
+    pub fn next_scrub_due(&self) -> Option<SimTime> {
+        self.scrub.as_ref()?;
+        (!self.next_scrub.is_zero()).then_some(self.next_scrub)
+    }
+
+    /// Every frame of the dynamic region in slot-plan order — the frame
+    /// order ambient upset plans are installed over.
+    pub fn region_frames(&self) -> Vec<FrameAddress> {
+        let mut v = Vec::new();
+        for slot in &self.slot_plan.slots {
+            v.extend_from_slice(&slot.frames);
+        }
+        v
+    }
+
+    /// Runs every scrub pass due at the machine's current instant. A
+    /// no-op without a policy; with one, the first tick arms the period
+    /// and later ticks catch up one pass per elapsed period, so the pass
+    /// schedule depends only on the machine clock — never on how often
+    /// the caller ticks.
+    pub fn scrub_tick(&mut self, m: &mut Machine) {
+        let Some(policy) = self.scrub else {
+            return;
+        };
+        let now = m.cpu.now();
+        if self.next_scrub.is_zero() {
+            self.next_scrub = now + policy.period;
+            return;
+        }
+        while self.next_scrub <= now {
+            self.next_scrub += policy.period;
+            self.scrub_pass(m, policy);
+        }
+    }
+
+    /// One scrub pass: materialize pending ambient upsets, readback-
+    /// compare the next `frames_per_pass` resident frames against their
+    /// golden images (charging the ICAP for the readback), and re-write
+    /// any mismatch with a targeted partial bitstream.
+    fn scrub_pass(&mut self, m: &mut Machine, policy: ScrubPolicy) {
+        m.materialize_upsets();
+        let now = m.cpu.now();
+        self.scrub_stats.passes += 1;
+        // The scrub domain: frames of every resident slot whose golden
+        // image is linked. Empty slots have no expected state to compare
+        // against — a fresh load rewrites them anyway.
+        let mut domain: Vec<(usize, FrameAddress)> = Vec::new();
+        for slot in &self.slot_plan.slots {
+            if let Some(name) = &self.residents[slot.index] {
+                if self.images.contains_key(&(name.clone(), slot.index)) {
+                    domain.extend(slot.frames.iter().map(|&f| (slot.index, f)));
+                }
+            }
+        }
+        if domain.is_empty() {
+            if self.tracer.on() {
+                self.tracer.emit(
+                    now,
+                    EventKind::ScrubPass {
+                        frames: 0,
+                        mismatched: 0,
+                    },
+                );
+            }
+            return;
+        }
+        let len = domain.len();
+        let take = (policy.frames_per_pass as usize).min(len);
+        let start = self.scrub_cursor % len;
+        let mut read_words = 0usize;
+        let mut mismatched: Vec<(usize, FrameAddress)> = Vec::new();
+        for k in 0..take {
+            let (slot_idx, addr) = domain[(start + k) % len];
+            let name = self.residents[slot_idx]
+                .clone()
+                .expect("scrub domain only holds resident slots");
+            let expected = &self.images[&(name, slot_idx)].1;
+            let live = &m.platform.config.frame(addr).words;
+            read_words += live.len();
+            if live != &expected.frame(addr).words {
+                mismatched.push((slot_idx, addr));
+            }
+        }
+        self.scrub_cursor = (start + take) % len;
+        // Readback shifts one word per ICAP cycle: the port is busy for
+        // the pass, so a swap landing now queues behind it.
+        m.platform.icap.occupy(now, read_words);
+        self.scrub_stats.frames_scrubbed += take as u64;
+        if self.tracer.on() {
+            self.tracer.emit(
+                now,
+                EventKind::ScrubPass {
+                    frames: take as u32,
+                    mismatched: mismatched.len() as u32,
+                },
+            );
+        }
+        if mismatched.is_empty() {
+            return;
+        }
+        let idcode = vp2_bitstream::idcode_for(m.platform.device.kind);
+        let slots: BTreeSet<usize> = mismatched.iter().map(|&(s, _)| s).collect();
+        for slot_idx in slots {
+            let addrs: Vec<FrameAddress> = mismatched
+                .iter()
+                .filter(|&&(s, _)| s == slot_idx)
+                .map(|&(_, a)| a)
+                .collect();
+            let name = self.residents[slot_idx]
+                .clone()
+                .expect("scrub domain only holds resident slots");
+            let expected = &self.images[&(name, slot_idx)].1;
+            let patch = vp2_bitstream::partial_bitstream(expected, &addrs, idcode);
+            feed(m, &patch).expect("scrub repair streams are well-formed");
+            self.scrub_stats.repairs += 1;
+            self.scrub_stats.frames_repaired += addrs.len() as u64;
+            if self.tracer.on() {
+                self.tracer.emit(
+                    m.cpu.now(),
+                    EventKind::ScrubRepair {
+                        frames: addrs.len() as u32,
+                    },
+                );
+            }
+        }
     }
 
     /// Registers a module, eagerly linking its configuration (so placement
@@ -443,6 +667,11 @@ impl ModuleManager {
         // verified load completes, nothing is active.
         self.active = None;
 
+        // Ambient upsets that struck while the region sat idle must be in
+        // the live state before the cache fingerprint / differential diff
+        // reads it — a diff against stale state would under-write.
+        m.materialize_upsets();
+
         // Decide the attempt-1 transfer image: a cached replay, a
         // differential stream against the slot's live frames, or the full
         // image — compressed when that is shorter. `None` = feed the full
@@ -539,28 +768,6 @@ impl ModuleManager {
             );
         }
 
-        // Feed every word to the HWICAP data register over the bus, then
-        // hit the control register. This is the paper's configuration path:
-        // CPU → OPB → HWICAP → ICAP. The CPU then waits for the ICAP to
-        // finish shifting.
-        fn feed(m: &mut Machine, bs: &Bitstream) -> Result<(), LoadError> {
-            let mut t = m.cpu.now();
-            for &w in &bs.words {
-                t += m
-                    .platform
-                    .write(t, map::HWICAP_BASE + map::HWICAP_DATA, 4, w);
-            }
-            t += m
-                .platform
-                .write(t, map::HWICAP_BASE + map::HWICAP_CTL, 4, 1);
-            if m.platform.icap.error() {
-                return Err(LoadError::Icap("commit failed".to_string()));
-            }
-            let done = t.max(m.platform.icap.busy_until());
-            m.cpu.advance_time_to(done);
-            Ok(())
-        }
-
         let start = m.cpu.now();
         if self.tracer.on() {
             self.tracer.emit(
@@ -594,6 +801,9 @@ impl ModuleManager {
             if !attempt_stream.words.is_empty() {
                 feed(m, attempt_stream)?;
             }
+            // Upsets landing during the transfer window strike before the
+            // readback sees the fabric.
+            m.materialize_upsets();
             let mut mismatched = m.platform.config.mismatched_frames(expected, slot_frames);
             if mismatched.is_empty() {
                 verified = true;
@@ -617,6 +827,7 @@ impl ModuleManager {
                         frames: patched as u32,
                     },
                 );
+                m.materialize_upsets();
                 mismatched = m.platform.config.mismatched_frames(expected, slot_frames);
                 if mismatched.is_empty() {
                     verified = true;

@@ -95,6 +95,17 @@ impl HwIcap {
         self.busy_until
     }
 
+    /// Occupies the port for a `words`-long readback starting no earlier
+    /// than `from` (queued behind any in-flight shift), returning the
+    /// completion instant. Background scrubbing charges its configuration
+    /// readback through this, so scrub passes visibly contend with swap
+    /// traffic for the ICAP without counting as shifted words.
+    pub fn occupy(&mut self, from: SimTime, words: usize) -> SimTime {
+        let start = self.icap_clock.next_edge(from.max(self.busy_until));
+        self.busy_until = start + self.icap_clock.cycles(words as u64);
+        self.busy_until
+    }
+
     /// MMIO write to the control register with the start bit: commits the
     /// buffered words as a bitstream, applying it to `mem`. Returns the
     /// apply report; the port stays busy for `words × 1 ICAP cycle`.

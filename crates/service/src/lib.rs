@@ -38,6 +38,7 @@ pub use cost::{CostModel, PathEstimate};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use queue::{AdmissionQueues, Pending};
 pub use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
+pub use rtr_core::{BurstConfig, RetryPolicy, ScrubPolicy, ScrubStats};
 pub use sched::{BatchPolicy, Candidate, LaneRank};
 pub use service::{Policy, Service, ServiceConfig, ServiceError};
 pub use traffic::{FlashCrowd, TrafficConfig, TrafficStream};

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use rtr_configplane::ConfigPlaneStats;
+use rtr_core::ScrubStats;
 use vp2_sim::{Histogram, Json, SimTime};
 
 /// Buckets in the latency distribution a snapshot exports.
@@ -38,6 +39,9 @@ pub struct Metrics {
     hw_fallback_items: u64,
     quarantines: u64,
     quarantined_batches: u64,
+    canary_probes: u64,
+    canary_readmitted: u64,
+    canary_failed: u64,
     deadline_met: u64,
     deadline_missed: u64,
     /// When set, the latency series (combined and deadline-lane) keep
@@ -167,6 +171,23 @@ impl Metrics {
         self.quarantined_batches += 1;
     }
 
+    /// Records a half-open kernel's probe batch being admitted to
+    /// hardware with verification forced on.
+    pub fn record_canary_probe(&mut self) {
+        self.canary_probes += 1;
+    }
+
+    /// Records a canary probe that ran clean and readmitted its kernel.
+    pub fn record_canary_readmitted(&mut self) {
+        self.canary_readmitted += 1;
+    }
+
+    /// Records a canary probe that failed and re-quarantined its kernel
+    /// with a longer cooldown.
+    pub fn record_canary_failed(&mut self) {
+        self.canary_failed += 1;
+    }
+
     /// Records the outcome of one deadline-carrying request: did it
     /// complete within its latency budget? (Requests without a deadline
     /// are not counted either way.)
@@ -199,6 +220,9 @@ impl Metrics {
         self.hw_fallback_items += other.hw_fallback_items;
         self.quarantines += other.quarantines;
         self.quarantined_batches += other.quarantined_batches;
+        self.canary_probes += other.canary_probes;
+        self.canary_readmitted += other.canary_readmitted;
+        self.canary_failed += other.canary_failed;
         self.deadline_met += other.deadline_met;
         self.deadline_missed += other.deadline_missed;
         self.trim();
@@ -288,6 +312,9 @@ impl Metrics {
             hw_fallback_items: self.hw_fallback_items,
             quarantines: self.quarantines,
             quarantined_batches: self.quarantined_batches,
+            canary_probes: self.canary_probes,
+            canary_readmitted: self.canary_readmitted,
+            canary_failed: self.canary_failed,
             deadline_met: self.deadline_met,
             deadline_missed: self.deadline_missed,
             deadline_items: deadline_sorted.len() as u64,
@@ -310,6 +337,7 @@ impl Metrics {
             hw_utilization: ratio(self.hw_busy, elapsed),
             sw_utilization: ratio(self.sw_busy, elapsed),
             plane: None,
+            scrub: None,
         }
     }
 }
@@ -352,6 +380,14 @@ pub struct MetricsSnapshot {
     pub quarantines: u64,
     /// Batches denied the hardware path by an active quarantine.
     pub quarantined_batches: u64,
+    /// Half-open probe batches admitted to hardware with verification
+    /// forced on.
+    pub canary_probes: u64,
+    /// Probes that ran clean and readmitted their kernel.
+    pub canary_readmitted: u64,
+    /// Probes that failed and re-quarantined their kernel with a longer
+    /// cooldown.
+    pub canary_failed: u64,
     /// Deadline-carrying requests that completed within their budget.
     pub deadline_met: u64,
     /// Deadline-carrying requests that completed past their budget.
@@ -395,6 +431,10 @@ pub struct MetricsSnapshot {
     /// this in from the manager after folding the window — the counters
     /// are lifetime-cumulative, not per-window.
     pub plane: Option<ConfigPlaneStats>,
+    /// Background-scrubbing counters. `None` whenever scrubbing is off,
+    /// so scrub-free runs export byte-identical JSON to builds that
+    /// predate the scrubber. Lifetime-cumulative, like `plane`.
+    pub scrub: Option<ScrubStats>,
 }
 
 impl MetricsSnapshot {
@@ -414,6 +454,16 @@ impl MetricsSnapshot {
             .field("hw_fallback_items", self.hw_fallback_items)
             .field("quarantines", self.quarantines)
             .field("quarantined_batches", self.quarantined_batches);
+        // Canary counters only exist once a probe ran, so canary-free
+        // runs export byte-identical JSON to builds that predate
+        // half-open probing.
+        let json = if self.canary_probes > 0 {
+            json.field("canary_probes", self.canary_probes)
+                .field("canary_readmitted", self.canary_readmitted)
+                .field("canary_failed", self.canary_failed)
+        } else {
+            json
+        };
         // Deadline counters only exist when some request carried a
         // deadline, so deadline-free runs export byte-identical JSON to
         // builds that predate lanes.
@@ -452,6 +502,19 @@ impl MetricsSnapshot {
                     .field("compressed_streams", p.compressed_streams)
                     .field("activations", p.activations)
                     .field("slot_evictions", p.slot_evictions),
+            )
+        } else {
+            json
+        };
+        // And the scrubber: the object only exists when scrubbing is on.
+        let json = if let Some(s) = &self.scrub {
+            json.field(
+                "scrub",
+                Json::obj()
+                    .field("passes", s.passes)
+                    .field("frames_scrubbed", s.frames_scrubbed)
+                    .field("frames_repaired", s.frames_repaired)
+                    .field("repairs", s.repairs),
             )
         } else {
             json
@@ -539,6 +602,20 @@ impl fmt::Display for MetricsSnapshot {
                 self.hw_fallback_items,
                 self.quarantines,
                 self.quarantined_batches
+            )?;
+        }
+        if self.canary_probes > 0 {
+            write!(
+                f,
+                "\n  canary    {} probes: {} readmitted, {} re-quarantined",
+                self.canary_probes, self.canary_readmitted, self.canary_failed
+            )?;
+        }
+        if let Some(s) = &self.scrub {
+            write!(
+                f,
+                "\n  scrub     {} passes over {} frames, {} repaired in {} patches",
+                s.passes, s.frames_scrubbed, s.frames_repaired, s.repairs
             )?;
         }
         // Same treatment for deadlines: the line only appears when some
@@ -802,6 +879,43 @@ mod tests {
         fold.absorb(&big);
         assert_eq!(fold.latencies_ps().len(), 64);
         assert_eq!(fold.completed(), 500);
+    }
+
+    #[test]
+    fn canary_and_scrub_fields_stay_absent_when_unused() {
+        let mut m = Metrics::new();
+        for i in 1..=20u64 {
+            m.record_item(SimTime::from_us(i), i % 2 == 0);
+        }
+        m.record_quarantine();
+        let plain = m.snapshot(SimTime::from_ms(1));
+        for text in [plain.to_json().render(), plain.to_json().render_pretty()] {
+            assert!(!text.contains("canary"), "leaked into {text}");
+            assert!(!text.contains("scrub"));
+        }
+        assert!(!plain.to_string().contains("canary"));
+        // Once a probe runs, all three counters appear together.
+        m.record_canary_probe();
+        m.record_canary_failed();
+        let mut probed = m.snapshot(SimTime::from_ms(1));
+        probed.scrub = Some(ScrubStats {
+            passes: 3,
+            frames_scrubbed: 24,
+            frames_repaired: 2,
+            repairs: 1,
+        });
+        let json = probed.to_json().render();
+        assert!(json.contains("\"canary_probes\":1"));
+        assert!(json.contains("\"canary_readmitted\":0"));
+        assert!(json.contains("\"canary_failed\":1"));
+        assert!(json.contains("\"scrub\":{\"passes\":3"));
+        assert!(probed.to_string().contains("canary"));
+        assert!(probed.to_string().contains("scrub"));
+        // Canary counters pool across windows like everything else.
+        let mut life = Metrics::new();
+        life.absorb(&m);
+        life.absorb(&m);
+        assert_eq!(life.snapshot(SimTime::from_ms(2)).canary_probes, 2);
     }
 
     #[test]

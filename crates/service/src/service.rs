@@ -10,7 +10,10 @@
 
 use rtr_apps::request::{component_for, component_for_slot, factory_for, Driver, Kernel, Request};
 use rtr_configplane::{ConfigPlaneConfig, ConfigPlaneStats};
-use rtr_core::{build_system, FaultPlan, LoadOutcome, Machine, ModuleManager, SystemKind};
+use rtr_core::{
+    build_system, BurstConfig, FaultPlan, LoadOutcome, Machine, ModuleManager, RetryPolicy,
+    ScrubPolicy, ScrubStats, SystemKind,
+};
 use rtr_telemetry::{Gauge, Telemetry};
 use rtr_trace::{EventKind, Tracer};
 use vp2_sim::SimTime;
@@ -51,6 +54,28 @@ pub struct ServiceConfig {
     /// How long a kernel stays quarantined from the hardware path after
     /// repeated load failures.
     pub quarantine_cooldown: SimTime,
+    /// Readmit quarantined kernels through a canary half-open probe:
+    /// after the cooldown, exactly one batch is admitted to hardware
+    /// with readback-verify forced on; success readmits the kernel,
+    /// failure re-quarantines it with exponential cooldown backoff
+    /// (doubling per consecutive failed probe, capped at
+    /// `quarantine_cooldown_cap`). Off = the pre-canary behavior, where
+    /// a failed half-open batch only counts as an ordinary strike.
+    pub canary: bool,
+    /// Upper bound on the backed-off canary cooldown.
+    pub quarantine_cooldown_cap: SimTime,
+    /// Ambient correlated-upset process over the dynamic region's
+    /// configuration frames (`None` — the default — is bit-identical to
+    /// a build without the burst plane).
+    pub burst: Option<BurstConfig>,
+    /// Retry/repair ladder the module manager climbs on a readback
+    /// mismatch. The default is [`RetryPolicy::default`]; a tighter
+    /// policy models a platform that degrades to software sooner rather
+    /// than burning reconfiguration bandwidth on a stormy region.
+    pub retry: RetryPolicy,
+    /// Background configuration scrubbing policy, ticked between
+    /// batches on the machine clock (`None` disables scrubbing).
+    pub scrub: Option<ScrubPolicy>,
     /// Configuration-plane features (bitstream cache, differential frame
     /// compression, multi-module sub-slots). The default — everything
     /// off — makes the manager's load path bit-identical to a build
@@ -86,6 +111,11 @@ impl ServiceConfig {
             fault_rate: 0.0,
             fault_seed: 0x5EED_FA57,
             quarantine_cooldown: SimTime::from_ms(5),
+            canary: true,
+            quarantine_cooldown_cap: SimTime::from_ms(80),
+            burst: None,
+            retry: RetryPolicy::default(),
+            scrub: None,
             plane: ConfigPlaneConfig::default(),
             trace: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
@@ -137,6 +167,9 @@ struct Quarantine {
     until: Option<SimTime>,
     /// The cooldown expired but no hardware batch has succeeded yet.
     half_open: bool,
+    /// Consecutive failed canary probes: the next cooldown doubles per
+    /// failure (capped), and a successful probe resets the run.
+    backoff: u32,
 }
 
 /// The scheduler and the platform it drives.
@@ -214,6 +247,14 @@ impl Service {
         if config.plane.enabled() {
             cost.set_kernel_aware(true);
         }
+        // Ambient upsets and background scrubbing, both default-off. The
+        // burst plan is installed over the region's frames before the
+        // warm-up load so boot-time exposure is on the timeline too.
+        if let Some(burst) = config.burst {
+            machine.platform.install_seu(burst, manager.region_frames());
+        }
+        manager.retry = config.retry;
+        manager.set_scrub(config.scrub);
         let mut warmup_degraded = None;
         if let Some(&first_hw) = kernels.iter().find(|&&k| hw_ready[k.index()]) {
             match manager.load(&mut machine, first_hw.module_name()) {
@@ -312,8 +353,18 @@ impl Service {
         let window = self.process_window(schedule)?;
         let mut snap = window.snapshot(self.machine.now() - origin);
         snap.plane = self.plane_snapshot();
+        snap.scrub = self.scrub_snapshot();
         self.lifetime.absorb(&window);
         Ok(snap)
+    }
+
+    /// Background-scrubbing counters, or `None` when scrubbing is off.
+    /// Lifetime-cumulative, like [`Service::plane_snapshot`].
+    pub fn scrub_snapshot(&self) -> Option<ScrubStats> {
+        self.manager
+            .scrub_policy()
+            .is_some()
+            .then(|| self.manager.scrub_stats())
     }
 
     /// Configuration-plane counters (cache, differential transfers,
@@ -368,6 +419,7 @@ impl Service {
         }
         let mut next = 0;
         while next < schedule.len() || !self.queues.is_empty() {
+            self.manager.scrub_tick(&mut self.machine);
             let now = self.machine.now();
             while next < schedule.len() && base + schedule[next].0 <= now {
                 let (arrival, req) = &schedule[next];
@@ -379,8 +431,18 @@ impl Service {
                     let batch = self.queues.drain(kernel);
                     self.dispatch(kernel, batch);
                 }
-                // Nothing queued: idle forward to the next arrival.
-                None => self.machine.idle_until(base + schedule[next].0),
+                // Nothing queued: idle forward to the next arrival — but
+                // stop at the next scrub deadline so background passes
+                // keep their cadence through idle stretches instead of
+                // bunching up at the next batch.
+                None => {
+                    let target = base + schedule[next].0;
+                    let stop = match self.manager.next_scrub_due() {
+                        Some(due) if due < target => due,
+                        _ => target,
+                    };
+                    self.machine.idle_until(stop);
+                }
             }
         }
         Ok(std::mem::take(&mut self.metrics))
@@ -395,6 +457,7 @@ impl Service {
         all.absorb(&self.metrics);
         let mut snap = all.snapshot(self.machine.now() - self.boot_origin);
         snap.plane = self.plane_snapshot();
+        snap.scrub = self.scrub_snapshot();
         snap
     }
 
@@ -591,6 +654,21 @@ impl Service {
                     .emit(batch_start, EventKind::RequestDequeue { id: p.id });
             }
         }
+        // A half-open kernel's first hardware batch is the canary probe:
+        // result verification is forced on so a still-broken region
+        // cannot slip back in unchecked, and the probe's outcome decides
+        // readmission versus a longer cooldown.
+        let canary = self.config.canary && use_hw && self.quarantine[kernel.index()].half_open;
+        if canary {
+            self.metrics.record_canary_probe();
+            self.tracer.emit(
+                batch_start,
+                EventKind::CanaryProbe {
+                    kernel: kernel.module_name(),
+                },
+            );
+        }
+        let verify = self.config.verify || canary;
         let mut struck = false;
         if use_hw && swap_needed {
             match self.manager.load(&mut self.machine, kernel.module_name()) {
@@ -630,7 +708,7 @@ impl Service {
             };
             let mut served_hw = use_hw;
             let mut final_response = response;
-            if self.config.verify {
+            if verify {
                 let reference = pending.request.reference();
                 if final_response != reference && use_hw {
                     // Mis-executing hardware: recompute on the PPC405 so
@@ -682,10 +760,60 @@ impl Service {
             );
         }
         if struck {
-            self.strike(kernel, batch_end);
+            if canary {
+                // The probe failed: no second strike needed while the
+                // kernel is on probation — re-quarantine immediately,
+                // doubling the cooldown per consecutive failure (capped)
+                // so a persistently broken region stops burning probes.
+                let q = &mut self.quarantine[kernel.index()];
+                q.backoff = q.backoff.saturating_add(1);
+                let shift = q.backoff.min(20);
+                let cooldown_ps = self
+                    .config
+                    .quarantine_cooldown
+                    .as_ps()
+                    .saturating_mul(1u64 << shift);
+                let cap = self
+                    .config
+                    .quarantine_cooldown_cap
+                    .max(self.config.quarantine_cooldown);
+                let cooldown = SimTime::from_ps(cooldown_ps).min(cap);
+                q.strikes = 0;
+                q.half_open = false;
+                q.until = Some(batch_end + cooldown);
+                self.metrics.record_canary_failed();
+                self.metrics.record_quarantine();
+                self.tracer.emit(
+                    batch_end,
+                    EventKind::CanaryResult {
+                        kernel: kernel.module_name(),
+                        admitted: false,
+                    },
+                );
+                self.tracer.emit(
+                    batch_end,
+                    EventKind::QuarantineEnter {
+                        kernel: kernel.module_name(),
+                    },
+                );
+            } else {
+                self.strike(kernel, batch_end);
+            }
         } else if use_hw && self.quarantine[kernel.index()].half_open {
             // A clean hardware batch while half-open: trusted again.
-            self.quarantine[kernel.index()].half_open = false;
+            let q = &mut self.quarantine[kernel.index()];
+            q.half_open = false;
+            q.backoff = 0;
+            if canary {
+                self.metrics.record_canary_readmitted();
+                self.tracer.emit(
+                    batch_end,
+                    EventKind::CanaryResult {
+                        kernel: kernel.module_name(),
+                        admitted: true,
+                    },
+                );
+            }
             self.tracer.emit(
                 batch_end,
                 EventKind::QuarantineExit {
@@ -724,6 +852,10 @@ impl Service {
                 0.0
             };
             gauges.push(Gauge::value("cache_hit_rate", hit_rate));
+        }
+        if self.manager.scrub_policy().is_some() {
+            let s = self.manager.scrub_stats();
+            gauges.push(Gauge::rate("scrub_frames_per_s", s.frames_scrubbed as f64));
         }
         self.telemetry.sample_with_tails(now, "service", &gauges);
     }

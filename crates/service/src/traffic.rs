@@ -123,6 +123,19 @@ impl TrafficConfig {
                 flash.gap_divisor >= 1,
                 "TrafficConfig: flash.gap_divisor must be at least 1"
             );
+            assert!(
+                flash.len > 0,
+                "TrafficConfig: flash.len must be at least 1 — a zero-length \
+                 crowd window silently generates plain traffic"
+            );
+            assert!(
+                flash.start + flash.len <= self.requests,
+                "TrafficConfig: flash window [{}, {}) extends past the {} \
+                 requests the stream will emit",
+                flash.start,
+                flash.start + flash.len,
+                self.requests
+            );
         }
         let kernels = if self.kernels.is_empty() {
             Kernel::ALL.to_vec()
@@ -291,6 +304,56 @@ mod tests {
         let cfg = TrafficConfig {
             min_payload: 4096,
             max_payload: 512,
+            ..TrafficConfig::default()
+        };
+        let _ = cfg.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf_skew must be a finite non-negative exponent")]
+    fn negative_zipf_skew_is_rejected_up_front() {
+        let cfg = TrafficConfig {
+            zipf_skew: -0.5,
+            ..TrafficConfig::default()
+        };
+        let _ = cfg.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf_skew must be a finite non-negative exponent")]
+    fn nan_zipf_skew_is_rejected_up_front() {
+        let cfg = TrafficConfig {
+            zipf_skew: f64::NAN,
+            ..TrafficConfig::default()
+        };
+        let _ = cfg.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "flash.len must be at least 1")]
+    fn zero_length_flash_window_is_rejected_up_front() {
+        let cfg = TrafficConfig {
+            requests: 100,
+            flash: Some(FlashCrowd {
+                start: 10,
+                len: 0,
+                gap_divisor: 8,
+            }),
+            ..TrafficConfig::default()
+        };
+        let _ = cfg.stream();
+    }
+
+    #[test]
+    #[should_panic(expected = "flash window [90, 130) extends past the 100 requests")]
+    fn flash_window_past_the_request_count_is_rejected_up_front() {
+        let cfg = TrafficConfig {
+            requests: 100,
+            flash: Some(FlashCrowd {
+                start: 90,
+                len: 40,
+                gap_divisor: 8,
+            }),
             ..TrafficConfig::default()
         };
         let _ = cfg.stream();

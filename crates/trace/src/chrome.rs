@@ -366,6 +366,44 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
                         ),
                 );
             }
+            EventKind::ScrubPass { frames, mismatched } => {
+                out.push(
+                    base("scrub pass", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("frames", *frames)
+                                .field("mismatched", *mismatched),
+                        ),
+                );
+            }
+            EventKind::ScrubRepair { frames } => {
+                out.push(
+                    base("scrub repair", "i", ts, pid, TID_CONFIG)
+                        .field("s", "t")
+                        .field("args", Json::obj().field("frames", *frames)),
+                );
+            }
+            EventKind::CanaryProbe { kernel } => {
+                out.push(
+                    base("canary probe", "i", ts, pid, TID_CONFIG)
+                        .field("s", "p")
+                        .field("args", Json::obj().field("kernel", *kernel)),
+                );
+            }
+            EventKind::CanaryResult { kernel, admitted } => {
+                out.push(
+                    base("canary result", "i", ts, pid, TID_CONFIG)
+                        .field("s", "p")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("kernel", *kernel)
+                                .field("admitted", *admitted),
+                        ),
+                );
+            }
         }
     }
     // Per-request spans as complete ("X") slices — arrival → completion

@@ -37,6 +37,10 @@ pub const KIND_NAMES: &[&str] = &[
     "fed_route",
     "fed_steal",
     "fed_shed",
+    "scrub_pass",
+    "scrub_repair",
+    "canary_probe",
+    "canary_result",
 ];
 
 /// Reserved shard id the federation front-end journals under. High
@@ -256,6 +260,34 @@ pub enum EventKind {
         /// diverts before best-effort traffic)?
         deadline: bool,
     },
+    /// A background scrub pass readback-compared a window of resident
+    /// configuration frames against their golden images.
+    ScrubPass {
+        /// Frames readback-compared by this pass.
+        frames: u32,
+        /// Frames found mismatched (latent upsets caught at rest).
+        mismatched: u32,
+    },
+    /// A scrub pass re-wrote mismatched frames from the golden image
+    /// over the differential partial-bitstream path.
+    ScrubRepair {
+        /// Frames repaired.
+        frames: u32,
+    },
+    /// A half-open kernel's single canary batch was admitted to
+    /// hardware with readback-verify forced on.
+    CanaryProbe {
+        /// Kernel module name.
+        kernel: &'static str,
+    },
+    /// The canary batch finished: readmitted on success, re-quarantined
+    /// with exponential cooldown backoff on failure.
+    CanaryResult {
+        /// Kernel module name.
+        kernel: &'static str,
+        /// Did the probe pass (kernel trusted on hardware again)?
+        admitted: bool,
+    },
 }
 
 impl EventKind {
@@ -288,6 +320,10 @@ impl EventKind {
             EventKind::FedRoute { .. } => "fed_route",
             EventKind::FedSteal { .. } => "fed_steal",
             EventKind::FedShed { .. } => "fed_shed",
+            EventKind::ScrubPass { .. } => "scrub_pass",
+            EventKind::ScrubRepair { .. } => "scrub_repair",
+            EventKind::CanaryProbe { .. } => "canary_probe",
+            EventKind::CanaryResult { .. } => "canary_result",
         }
     }
 }
@@ -440,6 +476,14 @@ impl TraceEvent {
                 .field("to_pool", *to_pool)
                 .field("kernel", *kernel)
                 .field("deadline", *deadline),
+            EventKind::ScrubPass { frames, mismatched } => base
+                .field("frames", *frames)
+                .field("mismatched", *mismatched),
+            EventKind::ScrubRepair { frames } => base.field("frames", *frames),
+            EventKind::CanaryProbe { kernel } => base.field("kernel", *kernel),
+            EventKind::CanaryResult { kernel, admitted } => {
+                base.field("kernel", *kernel).field("admitted", *admitted)
+            }
         }
     }
 }

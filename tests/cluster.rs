@@ -124,6 +124,91 @@ fn quarantined_shard_sheds_hardware_work_until_cooldown_expires() {
 }
 
 #[test]
+fn quarantine_deadline_lives_on_the_machine_clock_not_stream_time() {
+    // A shard's boot origin (boot + calibration + warm-up) is many
+    // milliseconds of machine time, all of it *before* stream instant 0.
+    // The quarantine deadline is stamped on the machine clock, and
+    // `Shard::flush` maps stream arrivals onto that clock via the boot
+    // origin — so a cooldown much shorter than the origin must expire at
+    // `(entry - origin) + cooldown` in *stream* time. If either side of
+    // the comparison used raw stream time, the deadline would be off by
+    // the entire boot origin: the quarantine would either outlive its
+    // cooldown by milliseconds or lift the moment the next request
+    // arrived. Probing moves the clock, so each side of the deadline
+    // gets its own identically-seeded cluster.
+    let cooldown = SimTime::from_us(200);
+    let margin = SimTime::from_us(50);
+    let boot = || {
+        Cluster::new(ClusterConfig {
+            shards: vec![ShardSpec::with_faults(SystemKind::Bit32, 1.0, 0xBAD)],
+            kernels: vec![Kernel::PatMatch],
+            flush_depth: 1, // flush every admission: failures surface at once
+            quarantine_cooldown: cooldown,
+            ..ClusterConfig::uniform(SystemKind::Bit32, 1, RoutePolicy::RoundRobin)
+        })
+    };
+    // Drives the shard into quarantine and returns the stream-time
+    // instant at which the deadline must expire. Deterministic: both
+    // clusters take exactly the same strikes.
+    let quarantine = |cluster: &mut Cluster| -> SimTime {
+        let shard = &cluster.shards()[0];
+        let origin = shard.service().now() - shard.elapsed();
+        assert!(
+            origin > cooldown,
+            "the premise: boot origin {origin} dwarfs the {cooldown} cooldown"
+        );
+        let mut rng = SplitMix64::new(9);
+        let mut stream_t = SimTime::ZERO;
+        let mut tries = 0;
+        while !cluster.shards()[0].sheds(Kernel::PatMatch) {
+            tries += 1;
+            assert!(tries <= 8, "shard never quarantined pattern matching");
+            stream_t += SimTime::from_us(1);
+            let req = Request::synthetic(Kernel::PatMatch, 1024, &mut rng);
+            cluster.admit(stream_t, req);
+        }
+        // The deadline was stamped at the end of the striking batch —
+        // machine clock `entry`, read right after its flush settled.
+        let entry = cluster.shards()[0].service().now();
+        (entry - origin) + cooldown
+    };
+
+    // Just before the stream-time expiry the quarantine must hold: the
+    // probe batch is barred from hardware and counted as quarantined.
+    let mut early = boot();
+    let expiry_stream = quarantine(&mut early);
+    let mut rng = SplitMix64::new(77);
+    let probe = Request::synthetic(Kernel::PatMatch, 1024, &mut rng);
+    early.admit(expiry_stream - margin, probe);
+    assert_eq!(
+        early.snapshot().total.quarantined_batches,
+        1,
+        "deadline expired {margin} early in stream time — half of the \
+         comparison is skipping the boot-origin mapping"
+    );
+
+    // Just past it, the quarantine must lift: the same probe goes to
+    // hardware as a half-open canary attempt instead of being held back.
+    let mut late = boot();
+    let expiry_b = quarantine(&mut late);
+    assert_eq!(expiry_stream, expiry_b, "identical seeds, identical entry");
+    let mut rng = SplitMix64::new(77);
+    let probe = Request::synthetic(Kernel::PatMatch, 1024, &mut rng);
+    late.admit(expiry_b + margin, probe);
+    let snap = late.snapshot();
+    assert_eq!(
+        snap.total.quarantined_batches, 0,
+        "quarantine outlived its cooldown past {expiry_b} + {margin} in \
+         stream time — the deadline is being compared against raw stream \
+         time"
+    );
+    assert_eq!(
+        snap.total.canary_probes, 1,
+        "the first post-expiry hardware batch is the canary probe"
+    );
+}
+
+#[test]
 fn least_loaded_counts_quarantine_diversions_as_shed() {
     // Shard 0's configuration plane corrupts every frame; two failed
     // hardware loads quarantine pattern matching there. Least-loaded

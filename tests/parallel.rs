@@ -103,6 +103,88 @@ fn fault_injection_and_shedding_stay_deterministic_under_parallelism() {
     }
 }
 
+/// A burst-and-scrub run: shard 0 rides an ambient upset plan with
+/// background scrubbing on, shard 1 scrubs a clean fabric, shard 2 is
+/// bare. Returns the snapshot JSON and the merged journal — scrub
+/// passes tick on each shard's machine clock inside worker-thread
+/// flushes, so this is the determinism test for the scrub scheduler.
+fn scrubbed_run(threads: usize) -> (String, String) {
+    use vp2_repro::service::{BurstConfig, ScrubPolicy};
+    let scrub = ScrubPolicy {
+        period: vp2_repro::sim::SimTime::from_us(50),
+        frames_per_pass: 16,
+    };
+    let burst = BurstConfig {
+        mean_gap: vp2_repro::sim::SimTime::from_us(200),
+        mean_burst: vp2_repro::sim::SimTime::from_us(100),
+        window: 8,
+        max_bits: 2,
+        ..BurstConfig::new(0xB0B5, 0.5)
+    };
+    let base = std::env::temp_dir().join(format!(
+        "vp2_scrub_journal_{}_{threads}",
+        std::process::id()
+    ));
+    let base = base.to_str().expect("utf-8 temp path").to_string();
+    let tracer = Tracer::enabled();
+    tracer.stream_to(&base).expect("attach journal streams");
+    let mut cluster = Cluster::new(ClusterConfig {
+        shards: vec![
+            ShardSpec::new(SystemKind::Bit32)
+                .with_burst(burst)
+                .with_scrub(scrub),
+            ShardSpec::new(SystemKind::Bit32).with_scrub(scrub),
+            ShardSpec::new(SystemKind::Bit32),
+        ],
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        flush_depth: 4,
+        trace: tracer.clone(),
+        threads,
+        ..ClusterConfig::uniform(SystemKind::Bit32, 3, RoutePolicy::KernelAffinity)
+    });
+    let traffic = TrafficConfig {
+        seed: 0x5C_12B5,
+        requests: 36,
+        kernels: vec![Kernel::Jenkins, Kernel::PatMatch],
+        ..TrafficConfig::default()
+    };
+    let snap = cluster.run(traffic.stream());
+    let merged_path = format!("{base}.merged.jsonl");
+    tracer.merge_streams(&merged_path).expect("merge journals");
+    let merged = std::fs::read_to_string(&merged_path).expect("read merged journal");
+    for path in tracer.flush_streams().expect("stream paths") {
+        let _ = std::fs::remove_file(path);
+    }
+    let _ = std::fs::remove_file(&merged_path);
+    (snap.to_json().render_pretty(), merged)
+}
+
+#[test]
+fn scrubbing_stays_deterministic_under_parallelism() {
+    let (snap_inline, journal_inline) = scrubbed_run(1);
+    // The determinism claim is vacuous unless scrubbing actually ran
+    // and the burst plan actually dirtied frames for it to repair.
+    assert!(
+        journal_inline.contains("scrub_pass"),
+        "the scrubbed shards must journal scrub passes"
+    );
+    assert!(
+        journal_inline.contains("fault_hit"),
+        "the burst plan must land upsets during the run"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let (snap, journal) = scrubbed_run(*threads);
+        assert_eq!(
+            snap_inline, snap,
+            "scrubbed snapshot diverged at {threads} threads"
+        );
+        assert_eq!(
+            journal_inline, journal,
+            "scrubbed merged journal diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn streamed_journals_merge_identically_at_any_thread_count() {
     let journal_for = |threads: usize| -> String {
